@@ -1,0 +1,246 @@
+//! AS-diversity synthesis and analysis of the federated backhaul (§4.3).
+//!
+//! The paper measured the Helium network: *"Comcast, Spectrum, and Verizon
+//! are the ISPs for roughly half of the 12,400 gateways with public IP
+//! addresses"*, and (footnote 5) *"50 % of nodes belong to just ten ASes,
+//! but the long tail extends to nearly 200 unique ASes."*
+//!
+//! A Zipf(rank) law with exponent 1 over 200 ASes reproduces the top-10 =
+//! 50 % statistic almost exactly — this module synthesizes such a
+//! population and computes the paper's statistics from it (exhibit E7).
+
+use simcore::dist::Zipf;
+use simcore::rng::Rng;
+
+/// Paper constants for the Helium measurement.
+pub mod paper {
+    /// Gateways with public IP addresses at measurement time.
+    pub const PUBLIC_GATEWAYS: u64 = 12_400;
+    /// Unique ASes observed (the long tail, "nearly 200").
+    pub const UNIQUE_ASES: usize = 200;
+    /// Share of gateways in the top ten ASes.
+    pub const TOP10_SHARE: f64 = 0.50;
+}
+
+/// A synthesized assignment of gateways to ASes.
+#[derive(Clone, Debug)]
+pub struct AsPopulation {
+    /// `counts[i]` = gateways observed in the AS of rank `i + 1`.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AsPopulation {
+    /// Synthesizes `gateways` gateways over `ases` ASes with Zipf exponent
+    /// `s`, by sampling each gateway's AS independently.
+    pub fn synthesize(gateways: u64, ases: usize, s: f64, rng: &mut Rng) -> Self {
+        let zipf = Zipf::new(ases, s).expect("valid Zipf parameters");
+        let mut counts = vec![0u64; ases];
+        for _ in 0..gateways {
+            let rank = zipf.sample(rng);
+            counts[rank - 1] += 1;
+        }
+        AsPopulation { counts, total: gateways }
+    }
+
+    /// Synthesizes the paper's measured population: 12,400 gateways over
+    /// 200 ASes at exponent 1.
+    pub fn paper_shaped(rng: &mut Rng) -> Self {
+        Self::synthesize(paper::PUBLIC_GATEWAYS, paper::UNIQUE_ASES, 1.0, rng)
+    }
+
+    /// Total gateways.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of ASes with at least one gateway.
+    pub fn observed_ases(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Share of gateways in the `k` largest ASes (by observed count).
+    pub fn top_share(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = sorted.iter().take(k).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// The Herfindahl–Hirschman concentration index of the AS shares
+    /// (0 = perfectly spread, 1 = single AS).
+    pub fn hhi(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .map(|&c| {
+                let s = c as f64 / self.total as f64;
+                s * s
+            })
+            .sum()
+    }
+
+    /// Gateways surviving if the top `k` ASes simultaneously drop service —
+    /// the "how exposed is the backhaul to a few ISPs?" question the
+    /// measurement raises.
+    pub fn survivors_without_top(&self, k: usize) -> u64 {
+        let mut sorted = self.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.iter().skip(k).sum()
+    }
+}
+
+/// ISP-level grouping: large ISPs operate several regional ASes, so the
+/// paper's "Comcast, Spectrum, and Verizon are the ISPs for roughly half"
+/// is measured at ISP granularity while footnote 5's top-10 figure is at
+/// AS granularity. [`IspAssignment`] maps AS ranks to ISPs; the default
+/// model gives the big three ISPs the top ASes round-robin (each operating
+/// several regional networks), which reconciles both of the paper's
+/// numbers simultaneously.
+#[derive(Clone, Debug)]
+pub struct IspAssignment {
+    /// `owner[r]` = ISP id of the AS at rank `r + 1`.
+    owner: Vec<usize>,
+    /// Number of distinct ISPs.
+    isps: usize,
+}
+
+impl IspAssignment {
+    /// The big-`k` ISPs own the top `n_top` ASes round-robin; every other
+    /// AS is its own ISP.
+    pub fn big_k_own_top(k: usize, n_top: usize, total_ases: usize) -> Self {
+        assert!(k >= 1, "need at least one big ISP");
+        assert!(n_top <= total_ases, "top set cannot exceed the population");
+        let mut owner = Vec::with_capacity(total_ases);
+        for r in 0..total_ases {
+            if r < n_top {
+                owner.push(r % k);
+            } else {
+                owner.push(k + (r - n_top));
+            }
+        }
+        let isps = k + (total_ases - n_top);
+        IspAssignment { owner, isps }
+    }
+
+    /// The paper-shaped default: Comcast/Spectrum/Verizon-like big three
+    /// splitting the top 10 ASes.
+    pub fn paper_big_three(total_ases: usize) -> Self {
+        Self::big_k_own_top(3, 10.min(total_ases), total_ases)
+    }
+
+    /// Number of distinct ISPs.
+    pub fn isps(&self) -> usize {
+        self.isps
+    }
+
+    /// Share of gateways carried by the `k` largest ISPs.
+    pub fn top_isp_share(&self, pop: &AsPopulation, k: usize) -> f64 {
+        if pop.total() == 0 {
+            return 0.0;
+        }
+        let mut per_isp = vec![0u64; self.isps];
+        for (r, &count) in pop.counts.iter().enumerate() {
+            if r < self.owner.len() {
+                per_isp[self.owner[r]] += count;
+            }
+        }
+        per_isp.sort_unstable_by(|a, b| b.cmp(a));
+        per_isp.iter().take(k).sum::<u64>() as f64 / pop.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_reproduces_top10_share() {
+        let mut rng = Rng::seed_from(2021);
+        let pop = AsPopulation::paper_shaped(&mut rng);
+        assert_eq!(pop.total(), paper::PUBLIC_GATEWAYS);
+        let share = pop.top_share(10);
+        assert!(
+            (share - paper::TOP10_SHARE).abs() < 0.03,
+            "top-10 share {share} vs paper {}",
+            paper::TOP10_SHARE
+        );
+    }
+
+    #[test]
+    fn paper_shape_long_tail_near_200() {
+        let mut rng = Rng::seed_from(2022);
+        let pop = AsPopulation::paper_shaped(&mut rng);
+        let seen = pop.observed_ases();
+        assert!((190..=200).contains(&seen), "observed {seen}");
+    }
+
+    #[test]
+    fn shares_monotone_in_k() {
+        let mut rng = Rng::seed_from(3);
+        let pop = AsPopulation::paper_shaped(&mut rng);
+        let s1 = pop.top_share(1);
+        let s10 = pop.top_share(10);
+        let s200 = pop.top_share(200);
+        assert!(s1 < s10 && s10 < s200);
+        assert!((s200 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_exponent_concentrates() {
+        let mut rng = Rng::seed_from(4);
+        let flat = AsPopulation::synthesize(10_000, 100, 0.2, &mut rng);
+        let steep = AsPopulation::synthesize(10_000, 100, 1.5, &mut rng);
+        assert!(steep.hhi() > flat.hhi() * 3.0);
+        assert!(steep.top_share(5) > flat.top_share(5));
+    }
+
+    #[test]
+    fn survivors_complement_top_share() {
+        let mut rng = Rng::seed_from(5);
+        let pop = AsPopulation::paper_shaped(&mut rng);
+        let survivors = pop.survivors_without_top(10);
+        let expect = (pop.total() as f64 * (1.0 - pop.top_share(10))).round() as u64;
+        assert_eq!(survivors, expect);
+        // Losing the top-10 ASes halves the network.
+        assert!(survivors < pop.total() * 55 / 100);
+        assert!(survivors > pop.total() * 45 / 100);
+    }
+
+    #[test]
+    fn big_three_isps_carry_about_half() {
+        // The paper's ISP-level measurement: Comcast/Spectrum/Verizon
+        // ~50 % of gateways. With the big three splitting the top 10 ASes
+        // of the Zipf(1) population, ISP-level top-3 equals AS-level
+        // top-10 ≈ 50 %.
+        let mut rng = Rng::seed_from(11);
+        let pop = AsPopulation::paper_shaped(&mut rng);
+        let isp = IspAssignment::paper_big_three(200);
+        let share = isp.top_isp_share(&pop, 3);
+        assert!((share - 0.50).abs() < 0.03, "top-3 ISP share {share}");
+        // And it exceeds the AS-level top-3 share.
+        assert!(share > pop.top_share(3) + 0.1);
+    }
+
+    #[test]
+    fn isp_assignment_shape() {
+        let a = IspAssignment::big_k_own_top(3, 10, 200);
+        assert_eq!(a.isps(), 3 + 190);
+        let solo = IspAssignment::big_k_own_top(1, 0, 5);
+        assert_eq!(solo.isps(), 6);
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut rng = Rng::seed_from(6);
+        let pop = AsPopulation::synthesize(0, 10, 1.0, &mut rng);
+        assert_eq!(pop.top_share(5), 0.0);
+        assert_eq!(pop.hhi(), 0.0);
+        assert_eq!(pop.observed_ases(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! `backhaul` — backhaul technologies, providers, and federated networks.
+//!
+//! §3.3 of *Century-Scale Smart Infrastructure* (HotOS ’21) is a survey of
+//! how gateways reach the internet — fiber vs cellular economics, spectrum
+//! sunsets, ownership models — and §4.3 adds a measurement of the Helium
+//! network's backhaul diversity. This crate models all of it:
+//!
+//! * [`tech`] — technology catalogue with cost structure, revocability,
+//!   and the cellular generation timeline.
+//! * [`sunset`] — spectrum-sunset schedules and fleet stranding events.
+//! * [`provider`] — ownership models (commercial / municipal / campus /
+//!   federated) with continuity and priority parameters.
+//! * [`helium`] — local hotspot-population dynamics for the federated arm,
+//!   plus re-exported data-credit economics.
+//! * [`asn`] — the paper's AS-diversity measurement, synthesized and
+//!   analyzed (top-10 ASes ≈ 50 % of 12,400 gateways, ~200-AS tail).
+
+pub mod asn;
+pub mod helium;
+pub mod provider;
+pub mod sunset;
+pub mod tech;
+
+pub use provider::{Ownership, Provider};
+pub use sunset::SunsetSchedule;
+pub use tech::{BackhaulTech, CellularGen};

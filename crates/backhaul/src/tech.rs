@@ -1,0 +1,209 @@
+//! Backhaul technologies and their service properties (§3.3).
+//!
+//! The paper contrasts wired (fiber, Ethernet) and wireless (cellular
+//! generations, WiMAX, federated LoRa) backhauls on three axes: capacity,
+//! cost structure, and — decisive at century scale — whether the medium
+//! itself can be *taken away* (spectrum reclamation) or merely go dark at
+//! the far end (a wire keeps its trench).
+
+use econ::cost::CostStream;
+use econ::money::Usd;
+
+/// Cellular generations with their (stylized, US-shaped) service windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellularGen {
+    /// 2G GSM/CDMA.
+    G2,
+    /// 3G UMTS/EVDO.
+    G3,
+    /// 4G LTE.
+    G4,
+    /// 5G NR.
+    G5,
+}
+
+impl CellularGen {
+    /// All generations in launch order.
+    pub const ALL: [CellularGen; 4] =
+        [CellularGen::G2, CellularGen::G3, CellularGen::G4, CellularGen::G5];
+
+    /// Years after the simulation epoch at which the generation launches
+    /// and sunsets, shaped on the US historical record (2G: ~1995–2022,
+    /// i.e. ~27-year service window; each later generation launches ~10
+    /// years after the previous).
+    ///
+    /// The epoch is the deployment date; generation `G4` is taken as
+    /// current at deployment (launched 10 years before epoch), `G5` as
+    /// freshly launched.
+    pub fn window_years(self) -> (f64, f64) {
+        match self {
+            CellularGen::G2 => (-25.0, 2.0),
+            CellularGen::G3 => (-15.0, 12.0),
+            CellularGen::G4 => (-10.0, 22.0),
+            CellularGen::G5 => (0.0, 32.0),
+        }
+    }
+
+    /// Whether the generation still carries traffic at year `t` (relative
+    /// to the epoch).
+    pub fn in_service(self, t_years: f64) -> bool {
+        let (launch, sunset) = self.window_years();
+        (launch..sunset).contains(&t_years)
+    }
+
+    /// The newest generation in service at year `t`, if any.
+    pub fn newest_at(t_years: f64) -> Option<CellularGen> {
+        CellularGen::ALL.into_iter().rev().find(|g| g.in_service(t_years))
+    }
+}
+
+/// A backhaul technology choice for a gateway attachment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackhaulTech {
+    /// Municipal or commercial fiber drop.
+    Fiber,
+    /// Cellular modem on a specific generation.
+    Cellular(CellularGen),
+    /// Campus/municipal Ethernet.
+    Ethernet,
+    /// Fixed WiMAX-class wireless (the Chanute, KS model).
+    Wimax,
+    /// Federated LoRa network (Helium-style) — the backhaul is opaque.
+    FederatedLora,
+}
+
+impl BackhaulTech {
+    /// Whether the technology can be *revoked* by a third party reclaiming
+    /// a resource the subscriber never owned (spectrum). Wires cannot.
+    pub fn revocable(self) -> bool {
+        matches!(self, BackhaulTech::Cellular(_) | BackhaulTech::FederatedLora)
+    }
+
+    /// Whether service exists at year `t` relative to the epoch (only
+    /// cellular generations expire on the technology level; other outages
+    /// are provider-level events handled elsewhere).
+    pub fn available(self, t_years: f64) -> bool {
+        match self {
+            BackhaulTech::Cellular(g) => g.in_service(t_years),
+            _ => true,
+        }
+    }
+
+    /// Default cost stream per gateway attachment over `years`:
+    /// `(capex year 0, opex per year)` shaped on the paper's discussion —
+    /// fiber is trench-heavy/cheap-to-run, cellular is the reverse, campus
+    /// Ethernet is nearly free to the tenant, WiMAX sits between.
+    pub fn default_costs(self) -> (Usd, Usd) {
+        match self {
+            // Drop cost dominated by the trench share; minimal opex.
+            BackhaulTech::Fiber => (Usd::from_dollars(2_500), Usd::from_dollars(60)),
+            // No build-out; subscription ~$20/mo per modem.
+            BackhaulTech::Cellular(_) => (Usd::from_dollars(150), Usd::from_dollars(240)),
+            // Existing plant; port + switch amortization.
+            BackhaulTech::Ethernet => (Usd::from_dollars(300), Usd::from_dollars(30)),
+            // Radio + tower share.
+            BackhaulTech::Wimax => (Usd::from_dollars(900), Usd::from_dollars(120)),
+            // Per-gateway cost borne by hotspot owners; tenant pays credits
+            // (accounted per packet, not per attachment).
+            BackhaulTech::FederatedLora => (Usd::ZERO, Usd::ZERO),
+        }
+    }
+
+    /// Builds the yearly attachment cost stream over a horizon.
+    pub fn cost_stream(self, years: usize) -> CostStream {
+        let (capex, opex) = self.default_costs();
+        CostStream::upfront_plus_recurring(capex, opex, years)
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackhaulTech::Fiber => "fiber",
+            BackhaulTech::Cellular(CellularGen::G2) => "cellular-2g",
+            BackhaulTech::Cellular(CellularGen::G3) => "cellular-3g",
+            BackhaulTech::Cellular(CellularGen::G4) => "cellular-4g",
+            BackhaulTech::Cellular(CellularGen::G5) => "cellular-5g",
+            BackhaulTech::Ethernet => "ethernet",
+            BackhaulTech::Wimax => "wimax",
+            BackhaulTech::FederatedLora => "federated-lora",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_windows_ordered() {
+        for pair in CellularGen::ALL.windows(2) {
+            let (l0, s0) = pair[0].window_years();
+            let (l1, s1) = pair[1].window_years();
+            assert!(l0 < l1 && s0 < s1);
+        }
+    }
+
+    #[test]
+    fn g2_sunsets_early() {
+        assert!(CellularGen::G2.in_service(0.0));
+        assert!(!CellularGen::G2.in_service(3.0));
+        assert!(CellularGen::G4.in_service(3.0));
+    }
+
+    #[test]
+    fn newest_at_progression() {
+        assert_eq!(CellularGen::newest_at(0.0), Some(CellularGen::G5));
+        assert_eq!(CellularGen::newest_at(-12.0), Some(CellularGen::G3));
+        assert_eq!(CellularGen::newest_at(-5.0), Some(CellularGen::G4));
+        // After every window closes there is nothing (the model does not
+        // invent 6G; the fleet layer handles post-horizon tech churn).
+        assert_eq!(CellularGen::newest_at(40.0), None);
+    }
+
+    #[test]
+    fn revocability_classification() {
+        assert!(BackhaulTech::Cellular(CellularGen::G4).revocable());
+        assert!(BackhaulTech::FederatedLora.revocable());
+        assert!(!BackhaulTech::Fiber.revocable());
+        assert!(!BackhaulTech::Ethernet.revocable());
+        assert!(!BackhaulTech::Wimax.revocable());
+    }
+
+    #[test]
+    fn availability_tracks_generation() {
+        let g3 = BackhaulTech::Cellular(CellularGen::G3);
+        assert!(g3.available(5.0));
+        assert!(!g3.available(15.0));
+        assert!(BackhaulTech::Fiber.available(500.0));
+    }
+
+    #[test]
+    fn fiber_vs_cellular_cost_shape() {
+        // The paper's §3.3 claim: fiber capex-heavy, cellular opex-heavy,
+        // with a long-run crossover in cellular's cumulative cost.
+        let fiber = BackhaulTech::Fiber.cost_stream(50);
+        let cell = BackhaulTech::Cellular(CellularGen::G4).cost_stream(50);
+        assert!(fiber.at(0) > cell.at(0));
+        assert!(fiber.at(10) < cell.at(10));
+        let crossover = cell.crossover_year(&fiber).expect("cellular must cross");
+        assert!(crossover > 5 && crossover < 25, "crossover {crossover}");
+        assert!(fiber.total() < cell.total());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels = vec![
+            BackhaulTech::Fiber.label(),
+            BackhaulTech::Ethernet.label(),
+            BackhaulTech::Wimax.label(),
+            BackhaulTech::FederatedLora.label(),
+        ];
+        for g in CellularGen::ALL {
+            labels.push(BackhaulTech::Cellular(g).label());
+        }
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the ablation suite (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn a1_gateway_posture(c: &mut Criterion) {
+    c.bench_function("a1_gateway_posture", |b| b.iter(bench::ablations::a1::compute));
+}
+
+fn a2_capture(c: &mut Criterion) {
+    c.bench_function("a2_capture", |b| {
+        b.iter(|| bench::ablations::a2::compute(black_box(1)))
+    });
+}
+
+fn a3_checkpoint_sweep(c: &mut Criterion) {
+    c.bench_function("a3_checkpoint_sweep", |b| {
+        b.iter(|| bench::ablations::a3::compute(black_box(1), 100))
+    });
+}
+
+fn a4_replacement_policy(c: &mut Criterion) {
+    c.bench_function("a4_replacement_policy", |b| {
+        b.iter(|| bench::ablations::a4::compute(black_box(1), 1))
+    });
+}
+
+fn a5_scheduler(c: &mut Criterion) {
+    c.bench_function("a5_scheduler", |b| {
+        b.iter(|| bench::ablations::a5::compute(black_box(1), 1))
+    });
+}
+
+fn a6_upgrade_policy(c: &mut Criterion) {
+    c.bench_function("a6_upgrade_policy", |b| {
+        b.iter(|| bench::ablations::a6::compute(black_box(1), 100))
+    });
+}
+
+fn a7_mesh_density(c: &mut Criterion) {
+    c.bench_function("a7_mesh_density", |b| {
+        b.iter(|| bench::ablations::a7::compute(black_box(1)))
+    });
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = a1_gateway_posture, a2_capture, a3_checkpoint_sweep, a4_replacement_policy, a5_scheduler, a6_upgrade_policy, a7_mesh_density
+);
+criterion_main!(ablations);

@@ -1,0 +1,97 @@
+//! One Criterion benchmark per exhibit (table/figure) in EXPERIMENTS.md.
+//!
+//! These time the *computation* behind each exhibit at reduced parameters,
+//! serving two purposes: a performance regression net for the models, and a
+//! quick way to regenerate any exhibit's numbers (`cargo bench e7`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn e1_lifetime_gap(c: &mut Criterion) {
+    c.bench_function("e1_lifetime_gap", |b| {
+        b.iter(|| bench::exhibits::e1::compute(black_box(1), 2_000))
+    });
+}
+
+fn e2_recovery_labor(c: &mut Criterion) {
+    c.bench_function("e2_recovery_labor", |b| {
+        b.iter(|| bench::exhibits::e2::compute(black_box(1)))
+    });
+}
+
+fn e3_theseus(c: &mut Criterion) {
+    c.bench_function("e3_theseus", |b| {
+        b.iter(|| bench::exhibits::e3::compute(black_box(1), 200))
+    });
+}
+
+fn e4_today(c: &mut Criterion) {
+    c.bench_function("e4_today", |b| {
+        b.iter(|| bench::exhibits::e4::economics(black_box(1_600), 5))
+    });
+}
+
+fn e5_backhaul_econ(c: &mut Criterion) {
+    c.bench_function("e5_backhaul_econ", |b| b.iter(bench::exhibits::e5::compute));
+}
+
+fn e6_tipping(c: &mut Criterion) {
+    c.bench_function("e6_tipping", |b| b.iter(bench::exhibits::e6::compute));
+}
+
+fn e7_helium_asn(c: &mut Criterion) {
+    c.bench_function("e7_helium_asn", |b| {
+        b.iter(|| bench::exhibits::e7::compute(black_box(2021)))
+    });
+}
+
+fn e8_credits(c: &mut Criterion) {
+    c.bench_function("e8_credits", |b| b.iter(bench::exhibits::e8::compute));
+}
+
+fn e9_fifty_year(c: &mut Criterion) {
+    c.bench_function("e9_fifty_year", |b| {
+        b.iter(|| bench::exhibits::e9::compute(black_box(1), 1))
+    });
+}
+
+fn e10_bom_ablation(c: &mut Criterion) {
+    c.bench_function("e10_bom_ablation", |b| {
+        b.iter(|| bench::exhibits::e10::compute(black_box(1), 2_000))
+    });
+}
+
+fn e11_sunset(c: &mut Criterion) {
+    c.bench_function("e11_sunset", |b| b.iter(bench::exhibits::e11::compute));
+}
+
+fn e12_energy_neutral(c: &mut Criterion) {
+    c.bench_function("e12_energy_neutral", |b| {
+        b.iter(|| bench::exhibits::e12::sf_sweep(black_box(1), 2))
+    });
+}
+
+fn f1_hierarchy(c: &mut Criterion) {
+    c.bench_function("f1_hierarchy", |b| {
+        b.iter(|| bench::exhibits::f1::compute(black_box(1)))
+    });
+}
+
+criterion_group!(
+    name = exhibits;
+    config = Criterion::default().sample_size(10);
+    targets = e1_lifetime_gap,
+        e2_recovery_labor,
+        e3_theseus,
+        e4_today,
+        e5_backhaul_econ,
+        e6_tipping,
+        e7_helium_asn,
+        e8_credits,
+        e9_fifty_year,
+        e10_bom_ablation,
+        e11_sunset,
+        e12_energy_neutral,
+        f1_hierarchy
+);
+criterion_main!(exhibits);

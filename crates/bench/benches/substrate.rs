@@ -1,0 +1,197 @@
+//! Substrate kernel benchmarks: the hot paths under every exhibit.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fleet::sim::{FleetConfig, FleetSim};
+use net::coverage::{resolve, RadioParams};
+use net::link::ReceptionModel;
+use net::lora::{LoraConfig, SpreadingFactor};
+use net::pathloss::LogDistance;
+use net::topology::ManhattanCity;
+use net::units::Dbm;
+use reliability::system::bom;
+use simcore::dist::Weibull;
+use simcore::engine::{Ctx, Engine, World};
+use simcore::rng::Rng;
+use simcore::survival::{KaplanMeier, Observation};
+use simcore::time::{SimDuration, SimTime};
+
+fn rng_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("next_u64_x1000", |b| {
+        let mut rng = Rng::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("weibull_sample_x1000", |b| {
+        let mut rng = Rng::seed_from(2);
+        let w = Weibull::new(3.0, 15.0).expect("valid");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += w.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+struct Ticker {
+    left: u64,
+}
+
+impl World for Ticker {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.schedule_in(SimDuration::from_secs(10), ());
+        }
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("events_x100k", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(Ticker { left: 100_000 });
+            e.schedule_at(SimTime::ZERO, ());
+            e.run_until(SimTime::MAX);
+            black_box(e.events_processed())
+        })
+    });
+    g.finish();
+}
+
+fn lora_airtime(c: &mut Criterion) {
+    c.bench_function("lora_airtime_all_sf", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for sf in SpreadingFactor::ALL {
+                acc += LoraConfig::uplink(sf).airtime_s(black_box(24));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn coverage_resolve(c: &mut Criterion) {
+    let city = ManhattanCity::new(10, 10);
+    let devices: Vec<net::topology::Point> =
+        city.assets().iter().map(|a| a.at).collect();
+    let gateways = city.gateway_grid(250.0);
+    let params = RadioParams {
+        tx: Dbm(12.0),
+        rx_model: ReceptionModel::at_sensitivity(net::ieee802154::SENSITIVITY),
+        pathloss: LogDistance::urban_2450(),
+        usable_margin_db: 3.0,
+    };
+    c.bench_function("coverage_resolve_city", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(3);
+            black_box(resolve(&devices, &gateways, &params, &mut rng))
+        })
+    });
+}
+
+fn kaplan_meier_fit(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(4);
+    let w = Weibull::new(2.0, 10.0).expect("valid");
+    let obs: Vec<Observation> = (0..10_000)
+        .map(|i| {
+            let t = w.sample(&mut rng);
+            if i % 3 == 0 {
+                Observation::censored(t * 0.8)
+            } else {
+                Observation::failed(t)
+            }
+        })
+        .collect();
+    c.bench_function("kaplan_meier_10k", |b| {
+        b.iter(|| black_box(KaplanMeier::fit(&obs)))
+    });
+}
+
+fn device_bom_sampling(c: &mut Criterion) {
+    let env = bom::Environment::default();
+    let node = bom::harvesting_node(&env);
+    let mut rng = Rng::seed_from(5);
+    let mut g = c.benchmark_group("reliability");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("harvesting_bom_ttf_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += node.sample_ttf(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn mesh_and_placement(c: &mut Criterion) {
+    let city = ManhattanCity::new(8, 8);
+    let devices: Vec<net::topology::Point> = city
+        .assets()
+        .iter()
+        .filter(|a| a.kind == net::topology::AssetKind::Streetlight)
+        .map(|a| a.at)
+        .collect();
+    let gateways = city.gateway_grid(300.0);
+    let params = RadioParams {
+        tx: Dbm(12.0),
+        rx_model: ReceptionModel::at_sensitivity(net::ieee802154::SENSITIVITY),
+        pathloss: LogDistance::urban_2450(),
+        usable_margin_db: 3.0,
+    };
+    c.bench_function("mesh_resolve_3hop", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(6);
+            black_box(net::mesh::resolve_mesh(&devices, &gateways, &params, 3, &mut rng))
+        })
+    });
+    let candidates: Vec<net::topology::Point> = city
+        .assets()
+        .iter()
+        .filter(|a| a.kind == net::topology::AssetKind::Intersection)
+        .map(|a| a.at)
+        .collect();
+    c.bench_function("greedy_placement_90pct", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from(7);
+            black_box(net::placement::greedy_placement(
+                &devices, &candidates, &params, 0.9, &mut rng,
+            ))
+        })
+    });
+}
+
+fn fleet_fifty_years(c: &mut Criterion) {
+    c.bench_function("fleet_sim_50y_both_arms", |b| {
+        b.iter(|| black_box(FleetSim::run(FleetConfig::paper_experiment(black_box(9)))))
+    });
+}
+
+criterion_group!(
+    name = substrate;
+    config = Criterion::default().sample_size(10);
+    targets = rng_throughput,
+        engine_throughput,
+        lora_airtime,
+        coverage_resolve,
+        kaplan_meier_fit,
+        device_bom_sampling,
+        mesh_and_placement,
+        fleet_fifty_years
+);
+criterion_main!(substrate);

@@ -1,0 +1,123 @@
+//! A1 — gateway service posture: transmit-only vs bidirectional (§4.4).
+//!
+//! The paper firewalls its gateways into unidirectional forwarders to
+//! "limit the security risk of not attending to updates", accepting that
+//! this "limits the utility of our deployed infrastructure". The ablation
+//! prices both sides: 50 years of software upkeep per posture, and the
+//! orphaning consequences when a gateway dies without a handoff (keyed
+//! sessions are lost; connectionless devices just re-home).
+
+use century::report::{f, n, Table};
+use fleet::commissioning::{Registry, Session};
+use fleet::gateway::GatewayMode;
+
+/// Computed results.
+pub struct A1 {
+    /// 50-year upkeep hours per gateway, unidirectional.
+    pub upkeep_uni_h: f64,
+    /// 50-year upkeep hours per gateway, bidirectional.
+    pub upkeep_bi_h: f64,
+    /// Devices orphaned by a disorderly failure with connectionless
+    /// sessions.
+    pub orphans_forwarding: usize,
+    /// Devices orphaned by a disorderly failure with keyed sessions.
+    pub orphans_keyed: usize,
+    /// Devices that survive an *orderly* migration in either posture.
+    pub migrated: usize,
+}
+
+/// Runs the ablation for a 100-device gateway.
+pub fn compute() -> A1 {
+    let devices = 100u32;
+    let upkeep_uni_h = GatewayMode::UnidirectionalFirewalled.yearly_upkeep_hours() * 50.0;
+    let upkeep_bi_h = GatewayMode::Bidirectional.yearly_upkeep_hours() * 50.0;
+
+    // Disorderly failure, connectionless posture.
+    let mut fwd = Registry::new();
+    fwd.add_factory(0);
+    fwd.commission(0).expect("commission");
+    for d in 0..devices {
+        fwd.attach(0, d, Session::Forwarding).expect("attach");
+    }
+    let orphans_forwarding = fwd.fail_without_handoff(0).expect("fail");
+
+    // Disorderly failure, keyed posture.
+    let mut keyed = Registry::new();
+    keyed.add_factory(0);
+    keyed.commission(0).expect("commission");
+    for d in 0..devices {
+        keyed.attach(0, d, Session::Keyed { epoch: 0 }).expect("attach");
+    }
+    let orphans_keyed = keyed.fail_without_handoff(0).expect("fail");
+
+    // Orderly migration preserves everything in either posture.
+    let mut orderly = Registry::new();
+    orderly.add_factory(0);
+    orderly.commission(0).expect("commission");
+    for d in 0..devices {
+        orderly.attach(0, d, Session::Keyed { epoch: 0 }).expect("attach");
+    }
+    orderly.add_factory(1);
+    orderly.begin_migration(0, 1).expect("begin");
+    let migrated = orderly.complete_migration(0).expect("complete");
+
+    A1 { upkeep_uni_h, upkeep_bi_h, orphans_forwarding, orphans_keyed, migrated }
+}
+
+/// Renders the ablation.
+pub fn render(_seed: u64) -> String {
+    let a = compute();
+    let mut t = Table::new(
+        "A1 - Gateway posture ablation: transmit-only/firewalled vs bidirectional (100 devices)",
+        &["quantity", "unidirectional", "bidirectional"],
+    );
+    t.row(&[
+        "software upkeep over 50 y (h/gateway)".into(),
+        f(a.upkeep_uni_h, 0),
+        f(a.upkeep_bi_h, 0),
+    ]);
+    t.row(&[
+        "devices orphaned by disorderly gateway death".into(),
+        n(a.orphans_forwarding as u64),
+        n(a.orphans_keyed as u64),
+    ]);
+    t.row(&[
+        "devices preserved by orderly (TTP) migration".into(),
+        n(a.migrated as u64),
+        n(a.migrated as u64),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firewalled_posture_slashes_upkeep() {
+        let a = compute();
+        assert!(a.upkeep_bi_h > a.upkeep_uni_h * 10.0);
+        assert!((a.upkeep_uni_h - 25.0).abs() < 1e-9);
+        assert!((a.upkeep_bi_h - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connectionless_devices_survive_disorder() {
+        let a = compute();
+        assert_eq!(a.orphans_forwarding, 0);
+        assert_eq!(a.orphans_keyed, 100);
+    }
+
+    #[test]
+    fn orderly_migration_saves_everyone() {
+        let a = compute();
+        assert_eq!(a.migrated, 100);
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(0);
+        assert!(s.contains("A1"));
+        assert!(s.contains("unidirectional"));
+    }
+}

@@ -1,0 +1,93 @@
+//! A3 — checkpoint-interval ablation for intermittent execution.
+//!
+//! Batteryless devices compute through power failures by checkpointing.
+//! Checkpoint too often and the overhead eats the harvested budget; too
+//! rarely and every failure replays a long tail of lost work. The ablation
+//! sweeps the interval and exposes the classic U-curve, plus where its
+//! minimum sits relative to the power-on window.
+
+use century::report::{f, Table};
+use energy::intermittent::{mean_run, sweep_checkpoint_interval, IntermittentTask};
+use simcore::rng::Rng;
+
+/// The task used throughout: 10 s of work, 1 s mean power-on windows,
+/// 10 ms checkpoints, turbulent harvest.
+pub fn task() -> IntermittentTask {
+    IntermittentTask {
+        work_s: 10.0,
+        on_time_s: 1.0,
+        checkpoint_s: 0.01,
+        checkpoint_interval_s: 0.25,
+        jitter: true,
+    }
+}
+
+/// Computed results.
+pub struct A3 {
+    /// `(interval_s, mean_total_on_time_s)` sweep.
+    pub sweep: Vec<(f64, f64)>,
+    /// Interval with the lowest total on-time.
+    pub best_interval_s: f64,
+    /// Efficiency (useful/total) at the best interval.
+    pub best_efficiency: f64,
+}
+
+/// Runs the sweep.
+pub fn compute(seed: u64, n_per_point: usize) -> A3 {
+    let base = task();
+    let intervals = [0.02, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4];
+    let mut rng = Rng::seed_from(seed);
+    let sweep = sweep_checkpoint_interval(&base, &intervals, &mut rng, n_per_point);
+    let &(best_interval_s, _) = sweep
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty sweep");
+    let best_task = IntermittentTask { checkpoint_interval_s: best_interval_s, ..base };
+    let mut rng2 = Rng::seed_from(seed + 1);
+    let run = mean_run(&best_task, &mut rng2, n_per_point);
+    A3 { sweep, best_interval_s, best_efficiency: run.efficiency(base.work_s) }
+}
+
+/// Renders the ablation.
+pub fn render(seed: u64) -> String {
+    let a = compute(seed, 600);
+    let mut t = Table::new(
+        "A3 - Checkpoint-interval ablation (10 s task, 1 s mean power windows, 10 ms checkpoints)",
+        &["interval (s)", "mean on-time to finish (s)"],
+    );
+    for (iv, total) in &a.sweep {
+        t.row(&[f(*iv, 2), f(*total, 2)]);
+    }
+    let mut s = Table::new("A3b - Optimum", &["quantity", "value"]);
+    s.row(&["best checkpoint interval".into(), format!("{} s", f(a.best_interval_s, 2))]);
+    s.row(&["efficiency at optimum".into(), f(a.best_efficiency, 3)]);
+    format!("{}\n{}", t.render(), s.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_curve_has_interior_minimum() {
+        let a = compute(1, 800);
+        let first = a.sweep.first().expect("rows").1;
+        let last = a.sweep.last().expect("rows").1;
+        let min = a.sweep.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+        assert!(min < first, "tiny intervals overpay checkpoints");
+        assert!(min < last, "huge intervals lose work");
+        assert!(a.best_interval_s > 0.02 && a.best_interval_s < 6.4);
+    }
+
+    #[test]
+    fn efficiency_below_one_above_half() {
+        let a = compute(2, 800);
+        assert!(a.best_efficiency > 0.5 && a.best_efficiency < 1.0, "{}", a.best_efficiency);
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(3);
+        assert!(s.contains("A3") && s.contains("interval"));
+    }
+}

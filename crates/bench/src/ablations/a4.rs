@@ -1,0 +1,124 @@
+//! A4 — device-replacement policy ablation for the 50-year experiment.
+//!
+//! The paper's policy is "untouched, but documented and replaced on
+//! failure". The ablation sweeps the replacement turnaround — prompt
+//! (2 weeks), sluggish (6 months), annual batch (1 year), and never — and
+//! measures what each does to the weekly-uptime metric and the data yield.
+
+use century::report::{f, n, pct, Table};
+use fleet::sim::{FleetConfig, FleetSim};
+use simcore::time::SimDuration;
+
+/// One policy's outcome (averaged over seeds, owned arm).
+pub struct PolicyRow {
+    /// Policy label.
+    pub label: &'static str,
+    /// Mean weekly uptime.
+    pub uptime: f64,
+    /// Mean data yield.
+    pub data_yield: f64,
+    /// Mean replacements per run.
+    pub replacements: f64,
+}
+
+/// Runs the sweep over `seeds` seeds per policy.
+pub fn compute(base_seed: u64, seeds: u64) -> Vec<PolicyRow> {
+    let policies: [(&'static str, Option<SimDuration>); 4] = [
+        ("2-week turnaround", Some(SimDuration::from_weeks(2))),
+        ("6-month turnaround", Some(SimDuration::from_weeks(26))),
+        ("annual batch", Some(SimDuration::from_years(1))),
+        ("never replaced", None),
+    ];
+    policies
+        .into_iter()
+        .map(|(label, policy)| {
+            let mut uptime = 0.0;
+            let mut data_yield = 0.0;
+            let mut replacements = 0.0;
+            for s in 0..seeds {
+                // Same seeds across policies: common random numbers.
+                let mut cfg = FleetConfig::paper_experiment(base_seed + s);
+                for arm in &mut cfg.arms {
+                    arm.replace_devices = policy;
+                }
+                let report = FleetSim::run(cfg);
+                let owned = &report.arms[0];
+                uptime += owned.uptime();
+                data_yield += owned.data_yield();
+                replacements += owned.device_replacements as f64;
+            }
+            let k = seeds as f64;
+            PolicyRow {
+                label,
+                uptime: uptime / k,
+                data_yield: data_yield / k,
+                replacements: replacements / k,
+            }
+        })
+        .collect()
+}
+
+/// Renders the ablation.
+pub fn render(seed: u64) -> String {
+    let rows = compute(seed, 5);
+    let mut t = Table::new(
+        "A4 - Replacement-policy ablation (owned arm, 5 seeds each, common random numbers)",
+        &["policy", "weekly uptime", "data yield", "replacements/run"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.label.to_string(),
+            pct(r.uptime),
+            pct(r.data_yield),
+            n(r.replacements.round() as u64),
+        ]);
+    }
+    let dead = rows.last().expect("rows");
+    let prompt = rows.first().expect("rows");
+    let mut s = Table::new("A4b - Spread", &["quantity", "value"]);
+    s.row(&[
+        "yield lost by never replacing".into(),
+        format!("{} points", f((prompt.data_yield - dead.data_yield) * 100.0, 1)),
+    ]);
+    format!("{}\n{}", t.render(), s.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slower_replacement_never_helps() {
+        let rows = compute(100, 3);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].data_yield <= w[0].data_yield + 0.01,
+                "{} ({}) should not beat {} ({})",
+                w[1].label,
+                w[1].data_yield,
+                w[0].label,
+                w[0].data_yield
+            );
+        }
+    }
+
+    #[test]
+    fn never_replacing_collapses_yield() {
+        let rows = compute(200, 3);
+        let prompt = &rows[0];
+        let dead = &rows[3];
+        assert_eq!(dead.replacements, 0.0);
+        assert!(
+            dead.data_yield < prompt.data_yield - 0.2,
+            "dead {} prompt {}",
+            dead.data_yield,
+            prompt.data_yield
+        );
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(300);
+        assert!(s.contains("A4") && s.contains("never replaced"));
+    }
+}

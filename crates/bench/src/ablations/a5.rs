@@ -1,0 +1,120 @@
+//! A5 — energy-scheduler ablation: fixed vs state-of-charge-adaptive.
+//!
+//! A transmit-only sensor can either report on a fixed clock or modulate
+//! its cadence with the buffer's state of charge. The ablation runs both
+//! policies on identical weather (common random numbers) across buffer
+//! sizes and reports delivery success and total data.
+
+use century::report::{f, pct, Table};
+use energy::harvester::SolarPanel;
+use energy::load::LoadProfile;
+use energy::scheduler::{run_schedule, FixedRate, ScheduleReport, Scheduler, SocAdaptive};
+use energy::storage::Supercap;
+use simcore::rng::Rng;
+use simcore::time::SimDuration;
+
+/// One row: buffer size vs both policies.
+pub struct A5Row {
+    /// Buffer capacity in joules.
+    pub capacity_j: f64,
+    /// Fixed-rate outcome.
+    pub fixed: ScheduleReport,
+    /// Adaptive outcome.
+    pub adaptive: ScheduleReport,
+}
+
+fn heavy_load() -> LoadProfile {
+    // SF12-class reports: each one costs real energy.
+    LoadProfile::transmit_only(SimDuration::from_hours(1), 1.48, 0.125)
+}
+
+fn run_policy(sched: &mut dyn Scheduler, capacity_j: f64, years: u64, seed: u64) -> ScheduleReport {
+    let mut h = SolarPanel::small_outdoor();
+    let mut s = Supercap::new(capacity_j).precharged(0.5);
+    let mut rng = Rng::seed_from(seed);
+    run_schedule(&mut h, &mut s, sched, &heavy_load(), SimDuration::from_years(years), &mut rng)
+}
+
+/// Runs the sweep.
+pub fn compute(seed: u64, years: u64) -> Vec<A5Row> {
+    [0.5f64, 1.0, 3.0, 10.0, 100.0]
+        .into_iter()
+        .map(|capacity_j| {
+            let mut fixed = FixedRate { per_hour: 1 };
+            let mut adaptive = SocAdaptive::default_hourly();
+            A5Row {
+                capacity_j,
+                fixed: run_policy(&mut fixed, capacity_j, years, seed),
+                adaptive: run_policy(&mut adaptive, capacity_j, years, seed),
+            }
+        })
+        .collect()
+}
+
+/// Renders the ablation.
+pub fn render(seed: u64) -> String {
+    let rows = compute(seed, 3);
+    let mut t = Table::new(
+        "A5 - Scheduler ablation: fixed 1/h vs SoC-adaptive (solar, SF12-class reports, 3 y)",
+        &[
+            "buffer (J)",
+            "fixed: success",
+            "fixed: reports/day",
+            "adaptive: success",
+            "adaptive: reports/day",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            f(r.capacity_j, 1),
+            pct(r.fixed.success_rate()),
+            f(r.fixed.reports_per_day(), 1),
+            pct(r.adaptive.success_rate()),
+            f(r.adaptive.reports_per_day(), 1),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_success_dominates_on_small_buffers() {
+        let rows = compute(1, 2);
+        let tight = &rows[0];
+        assert!(
+            tight.adaptive.success_rate() >= tight.fixed.success_rate(),
+            "adaptive {} fixed {}",
+            tight.adaptive.success_rate(),
+            tight.fixed.success_rate()
+        );
+    }
+
+    #[test]
+    fn adaptive_data_dominates_on_large_buffers() {
+        let rows = compute(2, 2);
+        let roomy = rows.last().expect("rows");
+        assert!(
+            roomy.adaptive.reports_per_day() > roomy.fixed.reports_per_day(),
+            "adaptive {} fixed {}",
+            roomy.adaptive.reports_per_day(),
+            roomy.fixed.reports_per_day()
+        );
+    }
+
+    #[test]
+    fn bigger_buffers_help_fixed_policy() {
+        let rows = compute(3, 2);
+        let first = rows.first().expect("rows").fixed.success_rate();
+        let last = rows.last().expect("rows").fixed.success_rate();
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(4);
+        assert!(s.contains("A5") && s.contains("adaptive"));
+    }
+}

@@ -1,0 +1,137 @@
+//! A7 — mesh relaying vs gateway density.
+//!
+//! Coverage can be bought with more gateways (capex + backhaul drops) or
+//! with device relaying (energy + complexity). The ablation sweeps gateway
+//! grid pitch × hop budget on one city and prices both sides: coverage
+//! fraction, per-device TX multiplier (the relay energy tax), and the
+//! gateway count each pitch implies.
+
+use century::report::{f, n, pct, Table};
+use net::coverage::RadioParams;
+use net::ieee802154;
+use net::link::ReceptionModel;
+use net::mesh::resolve_mesh;
+use net::pathloss::LogDistance;
+use net::topology::{AssetKind, ManhattanCity};
+use net::units::Dbm;
+use simcore::rng::Rng;
+
+/// One sweep row.
+pub struct A7Row {
+    /// Gateway grid pitch (m).
+    pub pitch_m: f64,
+    /// Gateways that pitch implies.
+    pub gateways: usize,
+    /// Hop budget.
+    pub max_hops: u8,
+    /// Covered fraction.
+    pub covered: f64,
+    /// Mean TX multiplier (relay tax).
+    pub tx_multiplier: f64,
+    /// Heaviest relay load on any device.
+    pub max_relay_load: u32,
+}
+
+fn params() -> RadioParams {
+    RadioParams {
+        tx: Dbm(12.0),
+        rx_model: ReceptionModel::at_sensitivity(ieee802154::SENSITIVITY),
+        pathloss: LogDistance::urban_2450(),
+        usable_margin_db: 3.0,
+    }
+}
+
+/// Runs the sweep on a 1 km² district with sensors on streetlights.
+pub fn compute(seed: u64) -> Vec<A7Row> {
+    let city = ManhattanCity::new(10, 10);
+    let devices: Vec<net::topology::Point> = city
+        .assets()
+        .into_iter()
+        .filter(|a| a.kind == AssetKind::Streetlight)
+        .map(|a| a.at)
+        .collect();
+    let mut out = Vec::new();
+    for pitch in [200.0f64, 350.0, 600.0] {
+        let gateways = city.gateway_grid(pitch);
+        for hops in [1u8, 3] {
+            let mut rng = Rng::seed_from(seed);
+            let mesh = resolve_mesh(&devices, &gateways, &params(), hops, &mut rng);
+            out.push(A7Row {
+                pitch_m: pitch,
+                gateways: gateways.len(),
+                max_hops: hops,
+                covered: mesh.covered_fraction(),
+                tx_multiplier: mesh.mean_tx_multiplier(),
+                max_relay_load: mesh.max_relay_load(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the ablation.
+pub fn render(seed: u64) -> String {
+    let rows = compute(seed);
+    let mut t = Table::new(
+        "A7 - Mesh relaying vs gateway density (1 km2, 440 streetlight sensors, 2.4 GHz)",
+        &["gateway pitch (m)", "gateways", "hops", "coverage", "mean TX multiplier", "max relay load"],
+    );
+    for r in &rows {
+        t.row(&[
+            f(r.pitch_m, 0),
+            n(r.gateways as u64),
+            f(r.max_hops as f64, 0),
+            pct(r.covered),
+            f(r.tx_multiplier, 2),
+            n(r.max_relay_load as u64),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_substitute_for_gateways() {
+        let rows = compute(1);
+        // At the sparse 600 m pitch, 3 hops must beat 1 hop on coverage.
+        let sparse_1 = rows.iter().find(|r| r.pitch_m == 600.0 && r.max_hops == 1).unwrap();
+        let sparse_3 = rows.iter().find(|r| r.pitch_m == 600.0 && r.max_hops == 3).unwrap();
+        assert!(
+            sparse_3.covered > sparse_1.covered + 0.1,
+            "3 hops {} vs 1 hop {}",
+            sparse_3.covered,
+            sparse_1.covered
+        );
+    }
+
+    #[test]
+    fn relay_tax_grows_where_gateways_are_sparse() {
+        let rows = compute(2);
+        let dense_3 = rows.iter().find(|r| r.pitch_m == 200.0 && r.max_hops == 3).unwrap();
+        let sparse_3 = rows.iter().find(|r| r.pitch_m == 600.0 && r.max_hops == 3).unwrap();
+        assert!(
+            sparse_3.tx_multiplier > dense_3.tx_multiplier,
+            "sparse {} dense {}",
+            sparse_3.tx_multiplier,
+            dense_3.tx_multiplier
+        );
+    }
+
+    #[test]
+    fn single_hop_has_no_relay_tax() {
+        let rows = compute(3);
+        for r in rows.iter().filter(|r| r.max_hops == 1) {
+            assert!((r.tx_multiplier - 1.0).abs() < 1e-9 || r.covered == 0.0);
+            assert_eq!(r.max_relay_load, 0);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let s = render(4);
+        assert!(s.contains("A7") && s.contains("relay"));
+    }
+}

@@ -1,0 +1,28 @@
+//! The ablation suite: executable versions of DESIGN.md §4's design-choice
+//! ablations, in the same shape as the exhibits.
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod a4;
+pub mod a5;
+pub mod a6;
+pub mod a7;
+
+/// Ablation ids in presentation order.
+pub const ALL: [&str; 7] = ["a1", "a2", "a3", "a4", "a5", "a6", "a7"];
+
+/// Renders one ablation by id. Returns `None` for unknown ids.
+pub fn render(id: &str, seed: u64) -> Option<String> {
+    let out = match id {
+        "a1" => a1::render(seed),
+        "a2" => a2::render(seed),
+        "a3" => a3::render(seed),
+        "a4" => a4::render(seed),
+        "a5" => a5::render(seed),
+        "a6" => a6::render(seed),
+        "a7" => a7::render(seed),
+        _ => return None,
+    };
+    Some(out)
+}

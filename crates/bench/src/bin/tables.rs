@@ -1,0 +1,93 @@
+//! Regenerates the paper's exhibits as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables                 # all exhibits and ablations, default seed
+//! tables --exhibit e7    # one exhibit
+//! tables --seed 123      # override the seed
+//! tables --csv out/      # also write figure-data CSVs to out/
+//! ```
+
+use bench::exhibits;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2021u64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--exhibit" => {
+                i += 1;
+                let id = args.get(i).unwrap_or_else(|| die("--exhibit needs an id"));
+                wanted.push(id.to_lowercase());
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(
+                    args.get(i).unwrap_or_else(|| die("--csv needs a directory")).clone(),
+                );
+            }
+            "--list" => {
+                for id in exhibits::ALL {
+                    println!("{id}");
+                }
+                for id in bench::ablations::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    let ids: Vec<&str> = if wanted.is_empty() {
+        exhibits::ALL
+            .iter()
+            .chain(bench::ablations::ALL.iter())
+            .copied()
+            .collect()
+    } else {
+        wanted.iter().map(String::as_str).collect()
+    };
+    println!("century exhibits (seed {seed})");
+    println!("====================================================");
+    for id in ids {
+        match exhibits::render(id, seed).or_else(|| bench::ablations::render(id, seed)) {
+            Some(text) => println!("{text}"),
+            None => die(&format!("unknown exhibit: {id} (try --list)")),
+        }
+    }
+    if let Some(dir) = csv_dir {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("cannot create {}: {e}", dir.display()));
+        }
+        for fig in bench::figures::all(seed) {
+            let path = dir.join(format!("{}.csv", fig.name));
+            if let Err(e) = std::fs::write(&path, &fig.csv) {
+                die(&format!("cannot write {}: {e}", path.display()));
+            }
+            println!("wrote {}", path.display());
+        }
+        let idx = dir.join("index.csv");
+        if let Err(e) = std::fs::write(&idx, bench::figures::exhibit_tables_csv(seed)) {
+            die(&format!("cannot write {}: {e}", idx.display()));
+        }
+        println!("wrote {}", idx.display());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

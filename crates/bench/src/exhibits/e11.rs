@@ -1,0 +1,129 @@
+//! E11 — spectrum-sunset stranding (§3.3.2, §3.4).
+//!
+//! Paper claim: when a cellular generation sunsets, "device owners have no
+//! option: a fixed resource (spectrum) that they do not own or control is
+//! taken away, and devices must be replaced." Wires keep their trench. We
+//! run a gateway fleet attached per-generation through the sunset
+//! schedule and count forced migrations, against a fiber fleet that sees
+//! none.
+
+use backhaul::sunset::{migrate_forward, stranding_events, SunsetSchedule};
+use backhaul::tech::CellularGen;
+use century::report::{f, n, Table};
+use econ::money::Usd;
+
+/// Computed results.
+pub struct E11 {
+    /// Stranding events for the cellular fleet: `(year, generation, count)`.
+    pub events: Vec<(f64, CellularGen, u64)>,
+    /// Forced migrations per gateway over 50 years starting on 4G.
+    pub migrations_from_4g: usize,
+    /// Whether the final hop leaves gateways permanently stranded.
+    pub eventually_stranded: bool,
+    /// Total forced-migration cost for the fleet.
+    pub migration_cost: Usd,
+    /// Fiber fleet stranding events (always zero).
+    pub fiber_events: usize,
+}
+
+/// Fleet shape: gateways per generation at deployment time.
+pub fn fleet(gen: CellularGen) -> u64 {
+    match gen {
+        CellularGen::G2 => 40,
+        CellularGen::G3 => 160,
+        CellularGen::G4 => 700,
+        CellularGen::G5 => 100,
+    }
+}
+
+/// Runs the stranding analysis.
+pub fn compute() -> E11 {
+    let schedule = SunsetSchedule::default();
+    let horizon = 50.0;
+    let events: Vec<(f64, CellularGen, u64)> = stranding_events(&schedule, fleet, horizon)
+        .into_iter()
+        .map(|e| (e.at.as_years_f64(), e.generation, e.stranded))
+        .collect();
+    let hops = migrate_forward(&schedule, CellularGen::G4, horizon);
+    let eventually_stranded = hops.last().is_some_and(|&(_, next)| next.is_none());
+    // $300 per forced gateway migration (hardware modem + visit).
+    let total_stranded: u64 = events.iter().map(|&(_, _, c)| c).sum();
+    E11 {
+        events,
+        migrations_from_4g: hops.len(),
+        eventually_stranded,
+        migration_cost: Usd::from_dollars(300) * total_stranded as i64,
+        fiber_events: 0,
+    }
+}
+
+/// Renders the exhibit.
+pub fn render(_seed: u64) -> String {
+    let e = compute();
+    let mut t = Table::new(
+        "E11 - Spectrum sunsets strand cellular-attached gateways (50-y horizon)",
+        &["sunset year", "generation", "gateways stranded"],
+    );
+    for (year, generation, count) in &e.events {
+        t.row(&[f(*year, 0), format!("{generation:?}"), n(*count)]);
+    }
+    let mut s = Table::new("E11b - Policy comparison", &["quantity", "value"]);
+    s.row(&[
+        "forced migrations for a 4G-attached gateway".into(),
+        n(e.migrations_from_4g as u64),
+    ]);
+    s.row(&[
+        "permanently stranded after final sunset".into(),
+        if e.eventually_stranded { "yes (no newer generation modeled)" } else { "no" }.into(),
+    ]);
+    s.row(&[
+        "fleet forced-migration cost".into(),
+        e.migration_cost.to_string(),
+    ]);
+    s.row(&[
+        "fiber-attached fleet stranding events".into(),
+        n(e.fiber_events as u64),
+    ]);
+    format!("{}\n{}", t.render(), s.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_generations_sunset_within_horizon() {
+        let e = compute();
+        assert_eq!(e.events.len(), 4);
+        let years: Vec<f64> = e.events.iter().map(|&(y, _, _)| y).collect();
+        assert!(years.windows(2).all(|w| w[0] <= w[1]));
+        assert!(years[0] >= 1.0 && years[3] <= 35.0);
+    }
+
+    #[test]
+    fn four_g_fleet_migrates_then_strands() {
+        let e = compute();
+        assert_eq!(e.migrations_from_4g, 2); // 4G->5G, then 5G sunset.
+        assert!(e.eventually_stranded);
+    }
+
+    #[test]
+    fn stranded_counts_match_fleet() {
+        let e = compute();
+        let total: u64 = e.events.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 40 + 160 + 700 + 100);
+        assert_eq!(e.migration_cost, Usd::from_dollars(300_000));
+    }
+
+    #[test]
+    fn fiber_never_strands() {
+        assert_eq!(compute().fiber_events, 0);
+    }
+
+    #[test]
+    fn render_lists_generations() {
+        let s = render(0);
+        assert!(s.contains("G2") && s.contains("G5"));
+        assert!(s.contains("fiber"));
+    }
+}

@@ -1,0 +1,123 @@
+//! E2 — Los Angeles recovery labor (§1 ¶4).
+//!
+//! Paper claim: 320,000 utility poles + 61,315 intersections + 210,000
+//! streetlights, "at a very generous 20 minute total replacement
+//! (including travel) time per device, recovering the deployment would
+//! require nearly 200,000 person-hours of labor alone."
+
+use century::presets::{CityCensus, CostPreset};
+use century::report::{f, n, Table};
+use econ::labor::{recovery_effort_paper, PersonHours};
+use fleet::maintenance::{batched_effort, reactive_effort, ServiceTimes};
+use simcore::rng::Rng;
+
+/// Computed results.
+pub struct E2 {
+    /// Total mounts in the census.
+    pub mounts: u64,
+    /// The paper's nominal estimate (20 min/device), person-hours.
+    pub nominal_hours: f64,
+    /// Stochastic reactive estimate (travel + lognormal service).
+    pub reactive_hours: f64,
+    /// Geographic-batch estimate (25-device batches).
+    pub batched_hours: f64,
+}
+
+/// Runs the experiment on the LA census.
+pub fn compute(seed: u64) -> E2 {
+    let city = CityCensus::los_angeles();
+    let mounts = city.total_mounts();
+    let nominal = recovery_effort_paper(mounts);
+    let times = ServiceTimes::paper_nominal();
+    let base = Rng::seed_from(seed);
+    // Sample a 1% tranche and scale: full-city sampling is unnecessary for
+    // a mean estimate and keeps the exhibit fast.
+    let tranche = mounts / 100;
+    let mut r1 = base.split("reactive", 0);
+    let mut r2 = base.split("batched", 0);
+    let reactive = reactive_effort(&times, tranche, &mut r1).hours() * 100.0;
+    let batched = batched_effort(&times, tranche, 25, &mut r2).hours() * 100.0;
+    E2 {
+        mounts,
+        nominal_hours: nominal.hours(),
+        reactive_hours: reactive,
+        batched_hours: batched,
+    }
+}
+
+/// Renders the exhibit.
+pub fn render(seed: u64) -> String {
+    let e = compute(seed);
+    let city = CityCensus::los_angeles();
+    let costs = CostPreset::default();
+    let mut t = Table::new(
+        "E2 - LA-scale recovery labor (paper: ~197,000 person-hours at 20 min/device)",
+        &["quantity", "value"],
+    );
+    t.row(&["utility poles".into(), n(city.utility_poles)]);
+    t.row(&["intersections".into(), n(city.intersections)]);
+    t.row(&["streetlights".into(), n(city.streetlights)]);
+    t.row(&["total mounts".into(), n(e.mounts)]);
+    t.row(&[
+        "nominal effort (20 min/device)".into(),
+        format!("{} person-hours", n(e.nominal_hours as u64)),
+    ]);
+    t.row(&[
+        "stochastic reactive estimate".into(),
+        format!("{} person-hours", n(e.reactive_hours as u64)),
+    ]);
+    t.row(&[
+        "geographic batches of 25".into(),
+        format!("{} person-hours", n(e.batched_hours as u64)),
+    ]);
+    t.row(&[
+        "labor cost at $85/h (nominal)".into(),
+        PersonHours::from_hours(e.nominal_hours).cost(costs.labor_hourly).to_string(),
+    ]);
+    let mut crews = Table::new(
+        "E2b - Calendar time to recover (nominal effort, 8 h days)",
+        &["crew size", "working days", "years"],
+    );
+    for workers in [10u32, 50, 200, 1_000] {
+        let cal = PersonHours::from_hours(e.nominal_hours).calendar_time(workers, 8.0);
+        crews.row(&[
+            n(workers as u64),
+            f(cal.as_days_f64(), 0),
+            f(cal.as_years_f64(), 2),
+        ]);
+    }
+    format!("{}\n{}", t.render(), crews.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_paper_headline() {
+        let e = compute(1);
+        assert_eq!(e.mounts, 591_315);
+        assert!((e.nominal_hours - 197_105.0).abs() < 1.0, "{}", e.nominal_hours);
+    }
+
+    #[test]
+    fn stochastic_estimate_close_to_nominal() {
+        let e = compute(2);
+        let rel = (e.reactive_hours - e.nominal_hours).abs() / e.nominal_hours;
+        assert!(rel < 0.05, "reactive {} nominal {}", e.reactive_hours, e.nominal_hours);
+    }
+
+    #[test]
+    fn batching_saves_roughly_half() {
+        let e = compute(3);
+        let ratio = e.reactive_hours / e.batched_hours;
+        assert!(ratio > 1.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let s = render(4);
+        assert!(s.contains("591,315"));
+        assert!(s.contains("197,"));
+    }
+}

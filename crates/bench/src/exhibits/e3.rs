@@ -1,0 +1,176 @@
+//! E3 — Ship-of-Theseus cohort pipelining (§1 ¶6, §3.4).
+//!
+//! The paper: municipal systems outlive every constituent device because
+//! deployments are pipelined in geographic batches. We compare en-masse
+//! rollout against staggered cohorts for sharp-wear-out 15-year devices
+//! over a 60-year horizon: both keep the *system* alive indefinitely, but
+//! staggering flattens replacement-labor peaks dramatically.
+
+use century::report::{f, n, Table};
+use fleet::pipeline::{fleet_age_at_horizon, run, PipelineConfig, PipelineRun, Rollout};
+use fleet::workforce::{min_capacity_for_backlog, run_backlog, Workforce};
+use reliability::hazard::WeibullHazard;
+use simcore::rng::Rng;
+
+/// Computed results.
+pub struct E3 {
+    /// En-masse rollout results.
+    pub en_masse: PipelineRun,
+    /// Staggered rollout results.
+    pub staggered: PipelineRun,
+    /// Mean and P90 fleet age at horizon (staggered).
+    pub fleet_age: (f64, f64),
+    /// Device MTTF used.
+    pub device_mttf: f64,
+}
+
+/// Runs the experiment.
+pub fn compute(seed: u64, mounts: u32) -> E3 {
+    // 15-year median, sharp wear-out (k = 6): the synchronized-wave case.
+    let ttf = WeibullHazard::with_median(6.0, 15.0);
+    let cfg = |rollout| PipelineConfig {
+        mounts,
+        rollout,
+        replace_lag_years: 0.25,
+        horizon_years: 60.0,
+    };
+    let base = Rng::seed_from(seed);
+    let mut r1 = base.split("en-masse", 0);
+    let mut r2 = base.split("staggered", 0);
+    let mut r3 = base.split("age", 0);
+    let en_masse = run(&cfg(Rollout::EnMasse), &ttf, &mut r1);
+    let staggered = run(&cfg(Rollout::Staggered { years: 15 }), &ttf, &mut r2);
+    let fleet_age = fleet_age_at_horizon(&cfg(Rollout::Staggered { years: 15 }), &ttf, &mut r3);
+    E3 { en_masse, staggered, fleet_age, device_mttf: ttf.mttf() }
+}
+
+/// Renders the exhibit.
+pub fn render(seed: u64) -> String {
+    let e = compute(seed, 2_000);
+    let mut t = Table::new(
+        "E3 - Ship of Theseus: en-masse vs pipelined cohorts (2,000 mounts, 15-y devices, 60-y horizon)",
+        &["metric", "en masse", "staggered (15 y)"],
+    );
+    t.row(&[
+        "mean fleet availability".into(),
+        f(e.en_masse.mean_alive, 3),
+        f(e.staggered.mean_alive, 3),
+    ]);
+    t.row(&[
+        "total replacements".into(),
+        n(e.en_masse.total_replacements),
+        n(e.staggered.total_replacements),
+    ]);
+    t.row(&[
+        "peak-year replacements".into(),
+        n(e.en_masse.peak_year_replacements as u64),
+        n(e.staggered.peak_year_replacements as u64),
+    ]);
+    t.row(&[
+        "peak / steady-state ratio".into(),
+        f(
+            e.en_masse.peak_year_replacements as f64
+                / (e.en_masse.total_replacements as f64 / 60.0),
+            2,
+        ),
+        f(
+            e.staggered.peak_year_replacements as f64
+                / (e.staggered.total_replacements as f64 / 60.0),
+            2,
+        ),
+    ]);
+    t.row(&[
+        "device MTTF (years)".into(),
+        f(e.device_mttf, 1),
+        f(e.device_mttf, 1),
+    ]);
+    t.row(&[
+        "fleet age at year 60: mean / P90".into(),
+        "-".into(),
+        format!("{} / {} years", f(e.fleet_age.0, 1), f(e.fleet_age.1, 1)),
+    ]);
+    // The staffing consequence: what each rollout demands of a finite crew.
+    let demand = |run: &PipelineRun| -> Vec<f64> {
+        run.replacements_per_year.iter().map(|&r| r as f64).collect()
+    };
+    let hours_per = 0.35; // Batched: ~21 min per replacement.
+    let steady = e.en_masse.total_replacements as f64 / 60.0;
+    let crew = Workforce::new(steady * 1.1, hours_per);
+    let bl_masse = run_backlog(&demand(&e.en_masse), &crew);
+    let bl_stag = run_backlog(&demand(&e.staggered), &crew);
+    let mut w = Table::new(
+        "E3b - Workforce consequence (crew sized at 1.1x steady-state demand)",
+        &["metric", "en masse", "staggered (15 y)"],
+    );
+    w.row(&[
+        "peak maintenance backlog (devices)".into(),
+        f(bl_masse.peak_backlog, 0),
+        f(bl_stag.peak_backlog, 0),
+    ]);
+    w.row(&[
+        "dark device-years queued".into(),
+        f(bl_masse.dark_device_years, 0),
+        f(bl_stag.dark_device_years, 0),
+    ]);
+    w.row(&[
+        "crew capacity for <=50-device backlog".into(),
+        f(min_capacity_for_backlog(&demand(&e.en_masse), hours_per, 50.0), 0),
+        f(min_capacity_for_backlog(&demand(&e.staggered), hours_per, 50.0), 0),
+    ]);
+    format!("{}\n{}", t.render(), w.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_outlives_devices_under_both_rollouts() {
+        let e = compute(1, 500);
+        assert!(e.en_masse.mean_alive > 0.9);
+        assert!(e.staggered.mean_alive > 0.85); // Rollout period lowers early availability.
+        // Each mount replaced ~3-4 times over 60 years.
+        assert!(e.en_masse.total_replacements > 500 * 2);
+    }
+
+    #[test]
+    fn staggering_flattens_peaks() {
+        let e = compute(2, 1_000);
+        assert!(
+            (e.staggered.peak_year_replacements as f64)
+                < e.en_masse.peak_year_replacements as f64 * 0.75,
+            "staggered {} en-masse {}",
+            e.staggered.peak_year_replacements,
+            e.en_masse.peak_year_replacements
+        );
+    }
+
+    #[test]
+    fn fleet_age_below_device_mttf() {
+        let e = compute(3, 500);
+        assert!(e.fleet_age.0 < e.device_mttf);
+        assert!(e.fleet_age.1 > e.fleet_age.0);
+    }
+
+    #[test]
+    fn render_has_both_columns() {
+        let s = render(4);
+        assert!(s.contains("en masse"));
+        assert!(s.contains("staggered"));
+        assert!(s.contains("E3b"));
+    }
+
+    #[test]
+    fn staggering_lowers_required_crew() {
+        let e = compute(5, 1_000);
+        let demand = |r: &PipelineRun| -> Vec<f64> {
+            r.replacements_per_year.iter().map(|&x| x as f64).collect()
+        };
+        let cap_masse = min_capacity_for_backlog(&demand(&e.en_masse), 0.35, 25.0);
+        let cap_stag = min_capacity_for_backlog(&demand(&e.staggered), 0.35, 25.0);
+        assert!(
+            cap_stag < cap_masse,
+            "staggered crew {cap_stag} should be below en-masse {cap_masse}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! E5 — backhaul economics: fiber vs cellular (§3.3.1–3.3.2).
+//!
+//! Paper claims: cellular is easy to start but opex-dominated and
+//! subscription costs become expensive long-term (San Diego planned a
+//! 3G/4G→wired transition); fiber is capex-dominated, amortizable across
+//! services, and its capacity rides transceiver upgrades. We reproduce the
+//! cumulative-cost crossover and the trench-sharing amortization effect.
+
+use backhaul::tech::{BackhaulTech, CellularGen};
+use century::report::{f, Table};
+use econ::cost::amortize;
+use econ::money::Usd;
+
+/// Computed results.
+pub struct E5 {
+    /// Year index at which cellular's cumulative cost passes fiber's.
+    pub crossover_year: Option<usize>,
+    /// Same crossover with 3 %/yr opex escalation applied to both.
+    pub escalated_crossover_year: Option<usize>,
+    /// 50-year totals per technology `(label, nominal, npv3)`.
+    pub totals: Vec<(&'static str, Usd, Usd)>,
+    /// Fiber per-gateway yearly charge when the trench is shared 3 ways.
+    pub shared_trench_yearly: Usd,
+}
+
+/// Runs the comparison over a 50-year horizon.
+pub fn compute() -> E5 {
+    let horizon = 50usize;
+    let techs = [
+        BackhaulTech::Fiber,
+        BackhaulTech::Cellular(CellularGen::G4),
+        BackhaulTech::Ethernet,
+        BackhaulTech::Wimax,
+    ];
+    let fiber = BackhaulTech::Fiber.cost_stream(horizon);
+    let cell = BackhaulTech::Cellular(CellularGen::G4).cost_stream(horizon);
+    let totals = techs
+        .iter()
+        .map(|t| {
+            let s = t.cost_stream(horizon);
+            (t.label(), s.total(), s.npv(0.03))
+        })
+        .collect();
+    // §3.3.1: trench capex amortized across road/power/comm projects.
+    let shared = amortize(Usd::from_dollars(2_400), 40, 3);
+    E5 {
+        crossover_year: cell.crossover_year(&fiber),
+        escalated_crossover_year: cell.escalated(0.03).crossover_year(&fiber.escalated(0.03)),
+        totals,
+        shared_trench_yearly: shared,
+    }
+}
+
+/// Cumulative-cost series for plotting `(year, fiber, cellular)`.
+pub fn cumulative_series(horizon: usize) -> Vec<(usize, f64, f64)> {
+    let fiber = BackhaulTech::Fiber.cost_stream(horizon);
+    let cell = BackhaulTech::Cellular(CellularGen::G4).cost_stream(horizon);
+    (0..horizon)
+        .map(|y| {
+            (
+                y,
+                fiber.cumulative_through(y).dollars_f64(),
+                cell.cumulative_through(y).dollars_f64(),
+            )
+        })
+        .collect()
+}
+
+/// Renders the exhibit.
+pub fn render(_seed: u64) -> String {
+    let e = compute();
+    let mut t = Table::new(
+        "E5 - Backhaul economics per gateway, 50-year horizon (paper: cellular opex overtakes fiber)",
+        &["technology", "nominal 50-y total", "NPV at 3%"],
+    );
+    for (label, total, npv) in &e.totals {
+        t.row(&[label.to_string(), total.to_string(), npv.to_string()]);
+    }
+    let mut x = Table::new("E5b - Crossover and trench sharing", &["quantity", "value"]);
+    x.row(&[
+        "cellular cumulative cost passes fiber in year".into(),
+        e.crossover_year.map_or("never".into(), |y| f(y as f64, 0)),
+    ]);
+    x.row(&[
+        "same, with 3%/yr cost escalation".into(),
+        e.escalated_crossover_year.map_or("never".into(), |y| f(y as f64, 0)),
+    ]);
+    x.row(&[
+        "fiber trench shared 3 ways, per service-year".into(),
+        e.shared_trench_yearly.to_string(),
+    ]);
+    let series = cumulative_series(50);
+    let mut c = Table::new(
+        "E5c - Cumulative cost series (figure data)",
+        &["year", "fiber", "cellular-4g"],
+    );
+    for (y, fib, cell) in series.iter().step_by(10) {
+        c.row(&[f(*y as f64, 0), format!("${fib:.0}"), format!("${cell:.0}")]);
+    }
+    format!("{}\n{}\n{}", t.render(), x.render(), c.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cellular_overtakes_fiber_inside_15_years() {
+        let e = compute();
+        let y = e.crossover_year.expect("must cross");
+        assert!((5..=15).contains(&y), "crossover {y}");
+    }
+
+    #[test]
+    fn fiber_cheapest_wired_beats_cellular_long_run() {
+        let e = compute();
+        let get = |label: &str| {
+            e.totals
+                .iter()
+                .find(|(l, _, _)| *l == label)
+                .map(|&(_, total, _)| total)
+                .expect("label present")
+        };
+        assert!(get("fiber") < get("cellular-4g"));
+        assert!(get("ethernet") < get("fiber"));
+        // Cellular's 50-year bill is several times fiber's.
+        assert!(get("cellular-4g").dollars_f64() / get("fiber").dollars_f64() > 2.0);
+    }
+
+    #[test]
+    fn escalation_accelerates_the_crossover() {
+        let e = compute();
+        let plain = e.crossover_year.expect("crossover");
+        let esc = e.escalated_crossover_year.expect("crossover");
+        assert!(esc <= plain, "escalated {esc} should not be later than {plain}");
+    }
+
+    #[test]
+    fn npv_discounts_opex_heavy_more() {
+        let e = compute();
+        let cell = e.totals.iter().find(|(l, _, _)| *l == "cellular-4g").unwrap();
+        let fiber = e.totals.iter().find(|(l, _, _)| *l == "fiber").unwrap();
+        // NPV/total ratio is lower for cellular (costs sit in the future).
+        let r_cell = cell.2.dollars_f64() / cell.1.dollars_f64();
+        let r_fiber = fiber.2.dollars_f64() / fiber.1.dollars_f64();
+        assert!(r_cell < r_fiber, "cell {r_cell} fiber {r_fiber}");
+    }
+
+    #[test]
+    fn series_monotone() {
+        let s = cumulative_series(50);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].2 >= w[0].2);
+        }
+    }
+
+    #[test]
+    fn render_mentions_crossover() {
+        let s = render(0);
+        assert!(s.contains("crossover") || s.contains("passes fiber"));
+    }
+}

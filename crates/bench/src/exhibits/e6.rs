@@ -1,0 +1,142 @@
+//! E6 — the vertical-integration tipping point (§3.4).
+//!
+//! Paper claim: *"there will always be a tipping point where the cost of
+//! deploying vertically owned and managed infrastructure is lower than the
+//! cost of replacing devices"*, so stakeholders must retain the option of
+//! self-reliance. We sweep fleet sizes and sunset risk to locate the
+//! tipping point.
+
+use century::report::{f, n, Table};
+use econ::money::Usd;
+use econ::tipping::{cost_streams, tipping_fleet_size, tipping_year, Owned, ThirdParty};
+
+/// The default option parameters used by the exhibit.
+pub fn default_options() -> (ThirdParty, Owned) {
+    (
+        ThirdParty {
+            per_device_yearly: Usd::from_dollars(12),
+            sunset_rate_per_year: 0.05,
+            replacement_per_device: Usd::from_dollars(125),
+        },
+        Owned {
+            buildout: Usd::from_dollars(500_000),
+            yearly_ops: Usd::from_dollars(50_000),
+            per_device_yearly: Usd::from_dollars(1),
+        },
+    )
+}
+
+/// Computed results.
+pub struct E6 {
+    /// 50-year totals by fleet size: `(fleet, third_party, owned)`.
+    pub sweep: Vec<(u64, Usd, Usd)>,
+    /// The tipping fleet size over 50 years.
+    pub tipping_fleet: Option<u64>,
+    /// For a 10k-device fleet, the year owning should have started.
+    pub tipping_year_10k: Option<usize>,
+    /// Tipping fleet as a function of sunset risk.
+    pub risk_sweep: Vec<(f64, Option<u64>)>,
+}
+
+/// Runs the sweeps.
+pub fn compute() -> E6 {
+    let (third, owned) = default_options();
+    let horizon = 50usize;
+    let sweep = [100u64, 1_000, 3_000, 10_000, 100_000, 1_000_000]
+        .into_iter()
+        .map(|fleet| {
+            let (t, o) = cost_streams(&third, &owned, fleet, horizon);
+            (fleet, t.total(), o.total())
+        })
+        .collect();
+    let tipping_fleet =
+        tipping_fleet_size(&third, &owned, horizon, 10_000_000).map(|tp| tp.fleet);
+    let tipping_year_10k = tipping_year(&third, &owned, 10_000, horizon);
+    let risk_sweep = [0.0f64, 0.02, 0.05, 0.10, 0.25]
+        .into_iter()
+        .map(|risk| {
+            let t = ThirdParty { sunset_rate_per_year: risk, ..third };
+            (risk, tipping_fleet_size(&t, &owned, horizon, 10_000_000).map(|tp| tp.fleet))
+        })
+        .collect();
+    E6 { sweep, tipping_fleet, tipping_year_10k, risk_sweep }
+}
+
+/// Renders the exhibit.
+pub fn render(_seed: u64) -> String {
+    let e = compute();
+    let mut t = Table::new(
+        "E6 - Vertical-integration tipping point, 50-year totals",
+        &["fleet size", "third-party total", "owned total", "owning wins"],
+    );
+    for (fleet, third, owned) in &e.sweep {
+        t.row(&[
+            n(*fleet),
+            third.to_string(),
+            owned.to_string(),
+            if owned <= third { "yes" } else { "no" }.into(),
+        ]);
+    }
+    let mut s = Table::new("E6b - Tipping summary", &["quantity", "value"]);
+    s.row(&[
+        "tipping fleet size (50-y horizon)".into(),
+        e.tipping_fleet.map_or("none".into(), n),
+    ]);
+    s.row(&[
+        "10k fleet: own-infrastructure pays for itself by year".into(),
+        e.tipping_year_10k.map_or("never".into(), |y| f(y as f64, 0)),
+    ]);
+    let mut r = Table::new(
+        "E6c - Sunset risk moves the tipping point",
+        &["sunset probability per year", "tipping fleet size"],
+    );
+    for (risk, fleet) in &e.risk_sweep {
+        r.row(&[f(*risk, 2), fleet.map_or("none".into(), n)]);
+    }
+    format!("{}\n{}\n{}", t.render(), s.render(), r.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tipping_point_exists() {
+        let e = compute();
+        let tf = e.tipping_fleet.expect("a tipping point must exist");
+        assert!(tf > 1_000 && tf < 10_000, "tipping fleet {tf}");
+    }
+
+    #[test]
+    fn small_fleets_rent_large_fleets_own() {
+        let e = compute();
+        let (small, st, so) = e.sweep[0];
+        assert_eq!(small, 100);
+        assert!(st < so, "small fleets should rent");
+        let (large, lt, lo) = e.sweep[e.sweep.len() - 1];
+        assert_eq!(large, 1_000_000);
+        assert!(lo < lt, "large fleets should own");
+    }
+
+    #[test]
+    fn risk_monotonically_lowers_tipping_point() {
+        let e = compute();
+        let fleets: Vec<u64> = e.risk_sweep.iter().filter_map(|&(_, f)| f).collect();
+        for w in fleets.windows(2) {
+            assert!(w[1] <= w[0], "higher risk must not raise the tipping point");
+        }
+    }
+
+    #[test]
+    fn ten_k_fleet_should_have_owned_within_a_decade() {
+        let e = compute();
+        let y = e.tipping_year_10k.expect("10k fleet tips");
+        assert!(y <= 10, "year {y}");
+    }
+
+    #[test]
+    fn render_has_all_three_tables() {
+        let s = render(0);
+        assert!(s.contains("E6 -") && s.contains("E6b") && s.contains("E6c"));
+    }
+}

@@ -1,0 +1,141 @@
+//! E8 — 50-year data-credit provisioning (§4.4).
+//!
+//! Paper arithmetic: one (up to 24-byte) packet per hour for 50 years
+//! costs 438,000 data credits; a conservative 500,000-credit wallet costs
+//! $5 today. We reproduce the numbers exactly and map the margin.
+
+use century::report::{f, n, Table};
+use econ::credits::{credits_for_schedule, paper, prepay_vs_payg, Wallet};
+use econ::money::Usd;
+use simcore::time::SimDuration;
+
+/// Computed results.
+pub struct E8 {
+    /// Credits needed for the paper's schedule.
+    pub fifty_year_credits: u64,
+    /// Credits in the $5 wallet.
+    pub wallet_credits: u64,
+    /// Wallet cost.
+    pub wallet_cost: Usd,
+    /// Margin credits.
+    pub margin: u64,
+    /// Wallet runway at the paper cadence, years.
+    pub runway_years: f64,
+    /// Fastest reporting interval the wallet sustains for 50 years, minutes.
+    pub min_sustainable_interval_mins: f64,
+}
+
+/// Runs the arithmetic.
+pub fn compute() -> E8 {
+    let need = credits_for_schedule(24, paper::PACKET_INTERVAL, SimDuration::from_years(50));
+    let wallet = Wallet::provision_dollars(paper::provisioned_cost());
+    let runway = wallet.runway(24, paper::PACKET_INTERVAL);
+    // 500,000 packets spread over 50 years: one every 3,153.6 s.
+    let min_interval_s =
+        SimDuration::from_years(50).as_secs() as f64 / wallet.balance() as f64;
+    E8 {
+        fifty_year_credits: need,
+        wallet_credits: wallet.balance(),
+        wallet_cost: wallet.funded(),
+        margin: wallet.balance() - need,
+        runway_years: runway.as_years_f64(),
+        min_sustainable_interval_mins: min_interval_s / 60.0,
+    }
+}
+
+/// Wallet-exhaustion sweep: `(interval_minutes, runway_years)`.
+pub fn runway_sweep() -> Vec<(f64, f64)> {
+    let wallet = Wallet::provision_dollars(paper::provisioned_cost());
+    [5.0f64, 15.0, 30.0, 52.56, 60.0, 240.0]
+        .into_iter()
+        .map(|mins| {
+            let interval = SimDuration::from_secs((mins * 60.0) as u64);
+            (mins, wallet.runway(24, interval).as_years_f64())
+        })
+        .collect()
+}
+
+/// Renders the exhibit.
+pub fn render(_seed: u64) -> String {
+    let e = compute();
+    let mut t = Table::new(
+        "E8 - 50-year data-credit provisioning (paper: 438,000 credits needed, 500,000 for $5)",
+        &["quantity", "simulated", "paper"],
+    );
+    t.row(&["credits for hourly 24-B packets, 50 y".into(), n(e.fifty_year_credits), n(438_000)]);
+    t.row(&["wallet credits for $5".into(), n(e.wallet_credits), n(500_000)]);
+    t.row(&["wallet cost".into(), e.wallet_cost.to_string(), "$5.00".into()]);
+    t.row(&["margin credits".into(), n(e.margin), n(62_000)]);
+    t.row(&["runway at hourly cadence".into(), format!("{} years", f(e.runway_years, 1)), ">50 years".into()]);
+    t.row(&[
+        "fastest 50-y-sustainable cadence".into(),
+        format!("every {} min", f(e.min_sustainable_interval_mins, 1)),
+        "-".into(),
+    ]);
+    let mut s = Table::new(
+        "E8b - Runway vs reporting cadence ($5 wallet)",
+        &["interval (min)", "runway (years)"],
+    );
+    for (mins, years) in runway_sweep() {
+        s.row(&[f(mins, 2), f(years, 1)]);
+    }
+    // The fixed-price property: prepaying vs buying yearly under credit
+    // price escalation.
+    let mut pp = Table::new(
+        "E8c - Prepaid wallet vs pay-as-you-go (50 y, hourly cadence)",
+        &["credit price escalation", "prepaid today", "pay-as-you-go total"],
+    );
+    for esc in [0.0f64, 0.02, 0.05, 0.10] {
+        let (pre, payg) = prepay_vs_payg(esc);
+        pp.row(&[f(esc, 2), pre.to_string(), payg.to_string()]);
+    }
+    format!("{}\n{}\n{}", t.render(), s.render(), pp.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_paper_numbers() {
+        let e = compute();
+        assert_eq!(e.fifty_year_credits, 438_000);
+        assert_eq!(e.wallet_credits, 500_000);
+        assert_eq!(e.wallet_cost, Usd::from_dollars(5));
+        assert_eq!(e.margin, 62_000);
+    }
+
+    #[test]
+    fn runway_exceeds_mission() {
+        let e = compute();
+        assert!(e.runway_years > 50.0 && e.runway_years < 60.0, "{}", e.runway_years);
+        // ~52.6 minutes is the break-even cadence.
+        assert!((e.min_sustainable_interval_mins - 52.56).abs() < 0.1);
+    }
+
+    #[test]
+    fn sweep_monotone() {
+        let s = runway_sweep();
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1, "longer intervals must extend runway");
+        }
+        // 5-minute cadence exhausts the wallet in under 5 years.
+        assert!(s[0].1 < 5.0);
+    }
+
+    #[test]
+    fn prepayment_beats_payg_beyond_two_percent_escalation() {
+        let (pre, payg_flat) = prepay_vs_payg(0.0);
+        assert!(payg_flat < pre, "flat prices favor exact pay-as-you-go");
+        let (pre, payg5) = prepay_vs_payg(0.05);
+        assert!(payg5 > pre * 3, "5%/yr escalation makes prepayment a bargain");
+    }
+
+    #[test]
+    fn render_exact_strings() {
+        let s = render(0);
+        assert!(s.contains("438,000"));
+        assert!(s.contains("500,000"));
+        assert!(s.contains("$5.00"));
+    }
+}

@@ -1,0 +1,44 @@
+//! The exhibit suite: one module per table/figure in EXPERIMENTS.md.
+//!
+//! Each module exposes `compute(..)` (typed results, used by tests and
+//! benches) and `render(seed) -> String` (the printed exhibit).
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod f1;
+
+/// Exhibit ids in presentation order.
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "f1",
+];
+
+/// Renders one exhibit by id. Returns `None` for unknown ids.
+pub fn render(id: &str, seed: u64) -> Option<String> {
+    let out = match id {
+        "e1" => e1::render(seed),
+        "e2" => e2::render(seed),
+        "e3" => e3::render(seed),
+        "e4" => e4::render(seed),
+        "e5" => e5::render(seed),
+        "e6" => e6::render(seed),
+        "e7" => e7::render(seed),
+        "e8" => e8::render(seed),
+        "e9" => e9::render(seed),
+        "e10" => e10::render(seed),
+        "e11" => e11::render(seed),
+        "e12" => e12::render(seed),
+        "f1" => f1::render(seed),
+        _ => return None,
+    };
+    Some(out)
+}

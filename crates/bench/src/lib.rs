@@ -1,0 +1,11 @@
+//! `bench` — exhibit regeneration and performance benchmarks.
+//!
+//! The [`exhibits`] module regenerates every table and figure claimed in
+//! EXPERIMENTS.md; the `tables` binary prints them; the Criterion benches
+//! under `benches/` time both the exhibit computations and the substrate
+//! kernels they stand on.
+
+pub mod ablations;
+pub mod exhibits;
+pub mod figures;
+pub mod parallel;

@@ -1,0 +1,115 @@
+//! Parallel Monte-Carlo execution of fleet experiments.
+//!
+//! Replicates are embarrassingly parallel and fully deterministic per
+//! seed, so results are independent of scheduling: workers claim seed
+//! indices from an atomic counter, and the collector reorders by index
+//! before aggregation. Output is **bit-identical** to the serial
+//! [`century::experiment::run_replicated`] for the same seeds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use century::experiment::ExperimentOutcome;
+use century::metrics::ArmSummary;
+use fleet::sim::{FleetConfig, FleetReport, FleetSim};
+use parking_lot::Mutex;
+
+/// Runs `replicates` seeds (`base_seed..base_seed+replicates`) across
+/// `threads` workers, returning reports in seed order.
+///
+/// # Panics
+///
+/// Panics if `replicates == 0` or `threads == 0`.
+pub fn run_reports(
+    make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
+    base_seed: u64,
+    replicates: usize,
+    threads: usize,
+) -> Vec<FleetReport> {
+    assert!(replicates > 0, "need at least one replicate");
+    assert!(threads > 0, "need at least one thread");
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, FleetReport)>> = Mutex::new(Vec::with_capacity(replicates));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(replicates) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= replicates {
+                    break;
+                }
+                let report = FleetSim::run(make_config(base_seed + i as u64));
+                results.lock().push((i, report));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parallel equivalent of [`century::experiment::run_replicated`]:
+/// identical summaries, wall-clock divided by the worker count.
+pub fn run_replicated_parallel(
+    make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
+    base_seed: u64,
+    replicates: usize,
+    threads: usize,
+) -> ExperimentOutcome {
+    let reports = run_reports(make_config, base_seed, replicates, threads);
+    let mut arms: Vec<ArmSummary> = reports[0]
+        .arms
+        .iter()
+        .map(|a| ArmSummary::new(a.name))
+        .collect();
+    for report in &reports {
+        for (summary, arm) in arms.iter_mut().zip(&report.arms) {
+            summary.add(arm);
+        }
+    }
+    let exemplar = reports.into_iter().next().expect("replicates > 0");
+    ExperimentOutcome { arms, exemplar, replicates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let serial = century::experiment::run_replicated(FleetConfig::paper_experiment, 900, 4);
+        let parallel =
+            run_replicated_parallel(&FleetConfig::paper_experiment, 900, 4, 4);
+        assert_eq!(serial.replicates, parallel.replicates);
+        for (s, p) in serial.arms.iter().zip(&parallel.arms) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.uptime.values(), p.uptime.values());
+            assert_eq!(s.spend_dollars.values(), p.spend_dollars.values());
+        }
+        assert_eq!(
+            serial.exemplar.arms[0].readings_delivered,
+            parallel.exemplar.arms[0].readings_delivered
+        );
+    }
+
+    #[test]
+    fn reports_in_seed_order_regardless_of_threads() {
+        let one = run_reports(&FleetConfig::paper_experiment, 50, 6, 1);
+        let many = run_reports(&FleetConfig::paper_experiment, 50, 6, 6);
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.arms[0].readings_delivered, b.arms[0].readings_delivered);
+            assert_eq!(a.diary.len(), b.diary.len());
+        }
+    }
+
+    #[test]
+    fn more_threads_than_replicates_is_fine() {
+        let out = run_reports(&FleetConfig::paper_experiment, 1, 2, 16);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicate")]
+    fn zero_replicates_panics() {
+        run_reports(&FleetConfig::paper_experiment, 1, 0, 4);
+    }
+}

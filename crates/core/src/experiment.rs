@@ -1,0 +1,102 @@
+//! The 50-year experiment harness (§4, exhibit E9).
+//!
+//! Wraps [`fleet::sim::FleetSim`] with Monte-Carlo replication and
+//! diary/summary extraction: one call reproduces both arms of the paper's
+//! experiment across seeds and reports the uptime distribution, the
+//! intervention counts, and the cost of keeping each arm alive for fifty
+//! years.
+
+use fleet::sim::{FleetConfig, FleetReport, FleetSim};
+use simcore::trace::Severity;
+
+use crate::metrics::ArmSummary;
+
+/// Results of a replicated 50-year experiment.
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// Per-arm summaries across replicates (configuration order).
+    pub arms: Vec<ArmSummary>,
+    /// The full report of the first replicate (for diary inspection).
+    pub exemplar: FleetReport,
+    /// Replicates run.
+    pub replicates: usize,
+}
+
+impl ExperimentOutcome {
+    /// Incidents (interventions) logged in the exemplar run's diary.
+    pub fn exemplar_incidents(&self) -> usize {
+        self.exemplar.diary.count(Severity::Incident)
+    }
+}
+
+/// Runs `replicates` seeds of the given configuration (seeds
+/// `base_seed..base_seed + replicates`).
+///
+/// # Panics
+///
+/// Panics if `replicates == 0`.
+pub fn run_replicated(
+    make_config: impl Fn(u64) -> FleetConfig,
+    base_seed: u64,
+    replicates: usize,
+) -> ExperimentOutcome {
+    assert!(replicates > 0, "need at least one replicate");
+    let mut exemplar = None;
+    let mut arms: Vec<ArmSummary> = Vec::new();
+    for i in 0..replicates {
+        let cfg = make_config(base_seed + i as u64);
+        let report = FleetSim::run(cfg);
+        if arms.is_empty() {
+            arms = report.arms.iter().map(|a| ArmSummary::new(a.name)).collect();
+        }
+        for (summary, arm) in arms.iter_mut().zip(&report.arms) {
+            summary.add(arm);
+        }
+        if exemplar.is_none() {
+            exemplar = Some(report);
+        }
+    }
+    ExperimentOutcome {
+        arms,
+        exemplar: exemplar.expect("at least one replicate"),
+        replicates,
+    }
+}
+
+/// The paper's experiment, replicated.
+pub fn paper_experiment(base_seed: u64, replicates: usize) -> ExperimentOutcome {
+    run_replicated(FleetConfig::paper_experiment, base_seed, replicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_aggregates_both_arms() {
+        let out = paper_experiment(100, 3);
+        assert_eq!(out.replicates, 3);
+        assert_eq!(out.arms.len(), 2);
+        for arm in &out.arms {
+            assert_eq!(arm.replicates(), 3);
+            assert!(arm.uptime.mean() > 0.3, "{} uptime {}", arm.name, arm.uptime.mean());
+        }
+        assert!(out.exemplar_incidents() > 0);
+    }
+
+    #[test]
+    fn exemplar_matches_first_seed() {
+        let out = paper_experiment(200, 2);
+        let direct = FleetSim::run(FleetConfig::paper_experiment(200));
+        assert_eq!(
+            out.exemplar.arms[0].readings_delivered,
+            direct.arms[0].readings_delivered
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replicate")]
+    fn zero_replicates_panics() {
+        paper_experiment(1, 0);
+    }
+}

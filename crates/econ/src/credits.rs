@@ -1,0 +1,366 @@
+//! Prepaid data-credit wallets (§4.4).
+//!
+//! The paper's Helium arm relies on a striking property: data, once
+//! purchased, has a **fixed price** denominated in credits, so a device's
+//! entire 50-year communication budget can be prepaid today. One 24-byte
+//! packet costs one credit; a packet an hour for 50 years needs
+//! `24 × 365 × 50 = 438,000` credits; a $5 wallet holds 500,000.
+//!
+//! [`Wallet`] models provisioning, per-packet burns, and exhaustion.
+
+use simcore::time::{SimDuration, SimTime, HOUR};
+
+use crate::money::Usd;
+
+/// The maximum payload covered by a single data credit, per the paper.
+pub const BYTES_PER_CREDIT: u32 = 24;
+
+/// Paper pricing: $5 buys 500,000 credits ($0.00001 per credit).
+pub fn paper_credit_price() -> Usd {
+    Usd::from_dollars(5) / 500_000
+}
+
+/// Credits needed to send one packet of `payload_bytes`.
+///
+/// Every started 24-byte unit costs one credit; zero-byte packets still
+/// consume one (the network bills per transmission).
+pub fn credits_for_packet(payload_bytes: u32) -> u64 {
+    if payload_bytes == 0 {
+        1
+    } else {
+        payload_bytes.div_ceil(BYTES_PER_CREDIT) as u64
+    }
+}
+
+/// Credits needed for one packet of `payload_bytes` every `interval` over
+/// `horizon` (the paper's provisioning arithmetic: hourly 24-byte packets
+/// over 50 years = 438,000 credits).
+pub fn credits_for_schedule(
+    payload_bytes: u32,
+    interval: SimDuration,
+    horizon: SimDuration,
+) -> u64 {
+    if interval.is_zero() {
+        return 0;
+    }
+    let packets = horizon.as_secs() / interval.as_secs();
+    packets * credits_for_packet(payload_bytes)
+}
+
+/// Error returned when a wallet cannot cover a burn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsufficientCredits {
+    /// Credits the operation needed.
+    pub needed: u64,
+    /// Credits actually available.
+    pub available: u64,
+}
+
+impl core::fmt::Display for InsufficientCredits {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "insufficient data credits: needed {}, available {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientCredits {}
+
+/// A prepaid data-credit wallet dedicated to one device or deployment.
+///
+/// # Examples
+///
+/// ```
+/// use econ::credits::{credits_for_schedule, Wallet};
+/// use econ::money::Usd;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// // The paper's provisioning: $5 -> 500,000 credits.
+/// let mut w = Wallet::provision_dollars(Usd::from_dollars(5));
+/// assert_eq!(w.balance(), 500_000);
+///
+/// // Hourly 24-byte packets for 50 years.
+/// let need = credits_for_schedule(24, SimDuration::from_hours(1),
+///                                 SimDuration::from_years(50));
+/// assert_eq!(need, 438_000);
+/// assert!(w.balance() >= need);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Wallet {
+    balance: u64,
+    burned: u64,
+    funded: Usd,
+    exhausted_at: Option<SimTime>,
+}
+
+impl Wallet {
+    /// Creates a wallet holding `credits`.
+    pub fn with_credits(credits: u64) -> Self {
+        Wallet { balance: credits, burned: 0, funded: Usd::ZERO, exhausted_at: None }
+    }
+
+    /// Provisions a wallet by spending `amount` at the paper's fixed price
+    /// ($0.00001/credit). Fractional credits are truncated.
+    pub fn provision_dollars(amount: Usd) -> Self {
+        let price = paper_credit_price();
+        let credits = if amount.is_negative() {
+            0
+        } else {
+            (amount.micros() / price.micros()) as u64
+        };
+        Wallet { balance: credits, burned: 0, funded: amount.max(Usd::ZERO), exhausted_at: None }
+    }
+
+    /// Remaining credits.
+    pub fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    /// Credits burned so far.
+    pub fn burned(&self) -> u64 {
+        self.burned
+    }
+
+    /// Dollars originally spent funding the wallet.
+    pub fn funded(&self) -> Usd {
+        self.funded
+    }
+
+    /// When the wallet first failed to cover a burn, if ever.
+    pub fn exhausted_at(&self) -> Option<SimTime> {
+        self.exhausted_at
+    }
+
+    /// Burns credits for one packet of `payload_bytes` at time `now`.
+    ///
+    /// On failure records the exhaustion time (first failure only) and
+    /// leaves the balance untouched.
+    pub fn burn_packet(
+        &mut self,
+        now: SimTime,
+        payload_bytes: u32,
+    ) -> Result<(), InsufficientCredits> {
+        let need = credits_for_packet(payload_bytes);
+        if need > self.balance {
+            if self.exhausted_at.is_none() {
+                self.exhausted_at = Some(now);
+            }
+            return Err(InsufficientCredits { needed: need, available: self.balance });
+        }
+        self.balance -= need;
+        self.burned += need;
+        Ok(())
+    }
+
+    /// Tops the wallet up with `credits` more (a later re-provisioning
+    /// intervention, which the diary should record).
+    pub fn top_up(&mut self, credits: u64, cost: Usd) {
+        self.balance += credits;
+        self.funded += cost;
+    }
+
+    /// How long the current balance lasts at one `payload_bytes` packet per
+    /// `interval`. Returns [`SimDuration::MAX`] for a zero burn rate.
+    pub fn runway(&self, payload_bytes: u32, interval: SimDuration) -> SimDuration {
+        let per = credits_for_packet(payload_bytes);
+        if per == 0 || interval.is_zero() {
+            return SimDuration::MAX;
+        }
+        let packets = self.balance / per;
+        SimDuration::from_secs(packets.saturating_mul(interval.as_secs()))
+    }
+}
+
+/// Total cost of buying credits **as you go**, yearly, with the credit's
+/// dollar price escalating at `price_escalation` per year (the risk the
+/// paper's prepayment eliminates: "the price of data once purchased is
+/// fixed").
+///
+/// Returns the nominal dollars spent over `years` for `credits_per_year`
+/// at an initial price of `initial_price` per credit.
+pub fn pay_as_you_go_cost(
+    credits_per_year: u64,
+    initial_price: Usd,
+    price_escalation: f64,
+    years: u32,
+) -> Usd {
+    assert!(
+        price_escalation.is_finite() && price_escalation > -1.0,
+        "escalation must be finite and > -1"
+    );
+    let mut total = Usd::ZERO;
+    let mut factor = 1.0;
+    for _ in 0..years {
+        total += (initial_price * credits_per_year as i64).scale(factor);
+        factor *= 1.0 + price_escalation;
+    }
+    total
+}
+
+/// The prepayment advantage: `(prepaid, pay_as_you_go)` totals for the
+/// paper's 50-year hourly schedule at a given yearly price escalation.
+pub fn prepay_vs_payg(price_escalation: f64) -> (Usd, Usd) {
+    let prepaid = paper::provisioned_cost();
+    let yearly_credits = 24 * 365; // Hourly 24-B packets.
+    let payg = pay_as_you_go_cost(
+        yearly_credits,
+        paper_credit_price(),
+        price_escalation,
+        50,
+    );
+    (prepaid, payg)
+}
+
+/// The paper's headline wallet arithmetic, kept as named constants for the
+/// E8 exhibit.
+pub mod paper {
+    use super::*;
+
+    /// Packets per hour in the paper's scenario.
+    pub const PACKET_INTERVAL: SimDuration = SimDuration::from_secs(HOUR);
+
+    /// Paper's stated 50-year credit need for one hourly device.
+    pub const FIFTY_YEAR_CREDITS: u64 = 438_000;
+
+    /// Paper's suggested conservative provisioning.
+    pub const PROVISIONED_CREDITS: u64 = 500_000;
+
+    /// Paper's cost for the provisioned wallet.
+    pub fn provisioned_cost() -> Usd {
+        Usd::from_dollars(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_credit_rounding() {
+        assert_eq!(credits_for_packet(0), 1);
+        assert_eq!(credits_for_packet(1), 1);
+        assert_eq!(credits_for_packet(24), 1);
+        assert_eq!(credits_for_packet(25), 2);
+        assert_eq!(credits_for_packet(48), 2);
+        assert_eq!(credits_for_packet(49), 3);
+    }
+
+    #[test]
+    fn paper_fifty_year_arithmetic() {
+        // 24 bytes hourly for 50 years: 24*365*50 packets = 438,000 credits.
+        let need = credits_for_schedule(
+            24,
+            SimDuration::from_hours(1),
+            SimDuration::from_years(50),
+        );
+        assert_eq!(need, paper::FIFTY_YEAR_CREDITS);
+        // And the $5 wallet covers it with 62,000 credits of margin.
+        let w = Wallet::provision_dollars(paper::provisioned_cost());
+        assert_eq!(w.balance(), paper::PROVISIONED_CREDITS);
+        assert!(w.balance() - need == 62_000);
+    }
+
+    #[test]
+    fn provision_truncates_fractional_credits() {
+        let w = Wallet::provision_dollars(Usd::from_micros(25));
+        assert_eq!(w.balance(), 2); // 25 / 10 = 2.5 -> 2.
+        let neg = Wallet::provision_dollars(Usd::from_dollars(-1));
+        assert_eq!(neg.balance(), 0);
+        assert_eq!(neg.funded(), Usd::ZERO);
+    }
+
+    #[test]
+    fn burn_decrements_and_tracks() {
+        let mut w = Wallet::with_credits(3);
+        assert!(w.burn_packet(SimTime::ZERO, 24).is_ok());
+        assert_eq!(w.balance(), 2);
+        assert!(w.burn_packet(SimTime::ZERO, 40).is_ok()); // Needs 2, has 2.
+        assert_eq!(w.balance(), 0);
+        assert_eq!(w.burned(), 3);
+    }
+
+    #[test]
+    fn burn_multi_credit_packet() {
+        let mut w = Wallet::with_credits(3);
+        assert!(w.burn_packet(SimTime::ZERO, 40).is_ok()); // 2 credits.
+        assert_eq!(w.balance(), 1);
+        assert_eq!(w.burned(), 2);
+        let err = w.burn_packet(SimTime::from_secs(10), 40).unwrap_err();
+        assert_eq!(err, InsufficientCredits { needed: 2, available: 1 });
+        assert_eq!(w.balance(), 1, "failed burn must not deduct");
+    }
+
+    #[test]
+    fn exhaustion_records_first_failure_time() {
+        let mut w = Wallet::with_credits(1);
+        assert!(w.burn_packet(SimTime::from_secs(5), 24).is_ok());
+        assert_eq!(w.exhausted_at(), None);
+        let t1 = SimTime::from_secs(10);
+        assert!(w.burn_packet(t1, 24).is_err());
+        assert!(w.burn_packet(SimTime::from_secs(20), 24).is_err());
+        assert_eq!(w.exhausted_at(), Some(t1));
+    }
+
+    #[test]
+    fn top_up_restores_service() {
+        let mut w = Wallet::with_credits(0);
+        assert!(w.burn_packet(SimTime::ZERO, 24).is_err());
+        w.top_up(10, Usd::from_micros(100));
+        assert!(w.burn_packet(SimTime::ZERO, 24).is_ok());
+        assert_eq!(w.funded(), Usd::from_micros(100));
+    }
+
+    #[test]
+    fn runway_matches_schedule() {
+        let w = Wallet::with_credits(paper::PROVISIONED_CREDITS);
+        let run = w.runway(24, SimDuration::from_hours(1));
+        // 500,000 hourly packets ≈ 57.08 years.
+        assert!((run.as_years_f64() - 57.077).abs() < 0.01, "{run}");
+        assert_eq!(w.runway(24, SimDuration::ZERO), SimDuration::MAX);
+    }
+
+    #[test]
+    fn schedule_with_zero_interval_is_zero() {
+        assert_eq!(
+            credits_for_schedule(24, SimDuration::ZERO, SimDuration::from_years(1)),
+            0
+        );
+    }
+
+    #[test]
+    fn payg_flat_price_costs_the_used_credits_only() {
+        // At zero escalation, paying as you go costs exactly the credits
+        // used: 438,000 * $0.00001 = $4.38 — cheaper than the $5 wallet's
+        // 62,000-credit margin.
+        let (prepaid, payg) = prepay_vs_payg(0.0);
+        assert_eq!(prepaid, Usd::from_dollars(5));
+        assert_eq!(payg, Usd::from_cents(438));
+    }
+
+    #[test]
+    fn escalation_makes_prepayment_win() {
+        // At 5 %/yr credit-price escalation the 50-year bill balloons.
+        let (prepaid, payg) = prepay_vs_payg(0.05);
+        assert!(payg > prepaid * 3, "payg {payg} vs prepaid {prepaid}");
+        // And the advantage is monotone in the escalation rate.
+        let (_, payg_low) = prepay_vs_payg(0.02);
+        assert!(payg > payg_low);
+    }
+
+    #[test]
+    fn payg_arithmetic() {
+        // 100 credits/yr at $0.01 for 3 years, 10% escalation:
+        // 1.00 + 1.10 + 1.21 = $3.31.
+        let total = pay_as_you_go_cost(100, Usd::from_cents(1), 0.10, 3);
+        assert_eq!(total, Usd::from_cents(331));
+        assert_eq!(pay_as_you_go_cost(100, Usd::from_cents(1), 0.10, 0), Usd::ZERO);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = InsufficientCredits { needed: 2, available: 1 };
+        assert!(e.to_string().contains("needed 2"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Maintenance labor accounting (§1's person-hours argument).
+//!
+//! The paper's motivating arithmetic: Los Angeles has ~591,000 candidate
+//! sensor mounts, and at "a very generous 20 minute total replacement
+//! (including travel) time per device, recovering the deployment would
+//! require nearly 200,000 person-hours of labor alone." This module makes
+//! that estimate — and variations over crew sizes, service times, and
+//! work calendars — computable.
+
+use simcore::time::SimDuration;
+
+use crate::money::Usd;
+
+/// The paper's nominal per-device total replacement time (travel included).
+pub const PAPER_MINUTES_PER_DEVICE: u64 = 20;
+
+/// A stock of person-hours accumulated by maintenance activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PersonHours(f64);
+
+impl PersonHours {
+    /// Zero effort.
+    pub const ZERO: PersonHours = PersonHours(0.0);
+
+    /// Creates from fractional hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative or not finite.
+    pub fn from_hours(hours: f64) -> Self {
+        assert!(hours.is_finite() && hours >= 0.0, "person-hours must be finite and >= 0");
+        PersonHours(hours)
+    }
+
+    /// Creates from a per-task duration times a task count.
+    pub fn from_tasks(per_task: SimDuration, tasks: u64) -> Self {
+        PersonHours(per_task.as_hours_f64() * tasks as f64)
+    }
+
+    /// Fractional hours.
+    pub fn hours(self) -> f64 {
+        self.0
+    }
+
+    /// Adds two effort amounts.
+    pub fn plus(self, other: PersonHours) -> PersonHours {
+        PersonHours(self.0 + other.0)
+    }
+
+    /// Labor cost at an hourly fully-burdened rate.
+    pub fn cost(self, hourly_rate: Usd) -> Usd {
+        hourly_rate.scale(self.0)
+    }
+
+    /// Wall-clock calendar time to complete with `workers` working
+    /// `hours_per_day` each (e.g. a 10-person crew at 8 h/day).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `hours_per_day <= 0`.
+    pub fn calendar_time(self, workers: u32, hours_per_day: f64) -> SimDuration {
+        assert!(workers > 0, "need at least one worker");
+        assert!(hours_per_day > 0.0, "need positive working hours");
+        let days = self.0 / (workers as f64 * hours_per_day);
+        SimDuration::from_secs_f64(days * 86_400.0)
+    }
+}
+
+/// The paper's headline estimate: person-hours to visit and replace every
+/// device in an asset census at a fixed per-device service time.
+pub fn recovery_effort(total_devices: u64, per_device: SimDuration) -> PersonHours {
+    PersonHours::from_tasks(per_device, total_devices)
+}
+
+/// Effort using the paper's nominal 20-minute figure.
+pub fn recovery_effort_paper(total_devices: u64) -> PersonHours {
+    recovery_effort(total_devices, SimDuration::from_mins(PAPER_MINUTES_PER_DEVICE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's LA census (see `century::presets` for sources).
+    const LA_DEVICES: u64 = 320_000 + 61_315 + 210_000;
+
+    #[test]
+    fn paper_headline_estimate() {
+        // "nearly 200,000 person-hours" for 591,315 devices at 20 min each.
+        let effort = recovery_effort_paper(LA_DEVICES);
+        let hours = effort.hours();
+        assert!((hours - 197_105.0).abs() < 1.0, "hours {hours}");
+        assert!(hours > 190_000.0 && hours < 200_000.0);
+    }
+
+    #[test]
+    fn from_tasks_matches_manual() {
+        let e = PersonHours::from_tasks(SimDuration::from_mins(30), 4);
+        assert!((e.hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_at_rate() {
+        let e = PersonHours::from_hours(100.0);
+        assert_eq!(e.cost(Usd::from_dollars(75)), Usd::from_dollars(7_500));
+    }
+
+    #[test]
+    fn calendar_time_scales_with_crew() {
+        let e = PersonHours::from_hours(800.0);
+        let solo = e.calendar_time(1, 8.0);
+        let crew = e.calendar_time(10, 8.0);
+        assert!((solo.as_days_f64() - 100.0).abs() < 1e-9);
+        assert!((crew.as_days_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn la_recovery_takes_decades_solo_years_for_crew() {
+        // A 50-person crew at 8 h/day needs ~493 working days — consistent
+        // with the paper's "intractable" framing for sudden replacement.
+        let effort = recovery_effort_paper(LA_DEVICES);
+        let crew50 = effort.calendar_time(50, 8.0);
+        assert!(crew50.as_days_f64() > 400.0 && crew50.as_days_f64() < 600.0);
+    }
+
+    #[test]
+    fn plus_accumulates() {
+        let a = PersonHours::from_hours(1.5).plus(PersonHours::from_hours(2.5));
+        assert!((a.hours() - 4.0).abs() < 1e-12);
+        assert_eq!(PersonHours::ZERO.hours(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "person-hours")]
+    fn negative_hours_panic() {
+        PersonHours::from_hours(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_panic() {
+        PersonHours::from_hours(1.0).calendar_time(0, 8.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! `econ` — the economic substrate of the century toolkit.
+//!
+//! §3.3–3.4 and §4.4 of *Century-Scale Smart Infrastructure* (HotOS ’21)
+//! argue with money: fiber-vs-cellular cost curves, trench-cost
+//! amortization, the vertical-integration tipping point, prepaid data
+//! credits, and the person-hour price of replacing a city's worth of
+//! devices. This crate provides exact ledger arithmetic and those models:
+//!
+//! * [`money`] — fixed-point micro-dollar [`money::Usd`]; no float drift in
+//!   century-long ledgers.
+//! * [`cost`] — yearly [`cost::CostStream`]s, NPV, amortization, crossover
+//!   detection, dated [`cost::Ledger`]s.
+//! * [`credits`] — the Helium-style prepaid data-credit [`credits::Wallet`]
+//!   with the paper's exact pricing.
+//! * [`labor`] — person-hour accounting and the paper's LA recovery
+//!   estimate.
+//! * [`tipping`] — when owning infrastructure beats renting it.
+
+pub mod cost;
+pub mod credits;
+pub mod labor;
+pub mod money;
+pub mod tipping;
+
+pub use cost::{CostStream, Ledger};
+pub use credits::Wallet;
+pub use labor::PersonHours;
+pub use money::Usd;

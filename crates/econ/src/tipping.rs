@@ -1,0 +1,201 @@
+//! The vertical-integration tipping point (§3.4).
+//!
+//! The paper's claim: *"there will always be a tipping point where the cost
+//! of deploying vertically owned and managed infrastructure is lower than
+//! the cost of replacing devices."* As a fleet grows, so does the cost of
+//! replacing every device when third-party infrastructure disappears; owning
+//! the infrastructure caps that exposure at the (fleet-size-independent)
+//! build-out cost. This module computes where the crossover falls.
+
+use crate::cost::CostStream;
+use crate::money::Usd;
+
+/// Parameters of the third-party (subscription) option.
+#[derive(Clone, Copy, Debug)]
+pub struct ThirdParty {
+    /// Yearly subscription per device (e.g. data credits, SIM fees).
+    pub per_device_yearly: Usd,
+    /// Probability per year that the provider obsoletes its interface,
+    /// forcing whole-fleet device replacement (§3.4's 2G-sunset risk).
+    pub sunset_rate_per_year: f64,
+    /// Cost of replacing one stranded device (hardware + truck roll).
+    pub replacement_per_device: Usd,
+}
+
+/// Parameters of the owned-infrastructure option.
+#[derive(Clone, Copy, Debug)]
+pub struct Owned {
+    /// One-time build-out cost (gateways + backhaul), fleet-size independent
+    /// to first order.
+    pub buildout: Usd,
+    /// Yearly operations cost (staff, power, repair).
+    pub yearly_ops: Usd,
+    /// Extra yearly cost per device (marginal gateway capacity).
+    pub per_device_yearly: Usd,
+}
+
+/// Expected yearly cost streams for both options at a given fleet size.
+///
+/// The third-party stream charges subscriptions each year plus the
+/// *expected* fleet-replacement cost `sunset_rate × fleet × replacement`.
+/// The owned stream pays build-out in year 0 and operations every year.
+pub fn cost_streams(
+    third: &ThirdParty,
+    owned: &Owned,
+    fleet: u64,
+    horizon_years: usize,
+) -> (CostStream, CostStream) {
+    let fleet_i = fleet as i64;
+    let sub = third.per_device_yearly * fleet_i;
+    let expected_strand = (third.replacement_per_device * fleet_i).scale(third.sunset_rate_per_year);
+    let third_stream =
+        CostStream::upfront_plus_recurring(Usd::ZERO, sub + expected_strand, horizon_years);
+    let owned_recurring = owned.yearly_ops + owned.per_device_yearly * fleet_i;
+    let owned_stream =
+        CostStream::upfront_plus_recurring(owned.buildout, owned_recurring, horizon_years);
+    (third_stream, owned_stream)
+}
+
+/// Result of a tipping-point search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TippingPoint {
+    /// Smallest fleet size at which owning wins over the horizon.
+    pub fleet: u64,
+}
+
+/// Finds the smallest fleet size in `[1, max_fleet]` for which the owned
+/// option's total cost over `horizon_years` is at most the third-party
+/// option's, by binary search (the cost gap is monotone in fleet size as
+/// long as the third-party marginal cost exceeds the owned marginal cost).
+///
+/// Returns `None` if owning never wins within `max_fleet`.
+pub fn tipping_fleet_size(
+    third: &ThirdParty,
+    owned: &Owned,
+    horizon_years: usize,
+    max_fleet: u64,
+) -> Option<TippingPoint> {
+    let owned_wins = |fleet: u64| {
+        let (t, o) = cost_streams(third, owned, fleet, horizon_years);
+        o.total() <= t.total()
+    };
+    if !owned_wins(max_fleet) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1u64, max_fleet);
+    if owned_wins(lo) {
+        return Some(TippingPoint { fleet: lo });
+    }
+    // Invariant: !owned_wins(lo) && owned_wins(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if owned_wins(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(TippingPoint { fleet: hi })
+}
+
+/// For a fixed fleet, the first year in which cumulative third-party spend
+/// exceeds cumulative owned spend (`None` if it never does within the
+/// horizon) — "when should we have built our own?".
+pub fn tipping_year(
+    third: &ThirdParty,
+    owned: &Owned,
+    fleet: u64,
+    horizon_years: usize,
+) -> Option<usize> {
+    let (t, o) = cost_streams(third, owned, fleet, horizon_years);
+    t.crossover_year(&o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn third() -> ThirdParty {
+        ThirdParty {
+            per_device_yearly: Usd::from_dollars(12),
+            sunset_rate_per_year: 0.05,
+            replacement_per_device: Usd::from_dollars(100),
+        }
+    }
+
+    fn owned() -> Owned {
+        Owned {
+            buildout: Usd::from_dollars(500_000),
+            yearly_ops: Usd::from_dollars(50_000),
+            per_device_yearly: Usd::from_dollars(1),
+        }
+    }
+
+    #[test]
+    fn streams_have_expected_shape() {
+        let (t, o) = cost_streams(&third(), &owned(), 1_000, 10);
+        // Third-party: (12 + 0.05*100) * 1000 = $17k/yr, no upfront.
+        assert_eq!(t.at(0), Usd::from_dollars(17_000));
+        assert_eq!(t.at(9), Usd::from_dollars(17_000));
+        // Owned: $500k + $51k in year 0; $51k after.
+        assert_eq!(o.at(0), Usd::from_dollars(551_000));
+        assert_eq!(o.at(5), Usd::from_dollars(51_000));
+    }
+
+    #[test]
+    fn tipping_exists_for_large_fleets() {
+        // Gap per device-year = 17 - 1 = $16. Over 50 years the owned fixed
+        // cost is 500k + 50*50k = $3.0M, so tipping fleet ≈ 3.0M/(16*50) = 3750.
+        let tp = tipping_fleet_size(&third(), &owned(), 50, 1_000_000).expect("tips");
+        assert!(tp.fleet >= 3_700 && tp.fleet <= 3_800, "fleet {}", tp.fleet);
+        // Verify minimality: one device fewer and owning loses.
+        let (t, o) = cost_streams(&third(), &owned(), tp.fleet - 1, 50);
+        assert!(o.total() > t.total());
+        let (t, o) = cost_streams(&third(), &owned(), tp.fleet, 50);
+        assert!(o.total() <= t.total());
+    }
+
+    #[test]
+    fn no_tipping_when_fleet_capped_small() {
+        assert_eq!(tipping_fleet_size(&third(), &owned(), 50, 100), None);
+    }
+
+    #[test]
+    fn tipping_immediately_for_huge_marginal_gap() {
+        let t = ThirdParty {
+            per_device_yearly: Usd::from_dollars(1_000_000),
+            sunset_rate_per_year: 0.0,
+            replacement_per_device: Usd::ZERO,
+        };
+        let o = Owned {
+            buildout: Usd::from_dollars(10),
+            yearly_ops: Usd::ZERO,
+            per_device_yearly: Usd::ZERO,
+        };
+        let tp = tipping_fleet_size(&t, &o, 1, 10).unwrap();
+        assert_eq!(tp.fleet, 1);
+    }
+
+    #[test]
+    fn tipping_year_for_fixed_fleet() {
+        // At 10k devices: third-party $170k/yr vs owned $551k year 0 then
+        // $60k/yr. Cumulative crossover when 170k(y+1) > 500k + 60k(y+1)
+        // -> y+1 > 4.54 -> year 4.
+        let y = tipping_year(&third(), &owned(), 10_000, 50).unwrap();
+        assert_eq!(y, 4);
+    }
+
+    #[test]
+    fn tipping_year_none_for_tiny_fleet() {
+        assert_eq!(tipping_year(&third(), &owned(), 10, 50), None);
+    }
+
+    #[test]
+    fn sunset_risk_moves_tipping_point() {
+        // Higher sunset risk should lower the tipping fleet size.
+        let risky = ThirdParty { sunset_rate_per_year: 0.25, ..third() };
+        let base = tipping_fleet_size(&third(), &owned(), 50, 1_000_000).unwrap();
+        let with_risk = tipping_fleet_size(&risky, &owned(), 50, 1_000_000).unwrap();
+        assert!(with_risk.fleet < base.fleet);
+    }
+}

@@ -1,0 +1,291 @@
+//! Intermittent-computing runtime model.
+//!
+//! Batteryless devices die and resurrect with the energy supply. An
+//! intermittent runtime checkpoints progress to non-volatile memory so work
+//! survives power failures. This module models the classic trade-off:
+//! checkpoint too often and overhead eats the budget; too rarely and every
+//! power failure re-executes a long tail of lost work.
+//!
+//! The model is analytic-plus-Monte-Carlo over a capacitor-backed execution
+//! window: each charge cycle provides `on_time_s` of execution; the task
+//! needs `work_s` of cumulative progress; checkpoints cost `checkpoint_s`
+//! and persist all progress made before them.
+
+use simcore::rng::Rng;
+
+/// Parameters of a checkpointed intermittent execution.
+#[derive(Clone, Copy, Debug)]
+pub struct IntermittentTask {
+    /// Seconds of CPU progress the task needs in total.
+    pub work_s: f64,
+    /// Seconds of execution each charge cycle provides (may vary; this is
+    /// the mean of an exponential if `jitter` is true).
+    pub on_time_s: f64,
+    /// Seconds consumed by taking one checkpoint.
+    pub checkpoint_s: f64,
+    /// Seconds of progress between checkpoints.
+    pub checkpoint_interval_s: f64,
+    /// If true, on-times are exponentially distributed around the mean
+    /// (harvest turbulence); if false, they are fixed.
+    pub jitter: bool,
+}
+
+impl IntermittentTask {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all durations are positive and finite.
+    pub fn validate(&self) {
+        assert!(self.work_s > 0.0 && self.work_s.is_finite(), "work must be positive");
+        assert!(self.on_time_s > 0.0 && self.on_time_s.is_finite(), "on-time must be positive");
+        assert!(
+            self.checkpoint_s >= 0.0 && self.checkpoint_s.is_finite(),
+            "checkpoint cost must be >= 0"
+        );
+        assert!(
+            self.checkpoint_interval_s > 0.0 && self.checkpoint_interval_s.is_finite(),
+            "checkpoint interval must be positive"
+        );
+    }
+}
+
+/// Outcome of one simulated intermittent execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntermittentRun {
+    /// Charge cycles (power-on windows) consumed.
+    pub cycles: u64,
+    /// Total on-time spent, including checkpoints and lost work.
+    pub total_on_time_s: f64,
+    /// On-time wasted re-executing lost progress.
+    pub lost_s: f64,
+    /// On-time spent writing checkpoints.
+    pub checkpoint_overhead_s: f64,
+}
+
+impl IntermittentRun {
+    /// Fraction of on-time that was useful forward progress.
+    pub fn efficiency(&self, work_s: f64) -> f64 {
+        if self.total_on_time_s <= 0.0 {
+            return 0.0;
+        }
+        work_s / self.total_on_time_s
+    }
+}
+
+/// Simulates one execution of `task` to completion.
+///
+/// Within each power-on window the runtime alternates progress and
+/// checkpoints every `checkpoint_interval_s`; on power failure, progress
+/// since the last checkpoint is lost.
+pub fn run_to_completion(task: &IntermittentTask, rng: &mut Rng) -> IntermittentRun {
+    task.validate();
+    let mut persisted = 0.0;
+    let mut run = IntermittentRun {
+        cycles: 0,
+        total_on_time_s: 0.0,
+        lost_s: 0.0,
+        checkpoint_overhead_s: 0.0,
+    };
+    // Bound runaway configurations (checkpoint interval unreachable within a
+    // window would loop forever making no progress).
+    let max_cycles = 10_000_000;
+    while persisted < task.work_s {
+        run.cycles += 1;
+        if run.cycles > max_cycles {
+            break;
+        }
+        let window = if task.jitter {
+            -rng.next_f64_open().ln() * task.on_time_s
+        } else {
+            task.on_time_s
+        };
+        let mut remaining = window;
+        let mut volatile = 0.0; // Progress since last checkpoint.
+        loop {
+            // Work until the next checkpoint or completion.
+            let to_checkpoint = task.checkpoint_interval_s - volatile;
+            let to_done = task.work_s - persisted - volatile;
+            let next = to_checkpoint.min(to_done);
+            if remaining >= next {
+                remaining -= next;
+                volatile += next;
+                run.total_on_time_s += next;
+                if persisted + volatile >= task.work_s {
+                    persisted += volatile;
+                    break;
+                }
+                // Take a checkpoint if we can afford it within the window.
+                if remaining >= task.checkpoint_s {
+                    remaining -= task.checkpoint_s;
+                    run.total_on_time_s += task.checkpoint_s;
+                    run.checkpoint_overhead_s += task.checkpoint_s;
+                    persisted += volatile;
+                    volatile = 0.0;
+                } else {
+                    // Power dies mid-checkpoint: the checkpoint fails,
+                    // volatile progress is lost.
+                    run.total_on_time_s += remaining;
+                    run.checkpoint_overhead_s += remaining;
+                    run.lost_s += volatile;
+                    break;
+                }
+            } else {
+                // Power failure mid-work: everything since the last
+                // checkpoint is lost, including the partial step.
+                run.total_on_time_s += remaining;
+                run.lost_s += volatile + remaining;
+                break;
+            }
+        }
+    }
+    run
+}
+
+/// Mean completion statistics over `n` Monte-Carlo runs.
+pub fn mean_run(task: &IntermittentTask, rng: &mut Rng, n: usize) -> IntermittentRun {
+    assert!(n > 0, "need at least one run");
+    let mut acc = IntermittentRun {
+        cycles: 0,
+        total_on_time_s: 0.0,
+        lost_s: 0.0,
+        checkpoint_overhead_s: 0.0,
+    };
+    for _ in 0..n {
+        let r = run_to_completion(task, rng);
+        acc.cycles += r.cycles;
+        acc.total_on_time_s += r.total_on_time_s;
+        acc.lost_s += r.lost_s;
+        acc.checkpoint_overhead_s += r.checkpoint_overhead_s;
+    }
+    IntermittentRun {
+        cycles: acc.cycles / n as u64,
+        total_on_time_s: acc.total_on_time_s / n as f64,
+        lost_s: acc.lost_s / n as f64,
+        checkpoint_overhead_s: acc.checkpoint_overhead_s / n as f64,
+    }
+}
+
+/// Sweeps checkpoint intervals and returns `(interval, mean_total_on_time)`
+/// pairs — the classic U-shaped overhead curve.
+pub fn sweep_checkpoint_interval(
+    base: &IntermittentTask,
+    intervals_s: &[f64],
+    rng: &mut Rng,
+    n_per_point: usize,
+) -> Vec<(f64, f64)> {
+    intervals_s
+        .iter()
+        .map(|&iv| {
+            let task = IntermittentTask { checkpoint_interval_s: iv, ..*base };
+            let r = mean_run(&task, rng, n_per_point);
+            (iv, r.total_on_time_s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> IntermittentTask {
+        IntermittentTask {
+            work_s: 10.0,
+            on_time_s: 1.0,
+            checkpoint_s: 0.01,
+            checkpoint_interval_s: 0.25,
+            jitter: false,
+        }
+    }
+
+    #[test]
+    fn deterministic_run_completes() {
+        let mut rng = Rng::seed_from(1);
+        let r = run_to_completion(&task(), &mut rng);
+        assert!(r.cycles >= 10, "cycles {}", r.cycles);
+        assert!(r.total_on_time_s >= 10.0);
+        assert!(r.efficiency(10.0) > 0.5 && r.efficiency(10.0) <= 1.0);
+    }
+
+    #[test]
+    fn no_checkpoint_cost_no_overhead() {
+        let t = IntermittentTask { checkpoint_s: 0.0, ..task() };
+        let mut rng = Rng::seed_from(2);
+        let r = run_to_completion(&t, &mut rng);
+        assert_eq!(r.checkpoint_overhead_s, 0.0);
+    }
+
+    #[test]
+    fn long_windows_few_cycles() {
+        let t = IntermittentTask { on_time_s: 100.0, ..task() };
+        let mut rng = Rng::seed_from(3);
+        let r = run_to_completion(&t, &mut rng);
+        assert_eq!(r.cycles, 1);
+        assert_eq!(r.lost_s, 0.0);
+    }
+
+    #[test]
+    fn jittered_runs_complete_too() {
+        let t = IntermittentTask { jitter: true, ..task() };
+        let mut rng = Rng::seed_from(4);
+        let r = mean_run(&t, &mut rng, 200);
+        assert!(r.total_on_time_s >= 10.0);
+        assert!(r.lost_s > 0.0, "exponential windows must sometimes cut work short");
+    }
+
+    #[test]
+    fn rare_checkpoints_lose_more_under_jitter() {
+        let mut rng = Rng::seed_from(5);
+        let frequent = IntermittentTask { checkpoint_interval_s: 0.1, jitter: true, ..task() };
+        let rare = IntermittentTask { checkpoint_interval_s: 5.0, jitter: true, ..task() };
+        let rf = mean_run(&frequent, &mut rng, 400);
+        let rr = mean_run(&rare, &mut rng, 400);
+        assert!(rr.lost_s > rf.lost_s, "rare {:.3} frequent {:.3}", rr.lost_s, rf.lost_s);
+    }
+
+    #[test]
+    fn sweep_produces_u_shape_extremes() {
+        // Very small intervals pay checkpoint overhead; very large lose work.
+        let base = IntermittentTask { jitter: true, ..task() };
+        let mut rng = Rng::seed_from(6);
+        let pts = sweep_checkpoint_interval(&base, &[0.011, 0.3, 8.0], &mut rng, 400);
+        assert_eq!(pts.len(), 3);
+        let mid = pts[1].1;
+        assert!(pts[0].1 > mid, "tiny interval should cost more: {pts:?}");
+        assert!(pts[2].1 > mid, "huge interval should cost more: {pts:?}");
+    }
+
+    #[test]
+    fn efficiency_zero_for_empty_run() {
+        let r = IntermittentRun {
+            cycles: 0,
+            total_on_time_s: 0.0,
+            lost_s: 0.0,
+            checkpoint_overhead_s: 0.0,
+        };
+        assert_eq!(r.efficiency(10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "work")]
+    fn rejects_zero_work() {
+        let t = IntermittentTask { work_s: 0.0, ..task() };
+        run_to_completion(&t, &mut Rng::seed_from(7));
+    }
+
+    #[test]
+    fn impossible_config_terminates() {
+        // Window shorter than a single checkpoint interval step with a huge
+        // checkpoint cost: progress persists never, guard must fire.
+        let t = IntermittentTask {
+            work_s: 10.0,
+            on_time_s: 0.1,
+            checkpoint_s: 10.0,
+            checkpoint_interval_s: 0.05,
+            jitter: false,
+        };
+        let mut rng = Rng::seed_from(8);
+        let r = run_to_completion(&t, &mut rng);
+        assert!(r.cycles >= 10_000_000, "guard should have fired");
+    }
+}

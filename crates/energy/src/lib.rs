@@ -1,0 +1,30 @@
+//! `energy` — the energy-harvesting substrate.
+//!
+//! §1 and §4.1 of *Century-Scale Smart Infrastructure* (HotOS ’21) rest on
+//! batteryless, energy-harvesting edge devices: "ambient batteries" such as
+//! the corrosion of embedded rebar, feeding transmit-only sensors with no
+//! implicit battery lifetime. This crate models that stack:
+//!
+//! * [`mod@env`] — irradiance, cloud and temperature traces over decades.
+//! * [`harvester`] — solar, cathodic-protection, thermal and vibration
+//!   sources, with long-term decline.
+//! * [`storage`] — supercapacitor and battery buffers with leakage and
+//!   aging (batteries die at ~14 years; supercaps do not).
+//! * [`load`] — device duty-cycle budgets (µW-class transmit-only nodes).
+//! * [`budget`] — the harvest/consume stepper, outage statistics, and
+//!   minimum-buffer sizing (exhibit E12).
+//! * [`intermittent`] — checkpointed intermittent-computing runtime costs.
+//! * [`scheduler`] — fixed vs energy-aware reporting policies, measured.
+
+pub mod budget;
+pub mod env;
+pub mod harvester;
+pub mod intermittent;
+pub mod load;
+pub mod scheduler;
+pub mod storage;
+
+pub use budget::{simulate, BudgetReport};
+pub use harvester::Harvester;
+pub use load::LoadProfile;
+pub use storage::Storage;

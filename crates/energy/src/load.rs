@@ -1,0 +1,173 @@
+//! Device load models: what the electronics spend.
+//!
+//! A transmit-only sensor's budget has four lines: sleep floor, periodic
+//! sensing, occasional computation, and radio transmissions. [`LoadProfile`]
+//! captures them; [`LoadProfile::mean_power_w`] gives the long-run draw that
+//! energy-neutral sizing balances against harvest.
+
+use simcore::time::SimDuration;
+
+/// One discrete activity: a duration at a power level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Activity {
+    /// Active duration in seconds.
+    pub duration_s: f64,
+    /// Power draw while active, in watts.
+    pub power_w: f64,
+}
+
+impl Activity {
+    /// Creates an activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite inputs.
+    pub fn new(duration_s: f64, power_w: f64) -> Self {
+        assert!(duration_s >= 0.0 && duration_s.is_finite(), "duration must be >= 0");
+        assert!(power_w >= 0.0 && power_w.is_finite(), "power must be >= 0");
+        Activity { duration_s, power_w }
+    }
+
+    /// Energy per occurrence, in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.duration_s * self.power_w
+    }
+}
+
+/// A periodic duty-cycled load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodicTask {
+    /// The activity performed each period.
+    pub activity: Activity,
+    /// Period between activations.
+    pub period: SimDuration,
+}
+
+impl PeriodicTask {
+    /// Creates a periodic task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(activity: Activity, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        PeriodicTask { activity, period }
+    }
+
+    /// Mean power contribution in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        self.activity.energy_j() / self.period.as_secs() as f64
+    }
+}
+
+/// A device's complete load profile.
+#[derive(Clone, Debug)]
+pub struct LoadProfile {
+    /// Always-on sleep current draw, in watts.
+    pub sleep_w: f64,
+    /// Periodic tasks (sense, compute, transmit).
+    pub tasks: Vec<PeriodicTask>,
+}
+
+impl LoadProfile {
+    /// Creates a profile with the given sleep floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite sleep power.
+    pub fn new(sleep_w: f64) -> Self {
+        assert!(sleep_w >= 0.0 && sleep_w.is_finite(), "sleep power must be >= 0");
+        LoadProfile { sleep_w, tasks: Vec::new() }
+    }
+
+    /// Adds a periodic task (builder style).
+    pub fn with_task(mut self, task: PeriodicTask) -> Self {
+        self.tasks.push(task);
+        self
+    }
+
+    /// Long-run mean power in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        self.sleep_w + self.tasks.iter().map(PeriodicTask::mean_power_w).sum::<f64>()
+    }
+
+    /// Energy consumed over `dt`, in joules (mean-rate approximation used by
+    /// the daily stepper).
+    pub fn energy_over(&self, dt: SimDuration) -> f64 {
+        self.mean_power_w() * dt.as_secs() as f64
+    }
+
+    /// The paper's initial device archetype: a transmit-only sensor sending
+    /// one packet per `report_interval`.
+    ///
+    /// Budget: 1 µW sleep, a 10 ms / 3 mW sensor read per report, and a
+    /// radio transmission of `tx_airtime_s` at `tx_power_w` per report —
+    /// callers get airtime from the `net` crate's PHY models.
+    pub fn transmit_only(
+        report_interval: SimDuration,
+        tx_airtime_s: f64,
+        tx_power_w: f64,
+    ) -> Self {
+        LoadProfile::new(1e-6)
+            .with_task(PeriodicTask::new(Activity::new(0.010, 3e-3), report_interval))
+            .with_task(PeriodicTask::new(
+                Activity::new(tx_airtime_s, tx_power_w),
+                report_interval,
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_energy() {
+        let a = Activity::new(2.0, 0.5);
+        assert!((a.energy_j() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_mean_power() {
+        // 1 J every 100 s = 10 mW.
+        let t = PeriodicTask::new(Activity::new(2.0, 0.5), SimDuration::from_secs(100));
+        assert!((t.mean_power_w() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_sums_contributions() {
+        let p = LoadProfile::new(1e-6)
+            .with_task(PeriodicTask::new(Activity::new(1.0, 1e-3), SimDuration::from_secs(1_000)))
+            .with_task(PeriodicTask::new(Activity::new(0.5, 2e-3), SimDuration::from_secs(500)));
+        // 1e-6 + 1e-6 + 2e-6 = 4e-6 W.
+        assert!((p.mean_power_w() - 4e-6).abs() < 1e-15);
+        assert!((p.energy_over(SimDuration::from_secs(1_000_000)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmit_only_is_microwatt_class() {
+        // Hourly LoRa-class packet: ~60 ms airtime at 120 mW.
+        let p = LoadProfile::transmit_only(SimDuration::from_hours(1), 0.06, 0.12);
+        let w = p.mean_power_w();
+        assert!(w > 1e-6 && w < 10e-6, "w {w}");
+    }
+
+    #[test]
+    fn faster_reporting_draws_more() {
+        let hourly = LoadProfile::transmit_only(SimDuration::from_hours(1), 0.06, 0.12);
+        let minutely = LoadProfile::transmit_only(SimDuration::from_mins(1), 0.06, 0.12);
+        assert!(minutely.mean_power_w() > hourly.mean_power_w() * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        PeriodicTask::new(Activity::new(1.0, 1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "power")]
+    fn negative_power_panics() {
+        Activity::new(1.0, -1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Energy storage: capacitors, supercapacitors, and batteries.
+//!
+//! Storage is where the paper's longevity argument bites: batteries wear
+//! out in about a decade (the 10–15-year folklore), while properly derated
+//! capacitors do not. A [`Storage`] is a leaky energy bucket measured in
+//! joules, with charge/discharge efficiency and age-dependent capacity.
+
+/// An energy buffer with losses and aging. All energies in joules.
+pub trait Storage {
+    /// Usable capacity at the current age, in joules.
+    fn capacity_j(&self) -> f64;
+
+    /// Energy currently stored, in joules.
+    fn stored_j(&self) -> f64;
+
+    /// Deposits up to `j` joules (before efficiency loss); returns the
+    /// amount actually added to the store.
+    fn charge(&mut self, j: f64) -> f64;
+
+    /// Withdraws `j` joules of *load* energy; returns `true` on success,
+    /// `false` (and drains nothing) if the store cannot cover it.
+    fn discharge(&mut self, j: f64) -> bool;
+
+    /// Applies one day of self-discharge and aging.
+    fn advance_day(&mut self);
+
+    /// Fraction full, in `[0, 1]`.
+    fn soc(&self) -> f64 {
+        if self.capacity_j() <= 0.0 {
+            0.0
+        } else {
+            (self.stored_j() / self.capacity_j()).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A (super)capacitor: high cycle life, noticeable leakage, slow capacitance
+/// fade. The harvesting archetype's buffer.
+#[derive(Clone, Debug)]
+pub struct Supercap {
+    nominal_j: f64,
+    stored: f64,
+    /// Fraction of *stored energy* leaked per day.
+    leak_per_day: f64,
+    /// Fraction of capacity lost per year of aging.
+    fade_per_year: f64,
+    /// One-way charge efficiency.
+    efficiency: f64,
+    age_days: u64,
+}
+
+impl Supercap {
+    /// Creates a supercapacitor with the given nominal capacity in joules.
+    ///
+    /// Defaults: 2 %/day leakage, 1 %/yr fade, 95 % charge efficiency —
+    /// mid-range for modern EDLCs at low bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_j` is not positive and finite.
+    pub fn new(nominal_j: f64) -> Self {
+        assert!(nominal_j > 0.0 && nominal_j.is_finite(), "capacity must be positive");
+        Supercap {
+            nominal_j,
+            stored: 0.0,
+            leak_per_day: 0.02,
+            fade_per_year: 0.01,
+            efficiency: 0.95,
+            age_days: 0,
+        }
+    }
+
+    /// Overrides the daily leakage fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `leak` is in `[0, 1]`.
+    pub fn with_leak_per_day(mut self, leak: f64) -> Self {
+        assert!((0.0..=1.0).contains(&leak), "leak fraction must be in [0,1]");
+        self.leak_per_day = leak;
+        self
+    }
+
+    /// Starts the buffer at the given state of charge (0–1).
+    pub fn precharged(mut self, soc: f64) -> Self {
+        self.stored = self.capacity_j() * soc.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Storage for Supercap {
+    fn capacity_j(&self) -> f64 {
+        let years = self.age_days as f64 / 365.0;
+        self.nominal_j * (1.0 - self.fade_per_year).powf(years)
+    }
+
+    fn stored_j(&self) -> f64 {
+        self.stored
+    }
+
+    fn charge(&mut self, j: f64) -> f64 {
+        if j <= 0.0 {
+            return 0.0;
+        }
+        let headroom = (self.capacity_j() - self.stored).max(0.0);
+        let added = (j * self.efficiency).min(headroom);
+        self.stored += added;
+        added
+    }
+
+    fn discharge(&mut self, j: f64) -> bool {
+        if j < 0.0 {
+            return false;
+        }
+        if self.stored >= j {
+            self.stored -= j;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn advance_day(&mut self) {
+        self.age_days += 1;
+        self.stored *= 1.0 - self.leak_per_day;
+        self.stored = self.stored.min(self.capacity_j());
+    }
+}
+
+/// A small rechargeable battery: low leakage, limited calendar + cycle
+/// life. Capacity fades with both age and throughput; once below
+/// `end_of_life_fraction` of nominal it is considered dead (capacity 0).
+#[derive(Clone, Debug)]
+pub struct Battery {
+    nominal_j: f64,
+    stored: f64,
+    calendar_fade_per_year: f64,
+    /// Capacity fraction lost per full equivalent cycle.
+    cycle_fade: f64,
+    throughput_j: f64,
+    efficiency: f64,
+    end_of_life_fraction: f64,
+    age_days: u64,
+}
+
+impl Battery {
+    /// Creates a battery with the given nominal capacity in joules.
+    ///
+    /// Defaults: 2.5 %/yr calendar fade, 0.02 %/cycle fade, 90 % round-trip-
+    /// half efficiency, EOL at 70 % capacity — typical small Li-ion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nominal_j` is not positive and finite.
+    pub fn new(nominal_j: f64) -> Self {
+        assert!(nominal_j > 0.0 && nominal_j.is_finite(), "capacity must be positive");
+        Battery {
+            nominal_j,
+            stored: 0.0,
+            calendar_fade_per_year: 0.025,
+            cycle_fade: 0.0002,
+            throughput_j: 0.0,
+            efficiency: 0.90,
+            end_of_life_fraction: 0.70,
+            age_days: 0,
+        }
+    }
+
+    /// Starts at the given state of charge (0–1).
+    pub fn precharged(mut self, soc: f64) -> Self {
+        self.stored = self.capacity_j() * soc.clamp(0.0, 1.0);
+        self
+    }
+
+    /// True once capacity has faded below the end-of-life threshold.
+    pub fn is_dead(&self) -> bool {
+        self.raw_capacity() < self.nominal_j * self.end_of_life_fraction
+    }
+
+    fn raw_capacity(&self) -> f64 {
+        let years = self.age_days as f64 / 365.0;
+        let calendar = (1.0 - self.calendar_fade_per_year).powf(years);
+        let cycles = self.throughput_j / self.nominal_j;
+        let cycle = (1.0 - self.cycle_fade).powf(cycles);
+        self.nominal_j * calendar * cycle
+    }
+}
+
+impl Storage for Battery {
+    fn capacity_j(&self) -> f64 {
+        if self.is_dead() {
+            0.0
+        } else {
+            self.raw_capacity()
+        }
+    }
+
+    fn stored_j(&self) -> f64 {
+        self.stored.min(self.capacity_j())
+    }
+
+    fn charge(&mut self, j: f64) -> f64 {
+        if j <= 0.0 || self.is_dead() {
+            return 0.0;
+        }
+        let headroom = (self.capacity_j() - self.stored).max(0.0);
+        let added = (j * self.efficiency).min(headroom);
+        self.stored += added;
+        self.throughput_j += added;
+        added
+    }
+
+    fn discharge(&mut self, j: f64) -> bool {
+        if j < 0.0 || self.is_dead() {
+            return false;
+        }
+        if self.stored_j() >= j {
+            self.stored -= j;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn advance_day(&mut self) {
+        self.age_days += 1;
+        // ~2 %/month self-discharge.
+        self.stored *= 1.0 - 0.02 / 30.0;
+        self.stored = self.stored.min(self.capacity_j());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supercap_charge_respects_efficiency_and_headroom() {
+        let mut c = Supercap::new(100.0);
+        let added = c.charge(10.0);
+        assert!((added - 9.5).abs() < 1e-12);
+        assert!((c.stored_j() - 9.5).abs() < 1e-12);
+        // Fill to the top; further charge is clamped.
+        c.charge(1e6);
+        assert!((c.stored_j() - 100.0).abs() < 1e-9);
+        assert_eq!(c.charge(10.0), 0.0);
+        assert!((c.soc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supercap_discharge_all_or_nothing() {
+        let mut c = Supercap::new(100.0).precharged(0.5);
+        assert!(c.discharge(49.0));
+        assert!(!c.discharge(10.0));
+        assert!((c.stored_j() - 1.0).abs() < 1e-9, "stored {}", c.stored_j());
+        assert!(!c.discharge(-1.0));
+    }
+
+    #[test]
+    fn supercap_leaks_daily() {
+        let mut c = Supercap::new(100.0).precharged(1.0);
+        c.advance_day();
+        assert!((c.stored_j() - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supercap_fades_slowly() {
+        let mut c = Supercap::new(100.0);
+        for _ in 0..(25 * 365) {
+            c.advance_day();
+        }
+        // 1 %/yr over 25 years ≈ 77.8 % remaining: still a working buffer.
+        assert!((c.capacity_j() - 100.0 * 0.99f64.powf(25.0)).abs() < 0.01);
+        assert!(c.capacity_j() > 75.0);
+    }
+
+    #[test]
+    fn battery_dies_of_calendar_aging() {
+        let mut b = Battery::new(1_000.0).precharged(1.0);
+        let mut died_at_years = None;
+        for day in 0..(30 * 365) {
+            b.advance_day();
+            if b.is_dead() {
+                died_at_years = Some(day as f64 / 365.0);
+                break;
+            }
+        }
+        let died = died_at_years.expect("battery should die within 30 years");
+        // ln(0.7)/ln(0.975) ≈ 14.1 years — matching the paper's folklore band.
+        assert!(died > 10.0 && died < 15.0, "died at {died}");
+        // Dead battery refuses service.
+        assert_eq!(b.capacity_j(), 0.0);
+        assert!(!b.discharge(1.0));
+        assert_eq!(b.charge(10.0), 0.0);
+    }
+
+    #[test]
+    fn battery_cycle_fade_accelerates_death() {
+        let mut idle = Battery::new(1_000.0);
+        let mut cycled = Battery::new(1_000.0);
+        for _ in 0..(5 * 365) {
+            idle.advance_day();
+            cycled.advance_day();
+            // One full cycle per day.
+            cycled.charge(1_200.0);
+            cycled.discharge(cycled.stored_j());
+        }
+        assert!(cycled.raw_capacity() < idle.raw_capacity());
+    }
+
+    #[test]
+    fn battery_charge_tracks_throughput() {
+        let mut b = Battery::new(100.0);
+        b.charge(50.0);
+        assert!((b.stored_j() - 45.0).abs() < 1e-12);
+        assert!(b.discharge(20.0));
+        assert!((b.stored_j() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_bounds() {
+        let c = Supercap::new(10.0).precharged(2.0);
+        assert!((c.soc() - 1.0).abs() < 1e-12);
+        let e = Supercap::new(10.0);
+        assert_eq!(e.soc(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn supercap_rejects_zero_capacity() {
+        Supercap::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn battery_rejects_negative_capacity() {
+        Battery::new(-5.0);
+    }
+}

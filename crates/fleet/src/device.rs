@@ -1,0 +1,189 @@
+//! Edge devices: the paper's transmit-only, energy-harvesting sensors.
+//!
+//! A [`DeviceSpec`] describes an archetype (radio, energy system, reporting
+//! cadence, vendor posture); [`DeviceState`] is one deployed instance with
+//! its sampled lifetime and availability. Devices follow the §3.1
+//! takeaways: they expect **no human attention** during their service life
+//! and rely on **properties** of infrastructure, never specific instances —
+//! unless explicitly configured vendor-locked for ablations.
+
+use net::packet::{Payload, RadioTech};
+use reliability::system::bom;
+use simcore::rng::Rng;
+use simcore::time::{SimDuration, SimTime};
+
+/// How the device is powered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnergySystem {
+    /// Energy harvesting with capacitor buffer — the paper's design point.
+    Harvesting,
+    /// Primary battery — the 10–15-year folklore design point.
+    Battery,
+}
+
+/// A device archetype.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceSpec {
+    /// Radio technology.
+    pub tech: RadioTech,
+    /// Power architecture.
+    pub energy: EnergySystem,
+    /// Application payload per report.
+    pub payload: Payload,
+    /// Reporting interval.
+    pub report_interval: SimDuration,
+    /// True if the device only works with its manufacturer's gateways.
+    pub vendor_locked: bool,
+    /// Long-run energy availability (fraction of reports with enough
+    /// energy to transmit), from `energy::budget` sizing. 1.0 = never
+    /// energy-limited.
+    pub energy_availability: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's initial experiment device (§4.1): harvesting,
+    /// transmit-only, hourly 24-byte reports, standards-compliant.
+    pub fn paper_sensor(tech: RadioTech) -> Self {
+        DeviceSpec {
+            tech,
+            energy: EnergySystem::Harvesting,
+            payload: Payload::CREDIT_UNIT,
+            report_interval: SimDuration::from_hours(1),
+            vendor_locked: false,
+            energy_availability: 0.999,
+        }
+    }
+
+    /// Reports per week (the paper's uptime metric counts weekly arrivals).
+    pub fn reports_per_week(&self) -> u64 {
+        simcore::time::WEEK / self.report_interval.as_secs().max(1)
+    }
+}
+
+/// One deployed device.
+#[derive(Clone, Debug)]
+pub struct DeviceState {
+    /// The archetype.
+    pub spec: DeviceSpec,
+    /// When it was installed.
+    pub installed_at: SimTime,
+    /// When its hardware fails (sampled at install).
+    pub fails_at: SimTime,
+    /// Whether it has been marked failed.
+    pub failed: bool,
+    /// Lifetime sequence number of transmitted reports.
+    pub seq: u64,
+}
+
+impl DeviceState {
+    /// Deploys a device at `now`, sampling its hardware lifetime from the
+    /// archetype's reliability BOM in the given environment.
+    pub fn deploy(spec: DeviceSpec, now: SimTime, env: &bom::Environment, rng: &mut Rng) -> Self {
+        let block = match spec.energy {
+            EnergySystem::Harvesting => bom::harvesting_node(env),
+            EnergySystem::Battery => bom::battery_node(env),
+        };
+        let ttf_years = block.sample_ttf(rng);
+        DeviceState {
+            spec,
+            installed_at: now,
+            fails_at: now.saturating_add(SimDuration::from_years_f64(ttf_years)),
+            failed: false,
+            seq: 0,
+        }
+    }
+
+    /// Whether the hardware is functional at `t`.
+    pub fn alive_at(&self, t: SimTime) -> bool {
+        !self.failed && t < self.fails_at
+    }
+
+    /// Age at time `t`.
+    pub fn age_at(&self, t: SimTime) -> SimDuration {
+        if t <= self.installed_at {
+            SimDuration::ZERO
+        } else {
+            t.since(self.installed_at)
+        }
+    }
+
+    /// Whether a given report attempt has energy, drawn per attempt.
+    pub fn has_energy(&self, rng: &mut Rng) -> bool {
+        rng.chance(self.spec.energy_availability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> bom::Environment {
+        bom::Environment::default()
+    }
+
+    #[test]
+    fn paper_sensor_shape() {
+        let s = DeviceSpec::paper_sensor(RadioTech::LoRa);
+        assert_eq!(s.payload.len(), 24);
+        assert_eq!(s.reports_per_week(), 168);
+        assert!(!s.vendor_locked);
+        assert_eq!(s.energy, EnergySystem::Harvesting);
+    }
+
+    #[test]
+    fn deploy_samples_future_failure() {
+        let mut rng = Rng::seed_from(1);
+        let d = DeviceState::deploy(
+            DeviceSpec::paper_sensor(RadioTech::Ieee802154),
+            SimTime::from_years(2),
+            &env(),
+            &mut rng,
+        );
+        assert!(d.fails_at > d.installed_at);
+        assert!(d.alive_at(SimTime::from_years(2)));
+        assert!(!d.alive_at(SimTime::MAX));
+    }
+
+    #[test]
+    fn harvesting_outlives_battery_in_distribution() {
+        let mut rng = Rng::seed_from(2);
+        let n = 2_000;
+        let mean_life = |energy: EnergySystem, rng: &mut Rng| {
+            let spec = DeviceSpec { energy, ..DeviceSpec::paper_sensor(RadioTech::LoRa) };
+            (0..n)
+                .map(|_| {
+                    let d = DeviceState::deploy(spec, SimTime::ZERO, &env(), rng);
+                    d.fails_at.as_years_f64()
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let h = mean_life(EnergySystem::Harvesting, &mut rng);
+        let b = mean_life(EnergySystem::Battery, &mut rng);
+        assert!(h > b, "harvesting {h} battery {b}");
+    }
+
+    #[test]
+    fn age_accounting() {
+        let mut rng = Rng::seed_from(3);
+        let d = DeviceState::deploy(
+            DeviceSpec::paper_sensor(RadioTech::LoRa),
+            SimTime::from_years(5),
+            &env(),
+            &mut rng,
+        );
+        assert_eq!(d.age_at(SimTime::from_years(4)), SimDuration::ZERO);
+        assert_eq!(d.age_at(SimTime::from_years(8)), SimDuration::from_years(3));
+    }
+
+    #[test]
+    fn energy_availability_drives_has_energy() {
+        let mut rng = Rng::seed_from(4);
+        let mut spec = DeviceSpec::paper_sensor(RadioTech::LoRa);
+        spec.energy_availability = 0.25;
+        let d = DeviceState::deploy(spec, SimTime::ZERO, &env(), &mut rng);
+        let n = 40_000;
+        let ok = (0..n).filter(|_| d.has_energy(&mut rng)).count() as f64 / n as f64;
+        assert!((ok - 0.25).abs() < 0.01, "ok {ok}");
+    }
+}

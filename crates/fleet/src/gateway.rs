@@ -1,0 +1,226 @@
+//! Gateways: routers by principle, Raspberry Pis in practice (§3.2, §4.2).
+//!
+//! The paper's owned arm runs Pi-class 802.15.4 gateways; the takeaways say
+//! gateways should *only route*, serve all manufacturers, and be
+//! replaceable through a commissioning process. Unlike edge devices,
+//! gateways **are** maintained: failures trigger a repair visit after a
+//! configurable delay.
+
+use backhaul::provider::Provider;
+use backhaul::tech::BackhaulTech;
+use reliability::system::bom;
+use simcore::rng::Rng;
+use simcore::time::{SimDuration, SimTime};
+
+/// Gateway service posture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatewayMode {
+    /// Forward-only, aggressively firewalled (§4.4): minimal attack
+    /// surface, minimal software upkeep.
+    UnidirectionalFirewalled,
+    /// Full bidirectional service: more useful, more upkeep (patching a
+    /// public-facing networked device).
+    Bidirectional,
+}
+
+impl GatewayMode {
+    /// Yearly software-maintenance burden in person-hours (patching,
+    /// certificate rotation, incident response). The firewalled
+    /// unidirectional posture nearly eliminates it.
+    pub fn yearly_upkeep_hours(self) -> f64 {
+        match self {
+            GatewayMode::UnidirectionalFirewalled => 0.5,
+            GatewayMode::Bidirectional => 6.0,
+        }
+    }
+}
+
+/// A gateway's configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GatewaySpec {
+    /// Backhaul attachment.
+    pub backhaul: BackhaulTech,
+    /// Backhaul provider characteristics.
+    pub provider: Provider,
+    /// Service posture.
+    pub mode: GatewayMode,
+    /// Repair turnaround once a failure is noticed.
+    pub repair_delay: SimDuration,
+    /// Serves devices of every manufacturer (the §3.2 interop takeaway);
+    /// false models a vendor-locked gateway.
+    pub serves_all_vendors: bool,
+}
+
+impl GatewaySpec {
+    /// The paper's owned 802.15.4 gateway: campus Ethernet, unidirectional
+    /// firewalled Pi, one-week repair turnaround, serves everyone.
+    pub fn paper_owned() -> Self {
+        GatewaySpec {
+            backhaul: BackhaulTech::Ethernet,
+            provider: Provider::campus(),
+            mode: GatewayMode::UnidirectionalFirewalled,
+            repair_delay: SimDuration::from_weeks(1),
+            serves_all_vendors: true,
+        }
+    }
+}
+
+/// One deployed gateway.
+#[derive(Clone, Debug)]
+pub struct GatewayState {
+    /// Configuration.
+    pub spec: GatewaySpec,
+    /// When the current hardware fails next.
+    pub fails_at: SimTime,
+    /// Whether currently down awaiting repair.
+    pub down: bool,
+    /// Hardware replacements so far.
+    pub repairs: u64,
+}
+
+impl GatewayState {
+    /// Deploys a gateway at `now`, sampling Pi-class hardware lifetime.
+    pub fn deploy(spec: GatewaySpec, now: SimTime, env: &bom::Environment, rng: &mut Rng) -> Self {
+        GatewayState {
+            spec,
+            fails_at: now.saturating_add(Self::sample_life(env, rng)),
+            down: false,
+            repairs: 0,
+        }
+    }
+
+    fn sample_life(env: &bom::Environment, rng: &mut Rng) -> SimDuration {
+        let block = bom::pi_gateway(env);
+        SimDuration::from_years_f64(block.sample_ttf(rng))
+    }
+
+    /// Marks the hardware failed at `now`; returns when the repair visit
+    /// completes.
+    pub fn fail(&mut self, now: SimTime) -> SimTime {
+        self.down = true;
+        now.saturating_add(self.spec.repair_delay)
+    }
+
+    /// Completes a repair at `now` with fresh hardware; samples the next
+    /// failure time.
+    pub fn repair(&mut self, now: SimTime, env: &bom::Environment, rng: &mut Rng) {
+        self.down = false;
+        self.repairs += 1;
+        self.fails_at = now.saturating_add(Self::sample_life(env, rng));
+    }
+
+    /// Whether the gateway forwards traffic at `t`: hardware up and
+    /// backhaul technology still in service.
+    pub fn forwarding_at(&self, t: SimTime) -> bool {
+        !self.down && t < self.fails_at && self.spec.backhaul.available(t.as_years_f64())
+    }
+}
+
+/// Commissioning/migration model (§3.2): replacing a gateway uses the
+/// outgoing unit as a trusted third party, so migration takes bounded
+/// effort per attached device rather than per-device re-provisioning.
+#[derive(Clone, Copy, Debug)]
+pub struct Commissioning {
+    /// Fixed effort to stand up and key the new gateway, hours.
+    pub base_hours: f64,
+    /// Per-device migration effort when the old gateway can vouch, hours.
+    pub per_device_hours_trusted: f64,
+    /// Per-device effort when devices must be re-provisioned by hand
+    /// (vendor-locked or no trusted handoff), hours.
+    pub per_device_hours_manual: f64,
+}
+
+impl Default for Commissioning {
+    fn default() -> Self {
+        Commissioning {
+            base_hours: 2.0,
+            per_device_hours_trusted: 0.01,
+            per_device_hours_manual: 0.5,
+        }
+    }
+}
+
+impl Commissioning {
+    /// Total migration effort for `devices` attached devices, with or
+    /// without a trusted-third-party handoff.
+    pub fn migration_hours(&self, devices: u64, trusted_handoff: bool) -> f64 {
+        let per = if trusted_handoff {
+            self.per_device_hours_trusted
+        } else {
+            self.per_device_hours_manual
+        };
+        self.base_hours + per * devices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> bom::Environment {
+        bom::Environment::default()
+    }
+
+    #[test]
+    fn deploy_fail_repair_cycle() {
+        let mut rng = Rng::seed_from(1);
+        let mut gw = GatewayState::deploy(GatewaySpec::paper_owned(), SimTime::ZERO, &env(), &mut rng);
+        assert!(gw.forwarding_at(SimTime::ZERO));
+        let fail_time = gw.fails_at;
+        let repair_done = gw.fail(fail_time);
+        assert!(!gw.forwarding_at(fail_time));
+        assert_eq!(repair_done, fail_time + SimDuration::from_weeks(1));
+        gw.repair(repair_done, &env(), &mut rng);
+        assert!(gw.forwarding_at(repair_done));
+        assert_eq!(gw.repairs, 1);
+        assert!(gw.fails_at > repair_done);
+    }
+
+    #[test]
+    fn pi_gateway_needs_repairs_within_decades() {
+        // Median Pi-class TTF is a handful of years; over 50 years a
+        // gateway should cycle hardware multiple times.
+        let mut rng = Rng::seed_from(2);
+        let mut gw = GatewayState::deploy(GatewaySpec::paper_owned(), SimTime::ZERO, &env(), &mut rng);
+        let horizon = SimTime::from_years(50);
+        while gw.fails_at < horizon {
+            let repaired_at = gw.fail(gw.fails_at);
+            gw.repair(repaired_at, &env(), &mut rng);
+        }
+        assert!(gw.repairs >= 3, "repairs {}", gw.repairs);
+    }
+
+    #[test]
+    fn cellular_gateway_loses_service_at_sunset() {
+        use backhaul::tech::CellularGen;
+        let mut rng = Rng::seed_from(3);
+        let spec = GatewaySpec {
+            backhaul: BackhaulTech::Cellular(CellularGen::G3),
+            ..GatewaySpec::paper_owned()
+        };
+        let gw = GatewayState::deploy(spec, SimTime::ZERO, &env(), &mut rng);
+        // Even with working hardware, service dies at the 3G sunset (yr 12).
+        if gw.fails_at > SimTime::from_years(13) {
+            assert!(!gw.forwarding_at(SimTime::from_years(13)));
+        }
+        assert_eq!(gw.forwarding_at(SimTime::from_years(5)), gw.fails_at > SimTime::from_years(5));
+    }
+
+    #[test]
+    fn unidirectional_mode_slashes_upkeep() {
+        assert!(
+            GatewayMode::Bidirectional.yearly_upkeep_hours()
+                > GatewayMode::UnidirectionalFirewalled.yearly_upkeep_hours() * 5.0
+        );
+    }
+
+    #[test]
+    fn trusted_commissioning_scales() {
+        let c = Commissioning::default();
+        let trusted = c.migration_hours(1_000, true);
+        let manual = c.migration_hours(1_000, false);
+        assert!((trusted - 12.0).abs() < 1e-9, "trusted {trusted}");
+        assert!((manual - 502.0).abs() < 1e-9, "manual {manual}");
+        assert!(manual > trusted * 20.0);
+    }
+}

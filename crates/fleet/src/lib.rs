@@ -1,0 +1,39 @@
+//! `fleet` — the deployment hierarchy and its century-scale dynamics.
+//!
+//! This crate assembles the substrates (`energy`, `reliability`, `net`,
+//! `backhaul`, `econ`) into the system *Century-Scale Smart Infrastructure*
+//! (HotOS ’21) describes: devices that expect no human attention, gateways
+//! that are maintained, backhaul that sunsets, and the maintenance economy
+//! around them.
+//!
+//! * [`device`] / [`gateway`] / [`cloud`] — the three managed tiers.
+//! * [`hierarchy`] — Figure 1's reliance graph and its fan-out statistics.
+//! * [`commissioning`] — the §3.2 gateway-migration protocol as a typed
+//!   state machine (trusted-third-party handoff vs disorderly failure).
+//! * [`maintenance`] — crews, truck rolls, geographic batching.
+//! * [`obsolescence`] — technical/style/planned/functional obsolescence
+//!   and vendor lock-in.
+//! * [`pipeline`] — Ship-of-Theseus cohort pipelining.
+//! * [`sim`] — the discrete-event fleet simulation running §4's 50-year
+//!   experiment.
+//! * [`upgrade`] — gateway technology-generation planning: upgrade policies
+//!   vs heterogeneity and out-of-support exposure.
+//! * [`workforce`] — crew-capacity backlog dynamics: what replacement waves
+//!   cost in dark device-years when the crew is finite.
+
+pub mod cloud;
+pub mod commissioning;
+pub mod device;
+pub mod gateway;
+pub mod hierarchy;
+pub mod maintenance;
+pub mod obsolescence;
+pub mod pipeline;
+pub mod sim;
+pub mod upgrade;
+pub mod workforce;
+
+pub use device::{DeviceSpec, DeviceState, EnergySystem};
+pub use gateway::{GatewaySpec, GatewayState};
+pub use hierarchy::Hierarchy;
+pub use sim::{ArmConfig, ArmReport, FleetConfig, FleetReport, FleetSim};

@@ -1,0 +1,274 @@
+//! Ship-of-Theseus cohort pipelining (§1, §3.4; exhibit E3).
+//!
+//! *"Constituent device lifetimes are pipelined, where some 15-year sensors
+//! are 10 years into their service life while others are being freshly
+//! deployed."* This module simulates a fleet of mounts whose devices are
+//! deployed in cohorts — staggered (pipelined) or all at once (en masse) —
+//! and replaced on failure, producing the aggregate-continuity statistics
+//! the paper argues from: fraction of fleet alive over time, replacement
+//! labor per year, and peak-year workload.
+
+use reliability::hazard::Hazard;
+use simcore::rng::Rng;
+use simcore::series::Series;
+use simcore::time::SimTime;
+
+/// How the initial fleet is rolled out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rollout {
+    /// Everything deployed in year 0 (the "replace one sensor type en
+    /// masse" anti-pattern).
+    EnMasse,
+    /// Deployment staggered uniformly over the given number of years
+    /// (geographic batches, one district at a time).
+    Staggered {
+        /// Years over which cohorts are spread.
+        years: u32,
+    },
+}
+
+/// Configuration of a pipelined-fleet run.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Number of mounts (each hosts exactly one device when serviced).
+    pub mounts: u32,
+    /// Rollout policy.
+    pub rollout: Rollout,
+    /// Replacement lag after a failure, in years (procurement + visit).
+    pub replace_lag_years: f64,
+    /// Horizon in years.
+    pub horizon_years: f64,
+}
+
+/// Results of a pipelined-fleet run.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// Fraction of mounts with a live device, sampled yearly.
+    pub alive_fraction: Series,
+    /// Replacements performed per year (index = year).
+    pub replacements_per_year: Vec<u32>,
+    /// Total replacements over the horizon.
+    pub total_replacements: u64,
+    /// Worst single-year replacement count.
+    pub peak_year_replacements: u32,
+    /// Time-average alive fraction.
+    pub mean_alive: f64,
+}
+
+/// Simulates the fleet under the given lifetime model.
+///
+/// Each mount draws independent device lifetimes from `ttf`; on failure a
+/// replacement arrives `replace_lag_years` later with a fresh lifetime.
+pub fn run<H: Hazard + ?Sized>(cfg: &PipelineConfig, ttf: &H, rng: &mut Rng) -> PipelineRun {
+    assert!(cfg.mounts > 0, "need at least one mount");
+    assert!(cfg.horizon_years > 0.0, "horizon must be positive");
+    assert!(cfg.replace_lag_years >= 0.0, "lag must be >= 0");
+
+    // Per-mount chronology of [install, fail) intervals.
+    let years = cfg.horizon_years;
+    let n_years = years.ceil() as usize;
+    let mut replacements_per_year = vec![0u32; n_years];
+    let mut total_replacements = 0u64;
+    // alive[y] accumulates the fraction of the year each mount was live.
+    let mut alive = vec![0.0f64; n_years];
+
+    for m in 0..cfg.mounts {
+        let mut mrng = rng.split("mount", m as u64);
+        let mut t = match cfg.rollout {
+            Rollout::EnMasse => 0.0,
+            Rollout::Staggered { years } => {
+                mrng.next_f64() * years as f64
+            }
+        };
+        let mut first = true;
+        while t < years {
+            if !first {
+                total_replacements += 1;
+                let y = t as usize;
+                if y < n_years {
+                    replacements_per_year[y] += 1;
+                }
+            }
+            first = false;
+            let life = ttf.sample_ttf(&mut mrng);
+            let up_end = (t + life).min(years);
+            // Credit alive time year by year.
+            let mut a = t;
+            while a < up_end {
+                let y = a as usize;
+                let year_end = (y + 1) as f64;
+                let credit = up_end.min(year_end) - a;
+                alive[y] += credit;
+                a = year_end;
+            }
+            t += life + cfg.replace_lag_years;
+        }
+    }
+
+    let mut series = Series::new("alive-fraction");
+    let mounts = cfg.mounts as f64;
+    let mut sum = 0.0;
+    for (y, &a) in alive.iter().enumerate() {
+        let frac = a / mounts;
+        sum += frac;
+        series.push(SimTime::from_years(y as u64), frac);
+    }
+    let peak = replacements_per_year.iter().copied().max().unwrap_or(0);
+    PipelineRun {
+        alive_fraction: series,
+        replacements_per_year,
+        total_replacements,
+        peak_year_replacements: peak,
+        mean_alive: sum / n_years as f64,
+    }
+}
+
+/// Steady-state fleet age statistics: mean and P90 of the in-service
+/// device age across mounts at the horizon (for the Figure-1 "lifetime
+/// variability" narrative).
+pub fn fleet_age_at_horizon<H: Hazard + ?Sized>(
+    cfg: &PipelineConfig,
+    ttf: &H,
+    rng: &mut Rng,
+) -> (f64, f64) {
+    assert!(cfg.mounts > 0, "need at least one mount");
+    let years = cfg.horizon_years;
+    let mut ages: Vec<f64> = Vec::with_capacity(cfg.mounts as usize);
+    for m in 0..cfg.mounts {
+        let mut mrng = rng.split("age-mount", m as u64);
+        let mut t = match cfg.rollout {
+            Rollout::EnMasse => 0.0,
+            Rollout::Staggered { years } => mrng.next_f64() * years as f64,
+        };
+        let mut installed = t;
+        while t < years {
+            let life = ttf.sample_ttf(&mut mrng);
+            if t + life >= years {
+                installed = t;
+                break;
+            }
+            t += life + cfg.replace_lag_years;
+            installed = t;
+        }
+        ages.push((years - installed).max(0.0));
+    }
+    ages.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = ages.iter().sum::<f64>() / ages.len() as f64;
+    let idx = ((ages.len() as f64 * 0.9) as usize).min(ages.len() - 1);
+    let p90 = ages[idx];
+    (mean, p90)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reliability::hazard::{ExponentialHazard, WeibullHazard};
+
+    fn cfg(rollout: Rollout) -> PipelineConfig {
+        PipelineConfig {
+            mounts: 500,
+            rollout,
+            replace_lag_years: 0.1,
+            horizon_years: 60.0,
+        }
+    }
+
+    #[test]
+    fn fleet_outlives_any_device() {
+        // 15-year devices, 60-year horizon: the fleet stays >90 % alive
+        // throughout (after rollout), though every device dies several
+        // times over — the Ship of Theseus.
+        let ttf = WeibullHazard::with_median(4.0, 15.0);
+        let mut rng = Rng::seed_from(1);
+        let run = run(&cfg(Rollout::EnMasse), &ttf, &mut rng);
+        assert!(run.mean_alive > 0.9, "mean alive {}", run.mean_alive);
+        assert!(run.total_replacements > 1_000);
+    }
+
+    #[test]
+    fn staggering_flattens_replacement_peaks() {
+        // Sharp 15-year lifetimes deployed en masse echo as synchronized
+        // replacement waves; staggering spreads them.
+        let ttf = WeibullHazard::with_median(10.0, 15.0); // Sharp wear-out.
+        let base = Rng::seed_from(2);
+        let mut r1 = base.split("a", 0);
+        let mut r2 = base.split("b", 0);
+        let en_masse = run(&cfg(Rollout::EnMasse), &ttf, &mut r1);
+        let staggered = run(&cfg(Rollout::Staggered { years: 15 }), &ttf, &mut r2);
+        assert!(
+            staggered.peak_year_replacements * 2 < en_masse.peak_year_replacements,
+            "staggered peak {} vs en-masse {}",
+            staggered.peak_year_replacements,
+            en_masse.peak_year_replacements
+        );
+    }
+
+    #[test]
+    fn replacement_totals_similar_across_rollouts() {
+        let ttf = ExponentialHazard::with_mttf(10.0);
+        let base = Rng::seed_from(3);
+        let mut r1 = base.split("a", 0);
+        let mut r2 = base.split("b", 0);
+        let a = run(&cfg(Rollout::EnMasse), &ttf, &mut r1);
+        let b = run(&cfg(Rollout::Staggered { years: 10 }), &ttf, &mut r2);
+        // Staggered fleets deploy later so replace slightly less.
+        assert!(b.total_replacements < a.total_replacements);
+        let ratio = b.total_replacements as f64 / a.total_replacements as f64;
+        assert!(ratio > 0.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alive_series_spans_horizon() {
+        let ttf = ExponentialHazard::with_mttf(10.0);
+        let mut rng = Rng::seed_from(4);
+        let r = run(&cfg(Rollout::EnMasse), &ttf, &mut rng);
+        assert_eq!(r.alive_fraction.len(), 60);
+        for &(_, v) in r.alive_fraction.points() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn replace_lag_lowers_availability() {
+        let ttf = ExponentialHazard::with_mttf(5.0);
+        let base = Rng::seed_from(5);
+        let mut r1 = base.split("a", 0);
+        let mut r2 = base.split("a", 0); // Same stream: identical lifetimes.
+        let fast = run(
+            &PipelineConfig { replace_lag_years: 0.0, ..cfg(Rollout::EnMasse) },
+            &ttf,
+            &mut r1,
+        );
+        let slow = run(
+            &PipelineConfig { replace_lag_years: 1.0, ..cfg(Rollout::EnMasse) },
+            &ttf,
+            &mut r2,
+        );
+        assert!(slow.mean_alive < fast.mean_alive - 0.05);
+    }
+
+    #[test]
+    fn fleet_age_mean_below_mttf() {
+        let ttf = WeibullHazard::with_median(4.0, 15.0);
+        let mut rng = Rng::seed_from(6);
+        let (mean, p90) = fleet_age_at_horizon(&cfg(Rollout::Staggered { years: 15 }), &ttf, &mut rng);
+        assert!(mean > 0.0 && mean < ttf.mttf());
+        assert!(p90 > mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "mount")]
+    fn zero_mounts_panics() {
+        let ttf = ExponentialHazard::with_mttf(5.0);
+        run(
+            &PipelineConfig {
+                mounts: 0,
+                rollout: Rollout::EnMasse,
+                replace_lag_years: 0.0,
+                horizon_years: 10.0,
+            },
+            &ttf,
+            &mut Rng::seed_from(7),
+        );
+    }
+}

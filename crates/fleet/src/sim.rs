@@ -1,0 +1,956 @@
+//! The fleet simulation: §4's 50-year experiment, executable.
+//!
+//! [`FleetSim`] wires the whole stack together — devices
+//! ([`crate::device`]), gateways ([`crate::gateway`]), backhaul providers
+//! and hotspot populations ([`backhaul`]), the cloud endpoint
+//! ([`crate::cloud`]) — and runs it on the discrete-event engine over a
+//! multi-decade horizon. Each experiment *arm* mirrors the paper:
+//!
+//! * **owned-802.15.4** — self-deployed Pi-class gateways on a campus
+//!   backhaul; gateways are maintained, devices are not.
+//! * **helium-lora** — third-party hotspots carry the data, prepaid with
+//!   data-credit wallets; nothing but the device is deployed.
+//!
+//! The paper's uptime metric is implemented verbatim: *"some data arrives
+//! at some interval of time up to once a week."* Weekly check events walk
+//! each arm's end-to-end path; the structured diary records every failure,
+//! repair, sunset and renewal, exactly as §4.5 promises to publish.
+//!
+//! ## Modelling notes
+//!
+//! Per-packet events over 50 years (hundreds of thousands per device) are
+//! aggregated to weekly evaluations: within a week, a live device's packet
+//! deliveries are Bernoulli draws at the arm's per-packet delivery
+//! probability. Device energy availability enters as a per-week
+//! availability factor computed by the `energy` crate offline (E12 covers
+//! the fine-grained energy dynamics).
+
+use backhaul::helium::HotspotPopulation;
+use econ::credits::Wallet;
+use econ::labor::PersonHours;
+use econ::money::Usd;
+use reliability::system::bom;
+use simcore::engine::{Ctx, Engine, World};
+use simcore::rng::Rng;
+use simcore::survival::Observation;
+use simcore::time::{SimDuration, SimTime, WEEK};
+use simcore::trace::{Diary, Severity, Tier};
+
+use crate::cloud::CloudEndpoint;
+use crate::device::{DeviceSpec, DeviceState};
+use crate::gateway::{GatewaySpec, GatewayState};
+
+/// Infrastructure flavour of an experiment arm.
+#[derive(Clone, Debug)]
+pub enum ArmKind {
+    /// Self-deployed gateways (the paper's 802.15.4 arm).
+    Owned {
+        /// Number of gateways deployed.
+        gateways: usize,
+        /// Gateway configuration.
+        spec: GatewaySpec,
+    },
+    /// Third-party federated coverage (the paper's Helium arm).
+    Federated {
+        /// Local hotspot census dynamics.
+        hotspots: HotspotPopulation,
+        /// Wallet provisioned per device.
+        wallet_dollars: Usd,
+    },
+}
+
+/// Configuration of one experiment arm.
+#[derive(Clone, Debug)]
+pub struct ArmConfig {
+    /// Display name (diary prefix).
+    pub name: &'static str,
+    /// Infrastructure flavour.
+    pub kind: ArmKind,
+    /// Number of edge devices.
+    pub devices: usize,
+    /// Device archetype.
+    pub device_spec: DeviceSpec,
+    /// Per-packet delivery probability given the path is up (link PRR ×
+    /// collision survival), from the `net` crate's models.
+    pub per_packet_delivery: f64,
+    /// Whether failed devices are replaced (the paper documents, diagnoses
+    /// and replaces — a living study), and after what delay.
+    pub replace_devices: Option<SimDuration>,
+    /// Fraction of devices hearing two gateways instead of one (owned
+    /// arms; Figure 1's "one or two gateways"). The rest are single-homed
+    /// on a deployment-time lottery.
+    pub dual_homed_fraction: f64,
+}
+
+impl ArmConfig {
+    /// The paper's owned-802.15.4 arm with `devices` sensors and
+    /// `gateways` campus-backhauled Pi gateways.
+    pub fn paper_owned_154(devices: usize, gateways: usize) -> Self {
+        ArmConfig {
+            name: "owned-802.15.4",
+            kind: ArmKind::Owned { gateways, spec: GatewaySpec::paper_owned() },
+            devices,
+            device_spec: DeviceSpec::paper_sensor(net::packet::RadioTech::Ieee802154),
+            per_packet_delivery: 0.95,
+            replace_devices: Some(SimDuration::from_weeks(2)),
+            dual_homed_fraction: 0.6,
+        }
+    }
+
+    /// Derives `per_packet_delivery` from the shared-channel model instead
+    /// of the preset constant: link PRR × pure-ALOHA collision survival
+    /// (with capture) at this arm's own offered load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's report interval is zero.
+    pub fn with_channel_derived_delivery(mut self, link_prr: f64, capture_prob: f64) -> Self {
+        let airtime = match self.device_spec.tech {
+            net::packet::RadioTech::Ieee802154 => {
+                net::ieee802154::airtime_s(self.device_spec.payload.len() as u32)
+            }
+            net::packet::RadioTech::LoRa => {
+                net::lora::LoraConfig::uplink(net::lora::SpreadingFactor::Sf10)
+                    .airtime_s(self.device_spec.payload.len() as u32)
+            }
+        };
+        let interval = self.device_spec.report_interval.as_secs() as f64;
+        assert!(interval > 0.0, "report interval must be positive");
+        let g = net::aloha::offered_load(self.devices as u64, airtime, interval);
+        let collision_survival = net::aloha::delivery_prob_with_capture(g, capture_prob);
+        self.per_packet_delivery = (link_prr * collision_survival).clamp(0.0, 1.0);
+        self
+    }
+
+    /// A cellular-backhauled variant of the owned arm (§3.3.2's risk case):
+    /// same devices and gateways, but the uplink is a cellular generation
+    /// that will sunset within the horizon.
+    pub fn cellular_owned_154(
+        devices: usize,
+        gateways: usize,
+        generation: backhaul::tech::CellularGen,
+    ) -> Self {
+        let mut spec = GatewaySpec::paper_owned();
+        spec.backhaul = backhaul::tech::BackhaulTech::Cellular(generation);
+        spec.provider = backhaul::provider::Provider::commercial();
+        ArmConfig {
+            name: "cellular-802.15.4",
+            kind: ArmKind::Owned { gateways, spec },
+            devices,
+            device_spec: DeviceSpec::paper_sensor(net::packet::RadioTech::Ieee802154),
+            per_packet_delivery: 0.95,
+            replace_devices: Some(SimDuration::from_weeks(2)),
+            dual_homed_fraction: 0.6,
+        }
+    }
+
+    /// The paper's Helium arm with `devices` sensors riding `hotspots`
+    /// initially-audible hotspots, each device prepaid with a $5 wallet.
+    pub fn paper_helium(devices: usize, hotspots: u32) -> Self {
+        ArmConfig {
+            name: "helium-lora",
+            kind: ArmKind::Federated {
+                hotspots: HotspotPopulation::emerging(hotspots),
+                wallet_dollars: Usd::from_dollars(5),
+            },
+            devices,
+            device_spec: DeviceSpec::paper_sensor(net::packet::RadioTech::LoRa),
+            per_packet_delivery: 0.90,
+            replace_devices: Some(SimDuration::from_weeks(2)),
+            dual_homed_fraction: 1.0,
+        }
+    }
+}
+
+/// Whole-simulation configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Master seed; every entity derives an independent stream from it.
+    pub seed: u64,
+    /// Simulation horizon.
+    pub horizon: SimDuration,
+    /// Experiment arms.
+    pub arms: Vec<ArmConfig>,
+    /// Device/gateway physical environment.
+    pub env: bom::Environment,
+}
+
+impl FleetConfig {
+    /// The paper's initial experiment: 10 devices per arm, 2 owned
+    /// gateways, 4 audible hotspots, 50-year horizon.
+    pub fn paper_experiment(seed: u64) -> Self {
+        FleetConfig {
+            seed,
+            horizon: SimDuration::from_years(50),
+            arms: vec![
+                ArmConfig::paper_owned_154(10, 2),
+                ArmConfig::paper_helium(10, 4),
+            ],
+            env: bom::Environment::default(),
+        }
+    }
+}
+
+/// Simulation events (public because the `World` impl exposes the type;
+/// construct them only through [`FleetSim::build`]).
+#[derive(Clone, Copy, Debug)]
+#[doc(hidden)]
+pub enum Ev {
+    /// Per-week end-to-end evaluation.
+    WeeklyCheck,
+    /// Yearly hotspot/upkeep tick.
+    YearlyTick,
+    /// Device hardware failure: `(arm, device)`.
+    DeviceFail(usize, usize),
+    /// Device replacement arrives: `(arm, device)`.
+    DeviceReplace(usize, usize),
+    /// Gateway hardware failure: `(arm, gateway)`.
+    GatewayFail(usize, usize),
+    /// Gateway repaired: `(arm, gateway)`.
+    GatewayRepair(usize, usize),
+    /// The arm's backhaul provider exits the business: `(arm)`.
+    ProviderExit(usize),
+    /// Replacement backhaul commissioned after a provider exit: `(arm)`.
+    BackhaulMigrated(usize),
+}
+
+/// Live infrastructure state of an arm.
+enum ArmInfra {
+    Owned {
+        gateways: Vec<GatewayState>,
+        /// True while the backhaul provider is gone and the replacement is
+        /// not yet commissioned (§3.3.3 continuity risk).
+        backhaul_down: bool,
+        /// Whether the technology-sunset incident has been logged.
+        sunset_logged: bool,
+    },
+    Federated {
+        hotspots: HotspotPopulation,
+        wallets: Vec<Wallet>,
+    },
+}
+
+/// Per-arm accumulated results.
+#[derive(Clone, Debug, Default)]
+pub struct ArmReport {
+    /// Arm display name.
+    pub name: &'static str,
+    /// Weeks in which at least one reading reached the endpoint.
+    pub weeks_up: u64,
+    /// Total weeks evaluated.
+    pub weeks_total: u64,
+    /// Readings delivered end-to-end.
+    pub readings_delivered: u64,
+    /// Readings expected (devices × reports, regardless of state).
+    pub readings_expected: u64,
+    /// Device hardware failures observed.
+    pub device_failures: u64,
+    /// Device replacements performed.
+    pub device_replacements: u64,
+    /// Gateway repairs performed.
+    pub gateway_repairs: u64,
+    /// Backhaul provider exits survived (replacement commissioned).
+    pub backhaul_migrations: u64,
+    /// Field labor spent on this arm.
+    pub labor: PersonHours,
+    /// Money spent on this arm (hardware, wallets, truck rolls).
+    pub spend: Usd,
+    /// Devices whose wallets exhausted (federated arm).
+    pub wallets_exhausted: u64,
+    /// Per-incarnation device lifetimes in years: failures observed during
+    /// the run plus right-censored survivors at the horizon — ready for
+    /// [`simcore::survival::KaplanMeier`] or `reliability::fit`.
+    pub lifetime_observations: Vec<Observation>,
+}
+
+impl ArmReport {
+    /// The paper's end-to-end uptime metric: fraction of weeks with data.
+    pub fn uptime(&self) -> f64 {
+        if self.weeks_total == 0 {
+            return 0.0;
+        }
+        self.weeks_up as f64 / self.weeks_total as f64
+    }
+
+    /// Fraction of expected readings that arrived.
+    pub fn data_yield(&self) -> f64 {
+        if self.readings_expected == 0 {
+            return 0.0;
+        }
+        self.readings_delivered as f64 / self.readings_expected as f64
+    }
+}
+
+/// Full simulation output.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-arm results, in configuration order.
+    pub arms: Vec<ArmReport>,
+    /// The experiment diary (§4.5).
+    pub diary: Diary,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+}
+
+struct ArmState {
+    cfg: ArmConfig,
+    devices: Vec<DeviceState>,
+    /// Owned arms: the gateway indices each device can reach (the
+    /// deployment-time coverage lottery, 1 or 2 entries).
+    homes: Vec<Vec<usize>>,
+    infra: ArmInfra,
+    report: ArmReport,
+    /// The arm's private runtime stream: weekly draws, replacements and
+    /// hotspot churn never touch another arm's randomness, so adding an
+    /// arm to a configuration cannot perturb existing arms (the
+    /// common-random-numbers property DESIGN.md calls out).
+    rng: Rng,
+}
+
+/// The simulation world.
+pub struct FleetSim {
+    cfg: FleetConfig,
+    arms: Vec<ArmState>,
+    cloud: CloudEndpoint,
+    diary: Diary,
+}
+
+impl FleetSim {
+    /// Builds the world and returns an engine primed with initial events.
+    pub fn build(cfg: FleetConfig) -> Engine<FleetSim> {
+        let root = Rng::seed_from(cfg.seed);
+        let mut diary = Diary::new();
+        let mut arms = Vec::new();
+        let mut initial_failures: Vec<(SimTime, Ev)> = Vec::new();
+
+        for (ai, arm_cfg) in cfg.arms.iter().enumerate() {
+            let arm_rng = root.split("arm", ai as u64);
+            // Devices.
+            let mut devices = Vec::with_capacity(arm_cfg.devices);
+            for di in 0..arm_cfg.devices {
+                let mut drng = arm_rng.split("device", di as u64);
+                let dev = DeviceState::deploy(arm_cfg.device_spec, SimTime::ZERO, &cfg.env, &mut drng);
+                if dev.fails_at.as_secs() < cfg.horizon.as_secs() {
+                    initial_failures.push((dev.fails_at, Ev::DeviceFail(ai, di)));
+                }
+                devices.push(dev);
+            }
+            // Infrastructure.
+            // §3.3.3: the provider may terminate service within the horizon.
+            if let ArmKind::Owned { spec, .. } = &arm_cfg.kind {
+                let mut prng = arm_rng.split("provider", 0);
+                let exit = SimDuration::from_years_f64(spec.provider.sample_exit_years(&mut prng));
+                if exit.as_secs() < cfg.horizon.as_secs() {
+                    initial_failures.push((SimTime::ZERO + exit, Ev::ProviderExit(ai)));
+                }
+            }
+            let infra = match &arm_cfg.kind {
+                ArmKind::Owned { gateways, spec } => {
+                    let mut gws = Vec::with_capacity(*gateways);
+                    for gi in 0..*gateways {
+                        let mut grng = arm_rng.split("gateway", gi as u64);
+                        let gw = GatewayState::deploy(*spec, SimTime::ZERO, &cfg.env, &mut grng);
+                        if gw.fails_at.as_secs() < cfg.horizon.as_secs() {
+                            initial_failures.push((gw.fails_at, Ev::GatewayFail(ai, gi)));
+                        }
+                        gws.push(gw);
+                    }
+                    ArmInfra::Owned { gateways: gws, backhaul_down: false, sunset_logged: false }
+                }
+                ArmKind::Federated { hotspots, wallet_dollars } => {
+                    let wallets = (0..arm_cfg.devices)
+                        .map(|_| Wallet::provision_dollars(*wallet_dollars))
+                        .collect();
+                    ArmInfra::Federated { hotspots: hotspots.clone(), wallets }
+                }
+            };
+            // Figure 1: each device relies on one or two gateways.
+            let mut home_rng = arm_rng.split("homes", 0);
+            let homes: Vec<Vec<usize>> = match &arm_cfg.kind {
+                ArmKind::Owned { gateways, .. } if *gateways > 0 => (0..arm_cfg.devices)
+                    .map(|_| {
+                        let first = home_rng.next_below(*gateways as u64) as usize;
+                        if *gateways > 1 && home_rng.chance(arm_cfg.dual_homed_fraction) {
+                            let mut second = home_rng.next_below(*gateways as u64 - 1) as usize;
+                            if second >= first {
+                                second += 1;
+                            }
+                            vec![first, second]
+                        } else {
+                            vec![first]
+                        }
+                    })
+                    .collect(),
+                _ => vec![Vec::new(); arm_cfg.devices],
+            };
+            let mut report = ArmReport { name: arm_cfg.name, ..ArmReport::default() };
+            // Initial spend: device hardware + wallets + gateway hardware.
+            let device_cost = Usd::from_dollars(80) * arm_cfg.devices as i64;
+            report.spend += device_cost;
+            match &arm_cfg.kind {
+                ArmKind::Owned { gateways, .. } => {
+                    report.spend += Usd::from_dollars(150) * *gateways as i64;
+                }
+                ArmKind::Federated { wallet_dollars, .. } => {
+                    report.spend += *wallet_dollars * arm_cfg.devices as i64;
+                }
+            }
+            diary.log(
+                SimTime::ZERO,
+                Severity::Info,
+                Tier::System,
+                format!("arm '{}' deployed: {} devices", arm_cfg.name, arm_cfg.devices),
+            );
+            arms.push(ArmState {
+                cfg: arm_cfg.clone(),
+                devices,
+                homes,
+                infra,
+                report,
+                rng: arm_rng.split("runtime", 0),
+            });
+        }
+
+        let mut cloud_rng = root.split("cloud", 0);
+        let cloud = CloudEndpoint::paper_default(cfg.horizon, &mut cloud_rng);
+
+        let world = FleetSim { cfg, arms, cloud, diary };
+        let mut engine = Engine::new(world);
+        engine.schedule_at(SimTime::ZERO + SimDuration::from_weeks(1), Ev::WeeklyCheck);
+        engine.schedule_at(SimTime::ZERO + SimDuration::from_years(1), Ev::YearlyTick);
+        for (at, ev) in initial_failures {
+            engine.schedule_at(at, ev);
+        }
+        engine
+    }
+
+    /// Runs the configured experiment to its horizon and returns the report.
+    pub fn run(cfg: FleetConfig) -> FleetReport {
+        let horizon = SimTime::ZERO + cfg.horizon;
+        let mut engine = Self::build(cfg);
+        engine.run_until(horizon);
+        let events = engine.events_processed();
+        let mut world = engine.into_world();
+        // Right-censor the survivors at the horizon.
+        for arm in &mut world.arms {
+            for dev in &arm.devices {
+                if dev.alive_at(horizon) {
+                    arm.report
+                        .lifetime_observations
+                        .push(Observation::censored(dev.age_at(horizon).as_years_f64()));
+                }
+            }
+        }
+        FleetReport {
+            arms: world.arms.into_iter().map(|a| a.report).collect(),
+            diary: world.diary,
+            events_processed: events,
+        }
+    }
+
+    /// Evaluates one week for one arm: delivers readings, burns credits,
+    /// and updates the uptime ledger.
+    fn weekly_eval(&mut self, ai: usize, now: SimTime) {
+        let cloud_up = self.cloud.up_at(now);
+        let arm = &mut self.arms[ai];
+        let reports = arm.cfg.device_spec.reports_per_week();
+        arm.report.weeks_total += 1;
+        arm.report.readings_expected += reports * arm.cfg.devices as u64;
+        if !cloud_up {
+            return;
+        }
+        // Arm-level infrastructure state.
+        let federated_prob = match &arm.infra {
+            ArmInfra::Owned { backhaul_down, .. } => {
+                if *backhaul_down {
+                    return;
+                }
+                None
+            }
+            ArmInfra::Federated { hotspots, .. } => {
+                let p = hotspots.delivery_probability(arm.cfg.per_packet_delivery);
+                if p <= 0.0 {
+                    return;
+                }
+                Some(p)
+            }
+        };
+        let mut any_delivered = false;
+        for di in 0..arm.devices.len() {
+            let alive = arm.devices[di].alive_at(now);
+            if !alive {
+                continue;
+            }
+            // Expected deliveries this week for this device: Figure 1's
+            // reliance structure — the device's own gateways must forward.
+            let p_packet = match (&arm.infra, federated_prob) {
+                (ArmInfra::Owned { gateways, .. }, _) => {
+                    let heard = arm.homes[di]
+                        .iter()
+                        .any(|&g| gateways.get(g).is_some_and(|gw| gw.forwarding_at(now)));
+                    if heard {
+                        arm.cfg.per_packet_delivery
+                    } else {
+                        0.0
+                    }
+                }
+                (_, Some(p)) => p,
+                _ => 0.0,
+            } * arm.cfg.device_spec.energy_availability;
+            if p_packet <= 0.0 {
+                continue;
+            }
+            // Sample the delivered count with a normal approximation of the
+            // binomial (reports is 168 for the paper cadence).
+            let mean = reports as f64 * p_packet;
+            let sd = (reports as f64 * p_packet * (1.0 - p_packet)).sqrt();
+            let delivered = if p_packet <= 0.0 {
+                0
+            } else {
+                let draw = mean + sd * simcore::dist::standard_normal(&mut arm.rng);
+                draw.round().clamp(0.0, reports as f64) as u64
+            };
+            // Federated arm: credits burn per delivered packet.
+            let delivered = match &mut arm.infra {
+                ArmInfra::Federated { wallets, .. } => {
+                    let w = &mut wallets[di];
+                    let mut paid = 0u64;
+                    for _ in 0..delivered {
+                        if w
+                            .burn_packet(now, arm.cfg.device_spec.payload.len() as u32)
+                            .is_ok()
+                        {
+                            paid += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if w.exhausted_at() == Some(now) {
+                        arm.report.wallets_exhausted += 1;
+                        self.diary.log(
+                            now,
+                            Severity::Incident,
+                            Tier::Backhaul,
+                            format!("{}: device {di} data-credit wallet exhausted", arm.cfg.name),
+                        );
+                    }
+                    paid
+                }
+                ArmInfra::Owned { .. } => delivered,
+            };
+            if delivered > 0 {
+                any_delivered = true;
+                arm.devices[di].seq += delivered;
+                arm.report.readings_delivered += delivered;
+            }
+        }
+        if any_delivered {
+            arm.report.weeks_up += 1;
+        }
+    }
+}
+
+impl World for FleetSim {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let now = ctx.now();
+        match ev {
+            Ev::WeeklyCheck => {
+                for ai in 0..self.arms.len() {
+                    self.weekly_eval(ai, now);
+                }
+                ctx.schedule_in(SimDuration::from_secs(WEEK), Ev::WeeklyCheck);
+            }
+            Ev::YearlyTick => {
+                for arm in &mut self.arms {
+                    if let ArmInfra::Federated { hotspots, .. } = &mut arm.infra {
+                        let before = hotspots.count();
+                        let after = hotspots.step_year(&mut arm.rng);
+                        if before > 0 && after == 0 {
+                            self.diary.log(
+                                now,
+                                Severity::Incident,
+                                Tier::Gateway,
+                                format!("{}: no hotspots remain in range", arm.cfg.name),
+                            );
+                        }
+                    }
+                    if let ArmInfra::Owned { gateways, sunset_logged, .. } = &mut arm.infra {
+                        // §3.3.2: a revocable medium can disappear on the
+                        // operator's schedule — log the stranding once.
+                        let t_years = now.as_years_f64();
+                        if !*sunset_logged
+                            && gateways
+                                .iter()
+                                .any(|g| !g.spec.backhaul.available(t_years))
+                        {
+                            *sunset_logged = true;
+                            self.diary.log(
+                                now,
+                                Severity::Incident,
+                                Tier::Backhaul,
+                                format!(
+                                    "{}: backhaul technology sunset; gateways stranded",
+                                    arm.cfg.name
+                                ),
+                            );
+                        }
+                        // Software upkeep labor for maintained gateways.
+                        let hours: f64 = gateways
+                            .iter()
+                            .map(|g| g.spec.mode.yearly_upkeep_hours())
+                            .sum();
+                        arm.report.labor = arm.report.labor.plus(PersonHours::from_hours(hours));
+                    }
+                }
+                ctx.schedule_in(SimDuration::from_years(1), Ev::YearlyTick);
+            }
+            Ev::DeviceFail(ai, di) => {
+                let arm = &mut self.arms[ai];
+                arm.devices[di].failed = true;
+                arm.report.device_failures += 1;
+                arm.report.lifetime_observations.push(Observation::failed(
+                    arm.devices[di].age_at(now).as_years_f64(),
+                ));
+                self.diary.log(
+                    now,
+                    Severity::Warning,
+                    Tier::Device,
+                    format!("{}: device {di} hardware failure (untouched policy: diagnose & replace)", arm.cfg.name),
+                );
+                if let Some(delay) = arm.cfg.replace_devices {
+                    ctx.schedule_in(delay, Ev::DeviceReplace(ai, di));
+                }
+            }
+            Ev::DeviceReplace(ai, di) => {
+                let env = self.cfg.env;
+                let horizon = self.cfg.horizon;
+                let arm = &mut self.arms[ai];
+                let mut drng = arm
+                    .rng
+                    .split("replace", di as u64)
+                    .split("at", now.as_secs());
+                let dev = DeviceState::deploy(arm.cfg.device_spec, now, &env, &mut drng);
+                if dev.fails_at.as_secs() < horizon.as_secs() {
+                    ctx.schedule_at(dev.fails_at, Ev::DeviceFail(ai, di));
+                }
+                arm.devices[di] = dev;
+                arm.report.device_replacements += 1;
+                arm.report.labor = arm.report.labor.plus(PersonHours::from_hours(20.0 / 60.0));
+                arm.report.spend += Usd::from_dollars(80) + Usd::from_dollars(45);
+                // Federated devices carry a fresh wallet.
+                if let ArmInfra::Federated { wallets, .. } = &mut arm.infra {
+                    wallets[di] = Wallet::provision_dollars(Usd::from_dollars(5));
+                    arm.report.spend += Usd::from_dollars(5);
+                }
+                self.diary.log(
+                    now,
+                    Severity::Incident,
+                    Tier::Device,
+                    format!("{}: device {di} replaced", arm.cfg.name),
+                );
+            }
+            Ev::GatewayFail(ai, gi) => {
+                let arm = &mut self.arms[ai];
+                if let ArmInfra::Owned { gateways, .. } = &mut arm.infra {
+                    let done = gateways[gi].fail(now);
+                    ctx.schedule_at(done, Ev::GatewayRepair(ai, gi));
+                    self.diary.log(
+                        now,
+                        Severity::Incident,
+                        Tier::Gateway,
+                        format!("{}: gateway {gi} failed; repair scheduled", arm.cfg.name),
+                    );
+                }
+            }
+            Ev::GatewayRepair(ai, gi) => {
+                let env = self.cfg.env;
+                let horizon = self.cfg.horizon;
+                let arm = &mut self.arms[ai];
+                if let ArmInfra::Owned { gateways, .. } = &mut arm.infra {
+                    let mut grng = arm
+                        .rng
+                        .split("gw-repair", gi as u64)
+                        .split("at", now.as_secs());
+                    gateways[gi].repair(now, &env, &mut grng);
+                    if gateways[gi].fails_at.as_secs() < horizon.as_secs() {
+                        ctx.schedule_at(gateways[gi].fails_at, Ev::GatewayFail(ai, gi));
+                    }
+                    arm.report.gateway_repairs += 1;
+                    arm.report.labor = arm.report.labor.plus(PersonHours::from_hours(2.0));
+                    arm.report.spend += Usd::from_dollars(150) + Usd::from_dollars(170);
+                    self.diary.log(
+                        now,
+                        Severity::Info,
+                        Tier::Gateway,
+                        format!("{}: gateway {gi} repaired", arm.cfg.name),
+                    );
+                }
+            }
+            Ev::ProviderExit(ai) => {
+                let arm = &mut self.arms[ai];
+                if let ArmInfra::Owned { backhaul_down, .. } = &mut arm.infra {
+                    *backhaul_down = true;
+                    self.diary.log(
+                        now,
+                        Severity::Incident,
+                        Tier::Backhaul,
+                        format!(
+                            "{}: backhaul provider terminated service; sourcing replacement",
+                            arm.cfg.name
+                        ),
+                    );
+                    // Sourcing + commissioning a replacement attachment:
+                    // a quarter of procurement, per §3.4's "comparatively
+                    // manageable cost" for wired replacements.
+                    ctx.schedule_in(SimDuration::from_weeks(13), Ev::BackhaulMigrated(ai));
+                }
+            }
+            Ev::BackhaulMigrated(ai) => {
+                let arm = &mut self.arms[ai];
+                if let ArmInfra::Owned { gateways, backhaul_down, .. } = &mut arm.infra {
+                    *backhaul_down = false;
+                    arm.report.backhaul_migrations += 1;
+                    let n_gw = gateways.len() as i64;
+                    // Re-attachment cost and commissioning labor per gateway.
+                    arm.report.spend += Usd::from_dollars(400) * n_gw;
+                    arm.report.labor =
+                        arm.report.labor.plus(PersonHours::from_hours(2.0 * n_gw as f64));
+                    // The replacement provider gets a fresh exit clock.
+                    if let ArmKind::Owned { spec, .. } = &arm.cfg.kind {
+                        let mut prng = arm.rng.split("provider-next", now.as_secs());
+                        let exit = SimDuration::from_years_f64(
+                            spec.provider.sample_exit_years(&mut prng),
+                        );
+                        let at = now.saturating_add(exit);
+                        if at.as_secs() < self.cfg.horizon.as_secs() {
+                            ctx.schedule_at(at, Ev::ProviderExit(ai));
+                        }
+                    }
+                    self.diary.log(
+                        now,
+                        Severity::Info,
+                        Tier::Backhaul,
+                        format!("{}: replacement backhaul commissioned", arm.cfg.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_experiment_runs_to_horizon() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(1));
+        assert_eq!(report.arms.len(), 2);
+        for arm in &report.arms {
+            assert_eq!(arm.weeks_total, 50 * 365 / 7);
+            assert!(arm.weeks_up > 0, "{} never delivered", arm.name);
+            assert!(arm.uptime() > 0.3, "{} uptime {}", arm.name, arm.uptime());
+            assert!(arm.uptime() <= 1.0);
+        }
+        assert!(!report.diary.is_empty());
+        assert!(report.events_processed > 2_600);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = FleetSim::run(FleetConfig::paper_experiment(7));
+        let b = FleetSim::run(FleetConfig::paper_experiment(7));
+        for (x, y) in a.arms.iter().zip(&b.arms) {
+            assert_eq!(x.weeks_up, y.weeks_up);
+            assert_eq!(x.readings_delivered, y.readings_delivered);
+            assert_eq!(x.spend, y.spend);
+        }
+        assert_eq!(a.diary.len(), b.diary.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FleetSim::run(FleetConfig::paper_experiment(1));
+        let b = FleetSim::run(FleetConfig::paper_experiment(2));
+        let same = a
+            .arms
+            .iter()
+            .zip(&b.arms)
+            .all(|(x, y)| x.readings_delivered == y.readings_delivered);
+        assert!(!same, "different seeds should perturb delivery counts");
+    }
+
+    #[test]
+    fn devices_fail_and_get_replaced_over_50_years() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(3));
+        let owned = &report.arms[0];
+        // Harvesting nodes median ~20 y: with 10 devices over 50 y, many
+        // failures are near-certain.
+        assert!(owned.device_failures >= 3, "failures {}", owned.device_failures);
+        assert_eq!(owned.device_failures, owned.device_replacements);
+    }
+
+    #[test]
+    fn owned_arm_pays_gateway_maintenance() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(4));
+        let owned = &report.arms[0];
+        assert!(owned.gateway_repairs >= 2, "repairs {}", owned.gateway_repairs);
+        assert!(owned.labor.hours() > 10.0);
+    }
+
+    #[test]
+    fn no_replacement_policy_decays_to_dark() {
+        let mut cfg = FleetConfig::paper_experiment(5);
+        for arm in &mut cfg.arms {
+            arm.replace_devices = None;
+        }
+        let with = FleetSim::run(FleetConfig::paper_experiment(5));
+        let without = FleetSim::run(cfg);
+        for (w, wo) in with.arms.iter().zip(&without.arms) {
+            assert!(wo.device_replacements == 0);
+            assert!(
+                wo.readings_delivered <= w.readings_delivered,
+                "{}: unreplaced fleet cannot deliver more",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn federated_arm_burns_credits() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(6));
+        let helium = &report.arms[1];
+        // Data yield implies credits flowed.
+        assert!(helium.readings_delivered > 0);
+        // Initial spend includes 10 x $5 wallets + 10 x $80 devices.
+        assert!(helium.spend >= Usd::from_dollars(850));
+    }
+
+    #[test]
+    fn lifetime_observations_cover_every_incarnation() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(21));
+        for arm in &report.arms {
+            let failures = arm
+                .lifetime_observations
+                .iter()
+                .filter(|o| o.event)
+                .count() as u64;
+            assert_eq!(failures, arm.device_failures, "{}", arm.name);
+            let censored = arm.lifetime_observations.len() as u64 - failures;
+            // Every mount's final incarnation that is still alive at the
+            // horizon is censored; unreplaced dead mounts contribute none.
+            assert!(censored <= 10, "{}: censored {censored}", arm.name);
+            for o in &arm.lifetime_observations {
+                assert!(o.time >= 0.0 && o.time <= 50.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_homing_beats_single_homing() {
+        // Single-homed devices go dark with their gateway; dual-homed ride
+        // through. Compare yields with identical seeds.
+        let mk = |dual: f64, seed: u64| {
+            let mut cfg = FleetConfig::paper_experiment(seed);
+            cfg.arms.truncate(1);
+            cfg.arms[0].dual_homed_fraction = dual;
+            FleetSim::run(cfg).arms[0].data_yield()
+        };
+        let mut single_total = 0.0;
+        let mut dual_total = 0.0;
+        for seed in 0..5 {
+            single_total += mk(0.0, seed);
+            dual_total += mk(1.0, seed);
+        }
+        assert!(
+            dual_total > single_total,
+            "dual {dual_total} should beat single {single_total}"
+        );
+    }
+
+    #[test]
+    fn channel_derived_delivery_scales_with_population() {
+        let small = ArmConfig::paper_owned_154(10, 2)
+            .with_channel_derived_delivery(0.95, 0.24);
+        let huge = ArmConfig::paper_owned_154(200_000, 2)
+            .with_channel_derived_delivery(0.95, 0.24);
+        assert!(small.per_packet_delivery > 0.90, "{}", small.per_packet_delivery);
+        assert!(
+            huge.per_packet_delivery < small.per_packet_delivery - 0.05,
+            "huge fleet {} should collide more than {}",
+            huge.per_packet_delivery,
+            small.per_packet_delivery
+        );
+    }
+
+    #[test]
+    fn cellular_arm_goes_dark_at_sunset() {
+        use backhaul::tech::CellularGen;
+        // 3G sunsets at year 12: a 3G-backhauled arm delivers nothing after,
+        // and the diary records the stranding.
+        let mut cfg = FleetConfig::paper_experiment(42);
+        cfg.arms = vec![
+            ArmConfig::paper_owned_154(10, 2),
+            ArmConfig::cellular_owned_154(10, 2, CellularGen::G3),
+        ];
+        let report = FleetSim::run(cfg);
+        let ethernet = &report.arms[0];
+        let cellular = &report.arms[1];
+        // The cellular arm's uptime is capped near 12/50 of the horizon.
+        assert!(
+            cellular.uptime() < 0.30,
+            "cellular uptime {} should collapse after the year-12 sunset",
+            cellular.uptime()
+        );
+        assert!(ethernet.uptime() > 0.9);
+        assert!(report.diary.render().contains("backhaul technology sunset"));
+    }
+
+    #[test]
+    fn provider_exits_happen_and_are_survived() {
+        // Campus provider mean-exit 60 y: over many seeds, exits within the
+        // 50-year horizon are common and each is followed by a migration.
+        let mut exits = 0u64;
+        for seed in 0..10 {
+            let report = FleetSim::run(FleetConfig::paper_experiment(seed));
+            let owned = &report.arms[0];
+            exits += owned.backhaul_migrations;
+            if owned.backhaul_migrations > 0 {
+                let text = report.diary.render();
+                assert!(text.contains("backhaul provider terminated service"));
+                assert!(text.contains("replacement backhaul commissioned"));
+            }
+        }
+        assert!(exits > 0, "no provider exit across 10 seeds is implausible");
+    }
+
+    #[test]
+    fn fast_cadence_exhausts_prepaid_wallets() {
+        // At a 5-minute cadence the $5 wallet lasts ~4.8 years; over a
+        // 50-year run the federated arm must log exhaustions.
+        let mut cfg = FleetConfig::paper_experiment(77);
+        cfg.arms.remove(0);
+        cfg.arms[0].device_spec.report_interval = SimDuration::from_mins(5);
+        cfg.arms[0].replace_devices = None; // Keep original wallets in place.
+        let report = FleetSim::run(cfg);
+        let helium = &report.arms[0];
+        assert!(
+            helium.wallets_exhausted > 0,
+            "5-minute reporting must exhaust $5 wallets"
+        );
+        let text = report.diary.render();
+        assert!(text.contains("wallet exhausted"));
+    }
+
+    #[test]
+    fn diary_is_time_ordered() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(8));
+        let mut last = SimTime::ZERO;
+        for e in report.diary.entries() {
+            assert!(e.at >= last);
+            last = e.at;
+        }
+    }
+}

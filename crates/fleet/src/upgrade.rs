@@ -1,0 +1,241 @@
+//! Gateway technology-generation planning.
+//!
+//! §1: deployments mix "state-of-the-art technologies" with "legacy devices
+//! to keep costs down or lessen operational heterogeneity"; §3.2 demands
+//! the gateway layer "allow for upgradability". This module simulates a
+//! gateway fleet across arriving technology generations under different
+//! upgrade policies and measures what each policy costs and risks:
+//! hardware turns, operational heterogeneity (distinct generations in
+//! service), and time spent running out-of-support equipment.
+
+use reliability::hazard::Hazard;
+use simcore::rng::Rng;
+
+/// One technology generation's availability window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TechGeneration {
+    /// Generation index (0 = the generation current at deployment).
+    pub id: u32,
+    /// Year (from epoch) the generation becomes purchasable.
+    pub arrives: f64,
+    /// Year vendor support ends (security patches, spares).
+    pub support_ends: f64,
+}
+
+/// Builds a generation timeline: a new generation every `cadence` years
+/// starting at year 0, each supported for `support` years after arrival.
+pub fn timeline(cadence: f64, support: f64, horizon: f64) -> Vec<TechGeneration> {
+    assert!(cadence > 0.0, "cadence must be positive");
+    assert!(support > 0.0, "support must be positive");
+    let mut out = Vec::new();
+    let mut id = 0;
+    let mut at = 0.0;
+    while at < horizon {
+        out.push(TechGeneration { id, arrives: at, support_ends: at + support });
+        id += 1;
+        at += cadence;
+    }
+    out
+}
+
+/// When a mount's gateway gets replaced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpgradePolicy {
+    /// Replace the unit whenever a newer generation arrives (and on
+    /// failure) — maximum freshness, maximum spend.
+    AlwaysLatest,
+    /// Replace only on hardware failure; the replacement is whatever is
+    /// newest at that moment — the economical default.
+    RunToFailure,
+    /// Replace on failure *or* when the unit's generation loses support —
+    /// the security-conscious middle.
+    OnSupportEnd,
+}
+
+/// Results of an upgrade-policy run.
+#[derive(Clone, Debug)]
+pub struct UpgradeRun {
+    /// Total hardware installations across all mounts (including initial).
+    pub installs: u64,
+    /// Mean distinct generations in service per sampled year.
+    pub mean_heterogeneity: f64,
+    /// Peak distinct generations in service in any sampled year.
+    pub peak_heterogeneity: usize,
+    /// Total mount-years spent on out-of-support hardware.
+    pub unsupported_mount_years: f64,
+}
+
+/// The newest generation purchasable at year `t`.
+fn newest_at(tl: &[TechGeneration], t: f64) -> u32 {
+    tl.iter().filter(|g| g.arrives <= t).map(|g| g.id).max().unwrap_or(0)
+}
+
+fn support_end_of(tl: &[TechGeneration], id: u32) -> f64 {
+    tl.iter().find(|g| g.id == id).map_or(f64::INFINITY, |g| g.support_ends)
+}
+
+/// Simulates `mounts` gateway mounts over `horizon` years under a policy.
+///
+/// Hardware lifetimes come from `ttf`; replacements are instantaneous
+/// (repair lag is the fleet sim's concern, not the planner's).
+pub fn run<H: Hazard + ?Sized>(
+    policy: UpgradePolicy,
+    ttf: &H,
+    tl: &[TechGeneration],
+    mounts: u32,
+    horizon: f64,
+    rng: &mut Rng,
+) -> UpgradeRun {
+    assert!(mounts > 0, "need at least one mount");
+    assert!(!tl.is_empty(), "need at least one generation");
+    let n_years = horizon.ceil() as usize;
+    // Per-year set of generations in service, as counts per generation id.
+    let max_gen = tl.iter().map(|g| g.id).max().unwrap_or(0) as usize + 1;
+    let mut in_service = vec![vec![false; max_gen]; n_years];
+    let mut installs = 0u64;
+    let mut unsupported = 0.0f64;
+
+    for m in 0..mounts {
+        let mut mrng = rng.split("upgrade-mount", m as u64);
+        let mut t = 0.0;
+        let mut gen = newest_at(tl, t);
+        installs += 1;
+        while t < horizon {
+            let fail_at = t + ttf.sample_ttf(&mut mrng);
+            // Candidate replacement triggers under the policy.
+            let next_event = match policy {
+                UpgradePolicy::AlwaysLatest => {
+                    let next_arrival = tl
+                        .iter()
+                        .map(|g| g.arrives)
+                        .filter(|&a| a > t)
+                        .fold(f64::INFINITY, f64::min);
+                    fail_at.min(next_arrival)
+                }
+                UpgradePolicy::RunToFailure => fail_at,
+                UpgradePolicy::OnSupportEnd => fail_at.min(support_end_of(tl, gen).max(t)),
+            };
+            let end = next_event.min(horizon);
+            // Credit service years and unsupported time.
+            let support_end = support_end_of(tl, gen);
+            let mut y = t;
+            while y < end {
+                let year_idx = y as usize;
+                let year_end = (year_idx + 1) as f64;
+                let seg_end = end.min(year_end);
+                if year_idx < n_years {
+                    in_service[year_idx][gen as usize] = true;
+                    if y >= support_end {
+                        unsupported += seg_end - y;
+                    } else if seg_end > support_end {
+                        unsupported += seg_end - support_end;
+                    }
+                }
+                y = year_end;
+            }
+            if end >= horizon {
+                break;
+            }
+            // Replace with the newest generation available at that moment.
+            t = end;
+            gen = newest_at(tl, t);
+            installs += 1;
+        }
+    }
+
+    let hetero: Vec<usize> = in_service
+        .iter()
+        .map(|gens| gens.iter().filter(|&&x| x).count())
+        .collect();
+    UpgradeRun {
+        installs,
+        mean_heterogeneity: hetero.iter().sum::<usize>() as f64 / hetero.len() as f64,
+        peak_heterogeneity: hetero.iter().copied().max().unwrap_or(0),
+        unsupported_mount_years: unsupported,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reliability::hazard::WeibullHazard;
+
+    fn ttf() -> WeibullHazard {
+        // Pi-class median ~4 years.
+        WeibullHazard::with_median(2.0, 4.0)
+    }
+
+    fn tl() -> Vec<TechGeneration> {
+        timeline(10.0, 15.0, 50.0)
+    }
+
+    #[test]
+    fn timeline_shape() {
+        let t = tl();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], TechGeneration { id: 0, arrives: 0.0, support_ends: 15.0 });
+        assert_eq!(t[4].arrives, 40.0);
+    }
+
+    #[test]
+    fn always_latest_installs_most() {
+        let base = Rng::seed_from(1);
+        let mut r1 = base.split("a", 0);
+        let mut r2 = base.split("a", 0); // Same stream: identical lifetimes.
+        let latest = run(UpgradePolicy::AlwaysLatest, &ttf(), &tl(), 200, 50.0, &mut r1);
+        let rtf = run(UpgradePolicy::RunToFailure, &ttf(), &tl(), 200, 50.0, &mut r2);
+        assert!(latest.installs > rtf.installs, "{} vs {}", latest.installs, rtf.installs);
+    }
+
+    #[test]
+    fn run_to_failure_accrues_unsupported_time() {
+        let mut rng = Rng::seed_from(2);
+        let rtf = run(UpgradePolicy::RunToFailure, &ttf(), &tl(), 200, 50.0, &mut rng);
+        // With a 4-year median TTF and 15-year support, some units straggle
+        // past support but not most.
+        assert!(rtf.unsupported_mount_years > 0.0);
+        let mut rng2 = Rng::seed_from(2);
+        let ose = run(UpgradePolicy::OnSupportEnd, &ttf(), &tl(), 200, 50.0, &mut rng2);
+        assert!(
+            ose.unsupported_mount_years < rtf.unsupported_mount_years * 0.2,
+            "on-support-end {} vs run-to-failure {}",
+            ose.unsupported_mount_years,
+            rtf.unsupported_mount_years
+        );
+    }
+
+    #[test]
+    fn always_latest_minimizes_heterogeneity() {
+        let base = Rng::seed_from(3);
+        let mut r1 = base.split("a", 0);
+        let mut r2 = base.split("a", 0);
+        let latest = run(UpgradePolicy::AlwaysLatest, &ttf(), &tl(), 300, 50.0, &mut r1);
+        let rtf = run(UpgradePolicy::RunToFailure, &ttf(), &tl(), 300, 50.0, &mut r2);
+        assert!(latest.mean_heterogeneity <= rtf.mean_heterogeneity + 1e-9);
+        assert!(latest.peak_heterogeneity <= rtf.peak_heterogeneity);
+    }
+
+    #[test]
+    fn heterogeneity_bounded_by_generations() {
+        let mut rng = Rng::seed_from(4);
+        let out = run(UpgradePolicy::RunToFailure, &ttf(), &tl(), 100, 50.0, &mut rng);
+        assert!(out.peak_heterogeneity <= 5);
+        assert!(out.mean_heterogeneity >= 1.0);
+    }
+
+    #[test]
+    fn single_generation_world() {
+        let tl1 = timeline(100.0, 200.0, 50.0);
+        assert_eq!(tl1.len(), 1);
+        let mut rng = Rng::seed_from(5);
+        let out = run(UpgradePolicy::RunToFailure, &ttf(), &tl1, 50, 50.0, &mut rng);
+        assert_eq!(out.peak_heterogeneity, 1);
+        assert_eq!(out.unsupported_mount_years, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn timeline_rejects_zero_cadence() {
+        timeline(0.0, 10.0, 50.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Workforce capacity and maintenance backlog dynamics.
+//!
+//! §3.1: *"there are a finite number of person-hours available for the
+//! maintenance and upkeep of sensing systems; as the number of devices
+//! grows, the available hours per device falls."* A replacement demand
+//! that exceeds crew capacity does not disappear — it queues, and queued
+//! devices are dark devices. This module runs the yearly backlog recursion
+//! over a replacement-demand series (e.g. from [`crate::pipeline`]) and
+//! reports the availability cost of under-staffing — which is how en-masse
+//! deployment waves actually hurt: they overwhelm a crew sized for the
+//! steady state.
+
+use econ::labor::PersonHours;
+
+/// A yearly-capacity workforce model.
+#[derive(Clone, Copy, Debug)]
+pub struct Workforce {
+    /// Device replacements the crew can complete per year.
+    pub capacity_per_year: f64,
+    /// Person-hours per replacement (batched figure).
+    pub hours_per_replacement: f64,
+}
+
+impl Workforce {
+    /// Creates a workforce.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(capacity_per_year: f64, hours_per_replacement: f64) -> Self {
+        assert!(
+            capacity_per_year > 0.0 && capacity_per_year.is_finite(),
+            "capacity must be positive"
+        );
+        assert!(
+            hours_per_replacement > 0.0 && hours_per_replacement.is_finite(),
+            "hours per replacement must be positive"
+        );
+        Workforce { capacity_per_year, hours_per_replacement }
+    }
+
+    /// A crew of `techs` working `hours_per_year` each at
+    /// `hours_per_replacement` per device.
+    pub fn from_crew(techs: u32, hours_per_year: f64, hours_per_replacement: f64) -> Self {
+        Workforce::new(
+            techs as f64 * hours_per_year / hours_per_replacement,
+            hours_per_replacement,
+        )
+    }
+}
+
+/// Result of running demand against capacity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BacklogRun {
+    /// Backlog (devices awaiting replacement) at the end of each year.
+    pub backlog: Vec<f64>,
+    /// Peak backlog.
+    pub peak_backlog: f64,
+    /// Device-years lost waiting in the queue (dark time).
+    pub dark_device_years: f64,
+    /// Total person-hours actually worked.
+    pub worked: PersonHours,
+    /// Fraction of years in which the crew was saturated.
+    pub saturated_years: f64,
+}
+
+/// Runs the yearly backlog recursion: each year the crew serves up to its
+/// capacity from `carry + demand[y]`; the rest carries over. Queued devices
+/// accrue dark time (approximated as the average backlog over the year).
+pub fn run_backlog(demand_per_year: &[f64], crew: &Workforce) -> BacklogRun {
+    let mut carry = 0.0f64;
+    let mut backlog = Vec::with_capacity(demand_per_year.len());
+    let mut dark = 0.0;
+    let mut worked_units = 0.0;
+    let mut saturated = 0usize;
+    for &d in demand_per_year {
+        assert!(d >= 0.0 && d.is_finite(), "demand must be finite and >= 0");
+        let offered = carry + d;
+        let served = offered.min(crew.capacity_per_year);
+        let end = offered - served;
+        // Dark time: average of start and end backlog over the year.
+        dark += 0.5 * (carry + end);
+        if served >= crew.capacity_per_year - 1e-9 && end > 0.0 {
+            saturated += 1;
+        }
+        worked_units += served;
+        carry = end;
+        backlog.push(end);
+    }
+    BacklogRun {
+        peak_backlog: backlog.iter().copied().fold(0.0, f64::max),
+        dark_device_years: dark,
+        worked: PersonHours::from_hours(worked_units * crew.hours_per_replacement),
+        saturated_years: if demand_per_year.is_empty() {
+            0.0
+        } else {
+            saturated as f64 / demand_per_year.len() as f64
+        },
+        backlog,
+    }
+}
+
+/// The smallest crew capacity (replacements/year) that keeps peak backlog
+/// at or below `max_backlog` for the given demand, by binary search.
+pub fn min_capacity_for_backlog(
+    demand_per_year: &[f64],
+    hours_per_replacement: f64,
+    max_backlog: f64,
+) -> f64 {
+    assert!(max_backlog >= 0.0, "backlog bound must be >= 0");
+    let total: f64 = demand_per_year.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut lo = 1e-9;
+    let mut hi = demand_per_year.iter().copied().fold(0.0, f64::max).max(1e-9);
+    let ok = |cap: f64| {
+        let crew = Workforce::new(cap, hours_per_replacement);
+        run_backlog(demand_per_year, &crew).peak_backlog <= max_backlog
+    };
+    if !ok(hi) {
+        // A capacity equal to the peak demand always clears within the year.
+        return hi;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if ok(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_never_backlogs() {
+        let crew = Workforce::new(100.0, 1.0);
+        let out = run_backlog(&[50.0, 80.0, 99.0], &crew);
+        assert_eq!(out.peak_backlog, 0.0);
+        assert_eq!(out.dark_device_years, 0.0);
+        assert_eq!(out.saturated_years, 0.0);
+        assert!((out.worked.hours() - 229.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spike_builds_and_drains() {
+        let crew = Workforce::new(100.0, 1.0);
+        // Year 0: 300 arrive, 100 served -> 200 carry; drains by year 2.
+        let out = run_backlog(&[300.0, 0.0, 0.0, 0.0], &crew);
+        assert_eq!(out.backlog, vec![200.0, 100.0, 0.0, 0.0]);
+        assert_eq!(out.peak_backlog, 200.0);
+        // Dark time: (0+200)/2 + (200+100)/2 + (100+0)/2 = 300.
+        assert!((out.dark_device_years - 300.0).abs() < 1e-9);
+        assert!((out.saturated_years - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crew_constructor_arithmetic() {
+        // 4 techs * 1,800 h/yr / 0.5 h per replacement = 14,400/yr.
+        let crew = Workforce::from_crew(4, 1_800.0, 0.5);
+        assert!((crew.capacity_per_year - 14_400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_capacity_binary_search() {
+        let demand = [300.0, 0.0, 0.0, 0.0];
+        // Zero backlog requires capacity >= 300.
+        let cap0 = min_capacity_for_backlog(&demand, 1.0, 0.0);
+        assert!((cap0 - 300.0).abs() < 0.1, "cap {cap0}");
+        // Allowing 200 backlog requires only ~100.
+        let cap200 = min_capacity_for_backlog(&demand, 1.0, 200.0);
+        assert!((cap200 - 100.0).abs() < 0.1, "cap {cap200}");
+        assert_eq!(min_capacity_for_backlog(&[0.0, 0.0], 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn en_masse_wave_needs_bigger_crew_than_staggered() {
+        // Synthetic demands with equal totals: a wave vs a flat line.
+        let wave = [0.0, 0.0, 400.0, 0.0, 0.0, 0.0, 0.0, 400.0, 0.0, 0.0];
+        let flat = [80.0; 10];
+        let cap_wave = min_capacity_for_backlog(&wave, 1.0, 50.0);
+        let cap_flat = min_capacity_for_backlog(&flat, 1.0, 50.0);
+        assert!(
+            cap_wave > cap_flat * 2.0,
+            "wave {cap_wave} should need far more than flat {cap_flat}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        Workforce::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand")]
+    fn rejects_negative_demand() {
+        run_backlog(&[-1.0], &Workforce::new(10.0, 1.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Coverage resolution: which gateways hear which devices (Figure 1).
+//!
+//! The paper's hierarchy observation: *"Smart devices rely on one or two
+//! gateways, while gateways may support thousands of devices."* Given
+//! device and gateway positions, a propagation model, and a radio budget,
+//! [`resolve`] computes the reliance structure and its statistics:
+//! coverage fraction, per-device gateway redundancy, and per-gateway load.
+
+use simcore::rng::Rng;
+
+use crate::link::{Link, ReceptionModel};
+use crate::pathloss::LogDistance;
+use crate::topology::Point;
+use crate::units::Dbm;
+
+/// Radio parameters used to resolve coverage.
+#[derive(Clone, Copy, Debug)]
+pub struct RadioParams {
+    /// Device transmit power.
+    pub tx: Dbm,
+    /// Receiver model at the gateway.
+    pub rx_model: ReceptionModel,
+    /// Propagation model.
+    pub pathloss: LogDistance,
+    /// Minimum margin (dB) above the 50 % point to call a link usable.
+    pub usable_margin_db: f64,
+}
+
+/// The resolved device→gateway reliance structure.
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    /// For each device, the indices of gateways with usable links,
+    /// strongest first.
+    pub device_gateways: Vec<Vec<usize>>,
+    /// For each gateway, how many devices rely on it (usable links).
+    pub gateway_load: Vec<usize>,
+}
+
+/// Resolves coverage between `devices` and `gateways`.
+///
+/// Shadowing is sampled once per device-gateway pair (placement-static), so
+/// the result is a deployment lottery: rerunning with another seed yields a
+/// different but statistically identical city.
+pub fn resolve(
+    devices: &[Point],
+    gateways: &[Point],
+    params: &RadioParams,
+    rng: &mut Rng,
+) -> Coverage {
+    let mut device_gateways = Vec::with_capacity(devices.len());
+    let mut gateway_load = vec![0usize; gateways.len()];
+    for (di, d) in devices.iter().enumerate() {
+        // Per-pair stream keyed by device index keeps results stable under
+        // gateway-set changes for already-present pairs.
+        let mut pair_rng = rng.split("coverage-device", di as u64);
+        let mut usable: Vec<(f64, usize)> = Vec::new();
+        for (gi, g) in gateways.iter().enumerate() {
+            let shadow = params.pathloss.sample_shadowing(&mut pair_rng);
+            let loss = params.pathloss.loss_with_shadowing(d.distance(g), shadow);
+            let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
+            if link.is_usable(params.usable_margin_db) {
+                usable.push((link.margin().0, gi));
+            }
+        }
+        usable.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("margins are finite"));
+        for &(_, gi) in &usable {
+            gateway_load[gi] += 1;
+        }
+        device_gateways.push(usable.into_iter().map(|(_, gi)| gi).collect());
+    }
+    Coverage { device_gateways, gateway_load }
+}
+
+impl Coverage {
+    /// Fraction of devices with at least one usable gateway.
+    pub fn covered_fraction(&self) -> f64 {
+        if self.device_gateways.is_empty() {
+            return 0.0;
+        }
+        let covered = self.device_gateways.iter().filter(|g| !g.is_empty()).count();
+        covered as f64 / self.device_gateways.len() as f64
+    }
+
+    /// Mean number of usable gateways per covered device (the Figure-1
+    /// "one or two gateways" statistic).
+    pub fn mean_redundancy(&self) -> f64 {
+        let covered: Vec<usize> = self
+            .device_gateways
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(Vec::len)
+            .collect();
+        if covered.is_empty() {
+            return 0.0;
+        }
+        covered.iter().sum::<usize>() as f64 / covered.len() as f64
+    }
+
+    /// Fraction of covered devices relying on exactly one gateway — the
+    /// single-point-of-reliance population.
+    pub fn single_homed_fraction(&self) -> f64 {
+        let covered: Vec<&Vec<usize>> =
+            self.device_gateways.iter().filter(|g| !g.is_empty()).collect();
+        if covered.is_empty() {
+            return 0.0;
+        }
+        covered.iter().filter(|g| g.len() == 1).count() as f64 / covered.len() as f64
+    }
+
+    /// The largest per-gateway device load.
+    pub fn max_gateway_load(&self) -> usize {
+        self.gateway_load.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Devices left uncovered if the given gateway dies (those whose only
+    /// usable gateway it was).
+    pub fn stranded_by_gateway(&self, gateway: usize) -> usize {
+        self.device_gateways
+            .iter()
+            .filter(|gs| gs.len() == 1 && gs[0] == gateway)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lora::SpreadingFactor;
+
+    fn params() -> RadioParams {
+        RadioParams {
+            tx: Dbm(14.0),
+            rx_model: ReceptionModel::at_sensitivity(
+                SpreadingFactor::Sf10.sensitivity_125khz(),
+            ),
+            pathloss: LogDistance::urban_915(),
+            usable_margin_db: 3.0,
+        }
+    }
+
+    #[test]
+    fn near_devices_covered_far_devices_not() {
+        let gateways = vec![Point::new(0.0, 0.0)];
+        let devices = vec![
+            Point::new(10.0, 0.0),      // 10 m: trivially covered.
+            Point::new(100_000.0, 0.0), // 100 km: hopeless.
+        ];
+        let mut rng = Rng::seed_from(1);
+        let cov = resolve(&devices, &gateways, &params(), &mut rng);
+        assert_eq!(cov.device_gateways[0], vec![0]);
+        assert!(cov.device_gateways[1].is_empty());
+        assert!((cov.covered_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(cov.gateway_load[0], 1);
+    }
+
+    #[test]
+    fn redundancy_counts_multiple_gateways() {
+        let gateways = vec![Point::new(-20.0, 0.0), Point::new(20.0, 0.0)];
+        let devices = vec![Point::new(0.0, 0.0)];
+        let mut rng = Rng::seed_from(2);
+        let cov = resolve(&devices, &gateways, &params(), &mut rng);
+        assert_eq!(cov.device_gateways[0].len(), 2);
+        assert!((cov.mean_redundancy() - 2.0).abs() < 1e-12);
+        assert_eq!(cov.single_homed_fraction(), 0.0);
+        assert_eq!(cov.max_gateway_load(), 1);
+    }
+
+    #[test]
+    fn strongest_gateway_listed_first() {
+        let gateways = vec![Point::new(500.0, 0.0), Point::new(30.0, 0.0)];
+        let devices = vec![Point::new(0.0, 0.0)];
+        let mut rng = Rng::seed_from(3);
+        let cov = resolve(&devices, &gateways, &params(), &mut rng);
+        // The 30 m gateway (index 1) should nearly always be first.
+        assert_eq!(cov.device_gateways[0][0], 1);
+    }
+
+    #[test]
+    fn stranded_by_gateway_counts_single_homed() {
+        // Gateways 100 km apart: shadowing cannot bridge the gap, so each
+        // device is single-homed by construction.
+        let gateways = vec![Point::new(0.0, 0.0), Point::new(100_000.0, 0.0)];
+        let devices = vec![
+            Point::new(5.0, 0.0),
+            Point::new(99_995.0, 0.0),
+            Point::new(15.0, 0.0),
+        ];
+        let mut rng = Rng::seed_from(4);
+        let cov = resolve(&devices, &gateways, &params(), &mut rng);
+        // Devices 0 and 2 are only near gateway 0; device 1 only near 1.
+        assert_eq!(cov.stranded_by_gateway(0), 2);
+        assert_eq!(cov.stranded_by_gateway(1), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut rng = Rng::seed_from(5);
+        let cov = resolve(&[], &[], &params(), &mut rng);
+        assert_eq!(cov.covered_fraction(), 0.0);
+        assert_eq!(cov.mean_redundancy(), 0.0);
+        assert_eq!(cov.max_gateway_load(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gateways = vec![Point::new(0.0, 0.0)];
+        let devices: Vec<Point> = (0..50).map(|i| Point::new(i as f64 * 40.0, 10.0)).collect();
+        let mut r1 = Rng::seed_from(6);
+        let mut r2 = Rng::seed_from(6);
+        let c1 = resolve(&devices, &gateways, &params(), &mut r1);
+        let c2 = resolve(&devices, &gateways, &params(), &mut r2);
+        assert_eq!(c1.device_gateways, c2.device_gateways);
+    }
+}

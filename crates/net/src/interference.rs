@@ -1,0 +1,173 @@
+//! Interference and capture: when collisions are not fatal.
+//!
+//! LoRa's spreading factors are (imperfectly) orthogonal: a receiver
+//! locked onto an SF9 packet barely notices SF7 traffic, and a packet that
+//! arrives several dB stronger than a same-SF interferer *captures* the
+//! demodulator. Capture is a first-order effect on transmit-only network
+//! scalability (design ablation #3 in DESIGN.md); this module provides the
+//! standard rejection-threshold model and Monte-Carlo capture-probability
+//! estimation for realistic power distributions.
+
+use simcore::rng::Rng;
+
+use crate::lora::SpreadingFactor;
+use crate::units::Db;
+
+/// Same-SF capture threshold: a packet survives a same-SF collision if it
+/// is at least this much stronger (standard value ≈ 6 dB for LoRa; use
+/// +∞-like values for pure ALOHA without capture).
+pub const CO_SF_CAPTURE_DB: f64 = 6.0;
+
+/// Rejection threshold (dB) for an interferer at `interferer` SF while the
+/// receiver demodulates `wanted`: the wanted packet survives if
+/// `P_wanted - P_interferer > threshold`. Diagonal entries are the co-SF
+/// capture threshold; off-diagonal values are the (negative) inter-SF
+/// rejection gains from the LoRa cross-correlation literature (Goursaud &
+/// Gorce 2015 / Croce et al. 2018, rounded).
+pub fn rejection_threshold_db(wanted: SpreadingFactor, interferer: SpreadingFactor) -> Db {
+    if wanted == interferer {
+        return Db(CO_SF_CAPTURE_DB);
+    }
+    // Inter-SF isolation grows with SF distance; a nearby SF still needs
+    // the interferer to be much stronger to do damage.
+    let table = [
+        // Rows: wanted SF7..SF12; columns: interferer SF7..SF12.
+        [6.0, -8.0, -9.0, -9.0, -9.0, -9.0],
+        [-11.0, 6.0, -11.0, -12.0, -13.0, -13.0],
+        [-15.0, -13.0, 6.0, -13.0, -14.0, -15.0],
+        [-19.0, -18.0, -17.0, 6.0, -17.0, -18.0],
+        [-22.0, -22.0, -21.0, -20.0, 6.0, -20.0],
+        [-25.0, -25.0, -25.0, -24.0, -23.0, 6.0],
+    ];
+    let idx = |sf: SpreadingFactor| (sf.value() - 7) as usize;
+    Db(table[idx(wanted)][idx(interferer)])
+}
+
+/// Whether a wanted packet at `p_wanted` survives one interferer at
+/// `p_interferer` (both dBm, any SFs).
+pub fn survives_interferer(
+    wanted: SpreadingFactor,
+    p_wanted_dbm: f64,
+    interferer: SpreadingFactor,
+    p_interferer_dbm: f64,
+) -> bool {
+    p_wanted_dbm - p_interferer_dbm > rejection_threshold_db(wanted, interferer).0
+}
+
+/// Monte-Carlo co-SF capture probability when both packets' received
+/// powers are drawn i.i.d. from a lognormal shadowing spread of
+/// `sigma_db` around a common mean (the dense-urban same-cell case).
+///
+/// With i.i.d. normal powers the difference is Normal(0, σ√2), so the
+/// analytic value is `Q(threshold / (σ√2))`; the Monte-Carlo form exists
+/// to compose with non-identical power distributions in callers.
+pub fn co_sf_capture_probability(sigma_db: f64, rng: &mut Rng, trials: usize) -> f64 {
+    assert!(sigma_db >= 0.0, "sigma must be >= 0");
+    assert!(trials > 0, "need at least one trial");
+    let mut wins = 0usize;
+    for _ in 0..trials {
+        let a = simcore::dist::standard_normal(rng) * sigma_db;
+        let b = simcore::dist::standard_normal(rng) * sigma_db;
+        if a - b > CO_SF_CAPTURE_DB {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+/// The standard normal upper-tail probability Q(x), via `erfc`.
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / core::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26, |err| < 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let y = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - y
+    } else {
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_capture_threshold() {
+        for sf in SpreadingFactor::ALL {
+            assert_eq!(rejection_threshold_db(sf, sf).0, CO_SF_CAPTURE_DB);
+        }
+    }
+
+    #[test]
+    fn inter_sf_isolation_is_negative() {
+        for a in SpreadingFactor::ALL {
+            for b in SpreadingFactor::ALL {
+                if a != b {
+                    assert!(
+                        rejection_threshold_db(a, b).0 < 0.0,
+                        "{a:?} vs {b:?} should tolerate stronger interferers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_sf_tolerates_more() {
+        // SF12's rejection of SF7 interference exceeds SF8's.
+        let sf12 = rejection_threshold_db(SpreadingFactor::Sf12, SpreadingFactor::Sf7).0;
+        let sf8 = rejection_threshold_db(SpreadingFactor::Sf8, SpreadingFactor::Sf7).0;
+        assert!(sf12 < sf8);
+    }
+
+    #[test]
+    fn survives_interferer_logic() {
+        use SpreadingFactor::{Sf7, Sf9};
+        // Co-SF: need > 6 dB advantage.
+        assert!(survives_interferer(Sf7, -90.0, Sf7, -97.0));
+        assert!(!survives_interferer(Sf7, -90.0, Sf7, -95.0));
+        // Inter-SF: survives even a 10 dB *stronger* interferer.
+        assert!(survives_interferer(Sf9, -100.0, Sf7, -90.0));
+    }
+
+    #[test]
+    fn capture_probability_matches_analytic() {
+        let sigma = 6.0;
+        let mut rng = Rng::seed_from(3);
+        let mc = co_sf_capture_probability(sigma, &mut rng, 200_000);
+        let analytic = q_function(CO_SF_CAPTURE_DB / (sigma * core::f64::consts::SQRT_2));
+        assert!((mc - analytic).abs() < 0.005, "mc {mc} analytic {analytic}");
+        // ~24% for 6 dB shadowing: capture materially helps dense networks.
+        assert!(analytic > 0.15 && analytic < 0.35);
+    }
+
+    #[test]
+    fn zero_sigma_never_captures() {
+        let mut rng = Rng::seed_from(4);
+        assert_eq!(co_sf_capture_probability(0.0, &mut rng, 1_000), 0.0);
+    }
+
+    #[test]
+    fn erfc_known_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn q_function_symmetry() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-7);
+        assert!((q_function(1.0) + q_function(-1.0) - 1.0).abs() < 1e-6);
+        assert!((q_function(1.96) - 0.025).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Propagation: log-distance path loss with lognormal shadowing.
+//!
+//! Urban street-level links (pole to pole, sensor to rooftop gateway) are
+//! well described by the log-distance model
+//! `PL(d) = PL(d0) + 10·n·log10(d/d0) + X_σ`, with exponent `n` between 2
+//! (free space) and ~4 (cluttered urban), and a per-link shadowing term
+//! `X_σ` that is static for a given device placement — exactly the property
+//! that makes *deployment-time* coverage lotteries matter for devices that
+//! are never touched again.
+
+use simcore::rng::Rng;
+
+use crate::units::Db;
+
+/// Free-space path loss at distance `d_m` meters and frequency `freq_mhz`.
+pub fn free_space(d_m: f64, freq_mhz: f64) -> Db {
+    assert!(d_m > 0.0 && freq_mhz > 0.0, "distance and frequency must be positive");
+    Db(20.0 * d_m.log10() + 20.0 * freq_mhz.log10() - 27.55)
+}
+
+/// A log-distance path-loss model.
+#[derive(Clone, Copy, Debug)]
+pub struct LogDistance {
+    /// Reference loss at `d0` (dB).
+    pub pl0_db: f64,
+    /// Reference distance (m).
+    pub d0_m: f64,
+    /// Path-loss exponent.
+    pub exponent: f64,
+    /// Shadowing standard deviation (dB).
+    pub shadow_sigma_db: f64,
+}
+
+impl LogDistance {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `d0`, exponent, or negative sigma.
+    pub fn new(pl0_db: f64, d0_m: f64, exponent: f64, shadow_sigma_db: f64) -> Self {
+        assert!(d0_m > 0.0, "reference distance must be positive");
+        assert!(exponent > 0.0, "exponent must be positive");
+        assert!(shadow_sigma_db >= 0.0, "sigma must be >= 0");
+        LogDistance { pl0_db, d0_m, exponent, shadow_sigma_db }
+    }
+
+    /// Urban street canyon at 915 MHz: free-space anchor at 1 m
+    /// (≈31.7 dB), exponent 2.9, shadowing σ 6 dB.
+    pub fn urban_915() -> Self {
+        LogDistance::new(free_space(1.0, 915.0).0, 1.0, 2.9, 6.0)
+    }
+
+    /// Urban 2.4 GHz (802.15.4): anchor ≈40.2 dB at 1 m, exponent 3.0,
+    /// σ 7 dB (2.4 GHz suffers more clutter).
+    pub fn urban_2450() -> Self {
+        LogDistance::new(free_space(1.0, 2450.0).0, 1.0, 3.0, 7.0)
+    }
+
+    /// Median (no-shadowing) path loss at distance `d_m`.
+    ///
+    /// Distances inside the reference distance clamp to `d0`.
+    pub fn median_loss(&self, d_m: f64) -> Db {
+        let d = d_m.max(self.d0_m);
+        Db(self.pl0_db + 10.0 * self.exponent * (d / self.d0_m).log10())
+    }
+
+    /// Samples a per-link static shadowing offset (dB, zero-mean).
+    pub fn sample_shadowing(&self, rng: &mut Rng) -> Db {
+        Db(simcore::dist::standard_normal(rng) * self.shadow_sigma_db)
+    }
+
+    /// Total loss for a link with a previously sampled shadowing offset.
+    pub fn loss_with_shadowing(&self, d_m: f64, shadowing: Db) -> Db {
+        self.median_loss(d_m) + shadowing
+    }
+
+    /// The distance at which the median loss equals `budget_db` — the
+    /// median coverage radius for a given link budget.
+    pub fn median_range_m(&self, budget: Db) -> f64 {
+        let exp10 = (budget.0 - self.pl0_db) / (10.0 * self.exponent);
+        self.d0_m * 10f64.powf(exp10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_known_values() {
+        // 1 km at 915 MHz ≈ 91.7 dB.
+        let pl = free_space(1_000.0, 915.0);
+        assert!((pl.0 - 91.68).abs() < 0.05, "pl {}", pl.0);
+        // 1 m at 2.45 GHz ≈ 40.2 dB.
+        assert!((free_space(1.0, 2_450.0).0 - 40.23).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_distance_slope() {
+        let m = LogDistance::urban_915();
+        let l100 = m.median_loss(100.0).0;
+        let l1000 = m.median_loss(1_000.0).0;
+        // One decade of distance adds 10·n dB.
+        assert!((l1000 - l100 - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_inside_reference() {
+        let m = LogDistance::urban_915();
+        assert_eq!(m.median_loss(0.1).0, m.median_loss(1.0).0);
+    }
+
+    #[test]
+    fn range_inverts_loss() {
+        let m = LogDistance::urban_915();
+        let budget = Db(120.0);
+        let r = m.median_range_m(budget);
+        let back = m.median_loss(r);
+        assert!((back.0 - 120.0).abs() < 1e-9, "range {r} loss {}", back.0);
+    }
+
+    #[test]
+    fn shadowing_statistics() {
+        let m = LogDistance::urban_915();
+        let mut rng = Rng::seed_from(31);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| m.sample_shadowing(&mut rng).0).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((sd - 6.0).abs() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn loss_with_shadowing_adds() {
+        let m = LogDistance::urban_915();
+        let total = m.loss_with_shadowing(200.0, Db(4.5));
+        assert!((total.0 - m.median_loss(200.0).0 - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz24_loses_more_than_915() {
+        let a = LogDistance::urban_915().median_loss(300.0);
+        let b = LogDistance::urban_2450().median_loss(300.0);
+        assert!(b.0 > a.0 + 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_distance() {
+        free_space(0.0, 915.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Static spreading-factor selection for transmit-only devices.
+//!
+//! A transmit-only sensor cannot run ADR (it never listens), so its SF is
+//! chosen once, at deployment, from a site survey: the **fastest SF whose
+//! link budget closes with margin**. Faster SFs cost less energy and less
+//! airtime (collisions!), but reach less far. This is the deployment-time
+//! decision every one of the paper's LoRa sensors embeds for life — another
+//! place where a day-one choice must hold for decades.
+
+use crate::lora::{LoraConfig, SpreadingFactor};
+use crate::units::{Db, Dbm};
+
+/// The assignment outcome for one device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SfAssignment {
+    /// The chosen spreading factor.
+    pub sf: SpreadingFactor,
+    /// Link margin at that SF (dB above sensitivity).
+    pub margin: Db,
+    /// Airtime of a `payload_bytes` packet at the chosen SF, seconds.
+    pub airtime_s: f64,
+}
+
+/// Chooses the fastest SF that closes a link of total loss `path_loss`
+/// from a transmitter at `tx`, requiring at least `min_margin_db` of slack
+/// (fade margin for decades of foliage growth and new construction).
+///
+/// Returns `None` if even SF12 cannot close the link.
+pub fn select_sf(
+    tx: Dbm,
+    path_loss: Db,
+    min_margin_db: f64,
+    payload_bytes: u32,
+) -> Option<SfAssignment> {
+    let rx = tx - path_loss;
+    for sf in SpreadingFactor::ALL {
+        let margin = rx - sf.sensitivity_125khz();
+        if margin.0 >= min_margin_db {
+            return Some(SfAssignment {
+                sf,
+                margin,
+                airtime_s: LoraConfig::uplink(sf).airtime_s(payload_bytes),
+            });
+        }
+    }
+    None
+}
+
+/// Distribution of SF assignments over a set of link losses — the site
+/// survey's summary output. Returns counts per SF plus unreachable count.
+pub fn survey(
+    tx: Dbm,
+    losses: &[Db],
+    min_margin_db: f64,
+    payload_bytes: u32,
+) -> ([usize; 6], usize) {
+    let mut counts = [0usize; 6];
+    let mut unreachable = 0;
+    for &loss in losses {
+        match select_sf(tx, loss, min_margin_db, payload_bytes) {
+            Some(a) => counts[(a.sf.value() - 7) as usize] += 1,
+            None => unreachable += 1,
+        }
+    }
+    (counts, unreachable)
+}
+
+/// Mean per-packet airtime over a survey (collision-footprint planning).
+pub fn mean_airtime_s(
+    tx: Dbm,
+    losses: &[Db],
+    min_margin_db: f64,
+    payload_bytes: u32,
+) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for &loss in losses {
+        if let Some(a) = select_sf(tx, loss, min_margin_db, payload_bytes) {
+            total += a.airtime_s;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(total / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_link_gets_fastest_sf() {
+        let a = select_sf(Dbm(14.0), Db(100.0), 10.0, 24).expect("closes");
+        assert_eq!(a.sf, SpreadingFactor::Sf7);
+        // rx = -86, SF7 sensitivity -123 -> 37 dB margin.
+        assert!((a.margin.0 - 37.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_link_escalates_sf() {
+        // rx = 14 - 140 = -126; SF7 (-123) fails, SF8 (-126) has 0 margin,
+        // with 3 dB required the first fit is SF9 (-129 -> 3 dB).
+        let a = select_sf(Dbm(14.0), Db(140.0), 3.0, 24).expect("closes");
+        assert_eq!(a.sf, SpreadingFactor::Sf9);
+        assert!((a.margin.0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hopeless_link_is_none() {
+        assert_eq!(select_sf(Dbm(14.0), Db(170.0), 3.0, 24), None);
+    }
+
+    #[test]
+    fn airtime_grows_with_assigned_sf() {
+        let near = select_sf(Dbm(14.0), Db(100.0), 3.0, 24).unwrap();
+        let far = select_sf(Dbm(14.0), Db(145.0), 3.0, 24).unwrap();
+        assert!(far.sf > near.sf);
+        assert!(far.airtime_s > near.airtime_s * 2.0);
+    }
+
+    #[test]
+    fn survey_partitions_population() {
+        let losses: Vec<Db> = (0..100).map(|i| Db(100.0 + i as f64 * 0.6)).collect();
+        let (counts, unreachable) = survey(Dbm(14.0), &losses, 3.0, 24);
+        assert_eq!(counts.iter().sum::<usize>() + unreachable, 100);
+        // Spread over several SFs with both ends populated.
+        assert!(counts[0] > 0, "some devices at SF7");
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 3);
+    }
+
+    #[test]
+    fn higher_margin_requirement_pushes_sf_up() {
+        let lax = select_sf(Dbm(14.0), Db(135.0), 2.0, 24).unwrap();
+        let strict = select_sf(Dbm(14.0), Db(135.0), 12.0, 24).unwrap();
+        assert!(strict.sf > lax.sf);
+    }
+
+    #[test]
+    fn mean_airtime_over_survey() {
+        let losses = [Db(100.0), Db(145.0)];
+        let mean = mean_airtime_s(Dbm(14.0), &losses, 3.0, 24).unwrap();
+        let a = select_sf(Dbm(14.0), Db(100.0), 3.0, 24).unwrap().airtime_s;
+        let b = select_sf(Dbm(14.0), Db(145.0), 3.0, 24).unwrap().airtime_s;
+        assert!((mean - 0.5 * (a + b)).abs() < 1e-12);
+        assert_eq!(mean_airtime_s(Dbm(14.0), &[Db(200.0)], 3.0, 24), None);
+    }
+}

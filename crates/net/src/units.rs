@@ -1,0 +1,132 @@
+//! Radio units: dBm/milliwatt conversions and link-budget arithmetic.
+//!
+//! Link budgets are additions in decibel space; keeping power levels in a
+//! dedicated [`Dbm`] type prevents the classic watt/dBm mix-up bugs.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A power level in dBm.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Dbm(pub f64);
+
+/// A gain or loss in dB.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Db(pub f64);
+
+impl Dbm {
+    /// Converts milliwatts to dBm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is not positive and finite.
+    pub fn from_mw(mw: f64) -> Dbm {
+        assert!(mw > 0.0 && mw.is_finite(), "power must be positive");
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// Converts to milliwatts.
+    pub fn to_mw(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts to watts.
+    pub fn to_w(self) -> f64 {
+        self.to_mw() / 1_000.0
+    }
+
+    /// The raw dBm value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Dbm> for Dbm {
+    /// The difference between two levels is a gain/loss in dB.
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mw_dbm_roundtrip() {
+        assert!((Dbm::from_mw(1.0).value() - 0.0).abs() < 1e-12);
+        assert!((Dbm::from_mw(100.0).value() - 20.0).abs() < 1e-12);
+        assert!((Dbm(14.0).to_mw() - 25.1188).abs() < 0.001);
+        assert!((Dbm(0.0).to_w() - 0.001).abs() < 1e-12);
+        let p = 17.3;
+        assert!((Dbm::from_mw(Dbm(p).to_mw()).value() - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_arithmetic() {
+        // 14 dBm TX - 120 dB path + 3 dB antenna = -103 dBm RX.
+        let rx = Dbm(14.0) - Db(120.0) + Db(3.0);
+        assert!((rx.value() + 103.0).abs() < 1e-12);
+        let margin = rx - Dbm(-110.0);
+        assert!((margin.0 - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_arithmetic() {
+        let total = Db(3.0) + Db(2.0) - Db(1.0);
+        assert!((total.0 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dbm(-103.25).to_string(), "-103.2 dBm");
+        assert_eq!(Db(7.0).to_string(), "7.0 dB");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_mw_rejects_zero() {
+        Dbm::from_mw(0.0);
+    }
+}

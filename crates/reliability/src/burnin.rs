@@ -1,0 +1,170 @@
+//! Burn-in screening: trading factory hours for field decades.
+//!
+//! §1 observes that low-power design points are "more robust to long-term
+//! failures"; the complementary lever against *early* failures is burn-in:
+//! operate units under accelerated stress before deployment so infant
+//! mortality fires on the bench instead of on a pole. For a bathtub-shaped
+//! hazard, screening truncates the decreasing-hazard head of the
+//! distribution — survivors of the screen are conditioned on having passed
+//! the riskiest age.
+
+use crate::hazard::Hazard;
+use simcore::rng::Rng;
+
+/// A burn-in screen: `bench_hours` of operation at an acceleration factor
+/// `af` (from [`crate::arrhenius::acceleration_factor`]) relative to field
+/// stress.
+#[derive(Clone, Copy, Debug)]
+pub struct BurnIn {
+    /// Hours on the bench.
+    pub bench_hours: f64,
+    /// Aging acceleration relative to field conditions.
+    pub acceleration: f64,
+}
+
+impl BurnIn {
+    /// Creates a screen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative hours or non-positive acceleration.
+    pub fn new(bench_hours: f64, acceleration: f64) -> Self {
+        assert!(bench_hours >= 0.0 && bench_hours.is_finite(), "hours must be >= 0");
+        assert!(
+            acceleration > 0.0 && acceleration.is_finite(),
+            "acceleration must be positive"
+        );
+        BurnIn { bench_hours, acceleration }
+    }
+
+    /// The equivalent field age screened out, in years.
+    pub fn equivalent_field_years(&self) -> f64 {
+        self.bench_hours * self.acceleration / 8_760.0
+    }
+
+    /// Fraction of production units that fail the screen (scrap rate) for
+    /// units with the given lifetime model.
+    pub fn fallout<H: Hazard + ?Sized>(&self, h: &H) -> f64 {
+        1.0 - h.survival(self.equivalent_field_years())
+    }
+
+    /// Survival at field age `t` (years) for a unit that passed the screen:
+    /// `S(t + τ) / S(τ)` with `τ` the screened-out equivalent age.
+    pub fn screened_survival<H: Hazard + ?Sized>(&self, h: &H, t: f64) -> f64 {
+        let tau = self.equivalent_field_years();
+        let s_tau = h.survival(tau);
+        if s_tau <= 0.0 {
+            return 0.0;
+        }
+        h.survival(t + tau) / s_tau
+    }
+
+    /// Samples a field lifetime for a screened unit (conditional on having
+    /// survived the screen).
+    pub fn sample_screened_ttf<H: Hazard + ?Sized>(&self, h: &H, rng: &mut Rng) -> f64 {
+        h.sample_remaining(rng, self.equivalent_field_years())
+    }
+
+    /// First-year field failure probability with and without the screen —
+    /// the number a deployment warranty is written against.
+    pub fn first_year_improvement<H: Hazard + ?Sized>(&self, h: &H) -> (f64, f64) {
+        let unscreened = 1.0 - h.survival(1.0);
+        let screened = 1.0 - self.screened_survival(h, 1.0);
+        (unscreened, screened)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hazard::{BathtubHazard, ExponentialHazard, WeibullHazard};
+
+    /// 168 bench-hours (one week) at 20x acceleration ≈ 0.38 field-years.
+    fn screen() -> BurnIn {
+        BurnIn::new(168.0, 20.0)
+    }
+
+    fn bathtub() -> BathtubHazard {
+        // Strong infant mortality for a visible effect.
+        BathtubHazard::new(
+            WeibullHazard::new(0.4, 300.0),
+            ExponentialHazard::with_mttf(80.0),
+            WeibullHazard::with_median(4.0, 25.0),
+        )
+    }
+
+    #[test]
+    fn equivalent_age_arithmetic() {
+        let s = screen();
+        assert!((s.equivalent_field_years() - 168.0 * 20.0 / 8_760.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn screening_cuts_first_year_failures() {
+        let h = bathtub();
+        let (before, after) = screen().first_year_improvement(&h);
+        assert!(after < before * 0.7, "before {before} after {after}");
+        assert!(after > 0.0, "random failures remain");
+    }
+
+    #[test]
+    fn fallout_matches_infant_mass() {
+        let h = bathtub();
+        let s = screen();
+        let fallout = s.fallout(&h);
+        assert!((fallout - (1.0 - h.survival(s.equivalent_field_years()))).abs() < 1e-12);
+        assert!(fallout > 0.01 && fallout < 0.30, "fallout {fallout}");
+    }
+
+    #[test]
+    fn screened_survival_is_conditional() {
+        let h = bathtub();
+        let s = screen();
+        let tau = s.equivalent_field_years();
+        let direct = h.survival(10.0 + tau) / h.survival(tau);
+        assert!((s.screened_survival(&h, 10.0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn screening_is_useless_for_memoryless_units() {
+        let h = ExponentialHazard::with_mttf(50.0);
+        let (before, after) = screen().first_year_improvement(&h);
+        assert!((before - after).abs() < 1e-9, "exponential has no infant mortality");
+    }
+
+    #[test]
+    fn screening_hurts_pure_wearout() {
+        // Screening a pure wear-out part just consumes life.
+        let h = WeibullHazard::new(5.0, 10.0);
+        let (before, after) = BurnIn::new(8_760.0, 5.0).first_year_improvement(&h);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn sampled_screened_lifetimes_match_survival() {
+        let h = bathtub();
+        let s = screen();
+        let mut rng = Rng::seed_from(9);
+        let n = 40_000;
+        let alive_at_5 = (0..n)
+            .filter(|_| s.sample_screened_ttf(&h, &mut rng) > 5.0)
+            .count() as f64
+            / n as f64;
+        let expect = s.screened_survival(&h, 5.0);
+        assert!((alive_at_5 - expect).abs() < 0.01, "{alive_at_5} vs {expect}");
+    }
+
+    #[test]
+    fn zero_hour_screen_is_identity() {
+        let h = bathtub();
+        let s = BurnIn::new(0.0, 10.0);
+        assert_eq!(s.fallout(&h), 0.0);
+        assert!((s.screened_survival(&h, 7.0) - h.survival(7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceleration")]
+    fn rejects_zero_acceleration() {
+        BurnIn::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Thermal-cycling fatigue of solder joints (Coffin–Manson).
+//!
+//! Outdoor devices see a full thermal cycle every day and a deeper one every
+//! year. Solder joints fail by low-cycle fatigue after a number of cycles
+//! that falls as a power law of the temperature swing — the Coffin–Manson
+//! relation. Together with [`crate::arrhenius`], this is the second of the
+//! two classic mechanisms behind the paper's 10–15-year electronics
+//! lifetime folklore.
+
+/// Coffin–Manson cycles-to-failure:
+/// `N = n_ref * (dT_ref / dT)^exponent`.
+///
+/// `exponent` is typically 2.0–2.7 for SnAgCu solder; `n_ref` cycles at a
+/// `dt_ref_c` swing anchor the curve (from accelerated test data).
+///
+/// # Panics
+///
+/// Panics unless all parameters are positive and finite.
+pub fn cycles_to_failure(n_ref: f64, dt_ref_c: f64, dt_c: f64, exponent: f64) -> f64 {
+    assert!(
+        n_ref > 0.0 && dt_ref_c > 0.0 && dt_c > 0.0 && exponent > 0.0,
+        "Coffin-Manson parameters must be positive"
+    );
+    assert!(
+        n_ref.is_finite() && dt_ref_c.is_finite() && dt_c.is_finite() && exponent.is_finite(),
+        "Coffin-Manson parameters must be finite"
+    );
+    n_ref * (dt_ref_c / dt_c).powf(exponent)
+}
+
+/// A daily thermal-cycling environment, reduced to an equivalent solder
+/// life in years via Miner's linear damage rule over the daily and the
+/// seasonal (annual) cycle.
+#[derive(Clone, Copy, Debug)]
+pub struct ThermalCycling {
+    /// Daily temperature swing in °C.
+    pub daily_swing_c: f64,
+    /// Annual (seasonal) swing in °C, treated as one slow cycle per year.
+    pub annual_swing_c: f64,
+    /// Reference cycles to failure at the reference swing.
+    pub n_ref: f64,
+    /// Reference swing in °C.
+    pub dt_ref_c: f64,
+    /// Coffin–Manson exponent.
+    pub exponent: f64,
+}
+
+impl Default for ThermalCycling {
+    /// SnAgCu defaults: 3,000 cycles at a 75 °C accelerated swing,
+    /// exponent 2.5 — mid-range of published SAC305 data.
+    fn default() -> Self {
+        ThermalCycling {
+            daily_swing_c: 20.0,
+            annual_swing_c: 40.0,
+            n_ref: 3_000.0,
+            dt_ref_c: 75.0,
+            exponent: 2.5,
+        }
+    }
+}
+
+impl ThermalCycling {
+    /// Median solder life in years under Miner's rule: yearly damage is
+    /// `365/N(daily) + 1/N(annual)`; life is the reciprocal.
+    pub fn median_life_years(&self) -> f64 {
+        let n_daily = cycles_to_failure(self.n_ref, self.dt_ref_c, self.daily_swing_c, self.exponent);
+        let n_annual =
+            cycles_to_failure(self.n_ref, self.dt_ref_c, self.annual_swing_c, self.exponent);
+        let damage_per_year = 365.0 / n_daily + 1.0 / n_annual;
+        1.0 / damage_per_year
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_shape() {
+        // Halving the swing multiplies life by 2^exponent.
+        let n1 = cycles_to_failure(1_000.0, 50.0, 50.0, 2.0);
+        let n2 = cycles_to_failure(1_000.0, 50.0, 25.0, 2.0);
+        assert!((n1 - 1_000.0).abs() < 1e-9);
+        assert!((n2 - 4_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_outdoor_life_is_decades() {
+        // 20 °C daily swings are gentle; solder should outlast the
+        // electrolytics by a wide margin.
+        let life = ThermalCycling::default().median_life_years();
+        assert!(life > 20.0 && life < 500.0, "life {life}");
+    }
+
+    #[test]
+    fn harsher_climate_shortens_life() {
+        let mild = ThermalCycling { daily_swing_c: 10.0, ..Default::default() };
+        let harsh = ThermalCycling { daily_swing_c: 40.0, ..Default::default() };
+        assert!(harsh.median_life_years() < mild.median_life_years() / 4.0);
+    }
+
+    #[test]
+    fn annual_cycle_contributes() {
+        let no_annual = ThermalCycling { annual_swing_c: 1e-6, ..Default::default() };
+        let with_annual = ThermalCycling::default();
+        assert!(with_annual.median_life_years() < no_annual.median_life_years());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_swing() {
+        cycles_to_failure(1_000.0, 50.0, 0.0, 2.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Reliability block diagrams: composing components into devices.
+//!
+//! A device fails when its reliability structure fails. The structures
+//! needed here are:
+//!
+//! * **Series** — any critical part failing kills the device (the common
+//!   case for a small sensor node);
+//! * **Parallel** — redundancy: all branches must fail;
+//! * **k-of-n** — at least `k` of `n` branches must survive.
+//!
+//! [`bom`] provides the two archetype bills-of-material the paper contrasts
+//! (battery-powered vs energy-harvesting), used by the E10 ablation.
+
+use simcore::rng::Rng;
+
+use crate::components::{self, Component};
+use crate::fatigue::ThermalCycling;
+use crate::hazard::Hazard;
+
+/// A reliability structure over components.
+pub enum Block {
+    /// A single component.
+    Unit(Component),
+    /// Fails when **any** child fails.
+    Series(Vec<Block>),
+    /// Fails when **all** children fail.
+    Parallel(Vec<Block>),
+    /// Fails when fewer than `k` children survive.
+    KOfN {
+        /// Minimum number of surviving children.
+        k: usize,
+        /// The children.
+        blocks: Vec<Block>,
+    },
+    /// Cold-standby redundancy: the spare is unpowered (does not age)
+    /// until the primary fails; the switchover succeeds with probability
+    /// `switch_reliability`.
+    Standby {
+        /// The operating unit.
+        primary: Box<Block>,
+        /// The cold spare, activated on primary failure.
+        spare: Box<Block>,
+        /// Probability the failover mechanism works when called.
+        switch_reliability: f64,
+    },
+}
+
+impl Block {
+    /// Survival probability of the structure at age `t` years, assuming
+    /// independent children.
+    pub fn survival(&self, t: f64) -> f64 {
+        match self {
+            Block::Unit(c) => c.survival(t),
+            Block::Series(bs) => bs.iter().map(|b| b.survival(t)).product(),
+            Block::Parallel(bs) => {
+                1.0 - bs.iter().map(|b| 1.0 - b.survival(t)).product::<f64>()
+            }
+            Block::Standby { primary, spare, switch_reliability } => {
+                // No closed form for arbitrary children; estimate by
+                // conditioning on the primary's failure age via numeric
+                // integration over the primary's failure density.
+                // S(t) = S_p(t) + ∫0..t f_p(u) · c · S_s(t-u) du.
+                let sp = primary.survival(t);
+                let steps = 200;
+                let dt = t / steps as f64;
+                let mut integral = 0.0;
+                let mut last_sp = 1.0;
+                for i in 0..steps {
+                    let u1 = (i + 1) as f64 * dt;
+                    let sp1 = primary.survival(u1);
+                    let f_mass = (last_sp - sp1).max(0.0); // P(fail in (u, u+dt]).
+                    let mid = (i as f64 + 0.5) * dt;
+                    integral += f_mass * spare.survival(t - mid);
+                    last_sp = sp1;
+                }
+                (sp + switch_reliability.clamp(0.0, 1.0) * integral).min(1.0)
+            }
+            Block::KOfN { k, blocks } => {
+                // Exact via dynamic programming over heterogeneous children.
+                let ps: Vec<f64> = blocks.iter().map(|b| b.survival(t)).collect();
+                let n = ps.len();
+                if *k == 0 {
+                    return 1.0;
+                }
+                if *k > n {
+                    return 0.0;
+                }
+                // dp[j] = P(exactly j alive) over processed children.
+                let mut dp = vec![0.0; n + 1];
+                dp[0] = 1.0;
+                for (i, &p) in ps.iter().enumerate() {
+                    for j in (0..=i + 1).rev() {
+                        let stay = if j <= i { dp[j] * (1.0 - p) } else { 0.0 };
+                        let up = if j > 0 { dp[j - 1] * p } else { 0.0 };
+                        dp[j] = stay + up;
+                    }
+                }
+                dp[*k..].iter().sum()
+            }
+        }
+    }
+
+    /// Samples the structure's time to failure in years.
+    pub fn sample_ttf(&self, rng: &mut Rng) -> f64 {
+        match self {
+            Block::Unit(c) => c.sample_ttf(rng),
+            Block::Series(bs) => bs
+                .iter()
+                .map(|b| b.sample_ttf(rng))
+                .fold(f64::INFINITY, f64::min),
+            Block::Parallel(bs) => bs
+                .iter()
+                .map(|b| b.sample_ttf(rng))
+                .fold(f64::NEG_INFINITY, f64::max)
+                .max(0.0),
+            Block::KOfN { k, blocks } => {
+                let mut ts: Vec<f64> = blocks.iter().map(|b| b.sample_ttf(rng)).collect();
+                ts.sort_by(|a, b| a.partial_cmp(b).expect("ttf is not NaN"));
+                let n = ts.len();
+                if *k == 0 {
+                    return f64::INFINITY;
+                }
+                if *k > n {
+                    return 0.0;
+                }
+                // The system dies when the (n-k+1)-th failure occurs.
+                ts[n - *k]
+            }
+            Block::Standby { primary, spare, switch_reliability } => {
+                let t1 = primary.sample_ttf(rng);
+                if !rng.chance(*switch_reliability) {
+                    return t1;
+                }
+                // Cold spare starts fresh at switchover.
+                t1 + spare.sample_ttf(rng)
+            }
+        }
+    }
+
+    /// Samples TTF and reports which leaf component failed first along the
+    /// critical path (series chains only; inside parallel/k-of-n groups the
+    /// *last relevant* failure is attributed). Returns `(ttf, name)`.
+    pub fn sample_ttf_attributed(&self, rng: &mut Rng) -> (f64, &'static str) {
+        match self {
+            Block::Unit(c) => (c.sample_ttf(rng), c.name()),
+            Block::Series(bs) => bs
+                .iter()
+                .map(|b| b.sample_ttf_attributed(rng))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("ttf is not NaN"))
+                .unwrap_or((f64::INFINITY, "empty-series")),
+            Block::Parallel(bs) => bs
+                .iter()
+                .map(|b| b.sample_ttf_attributed(rng))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("ttf is not NaN"))
+                .unwrap_or((0.0, "empty-parallel")),
+            Block::Standby { primary, spare, switch_reliability } => {
+                let (t1, who1) = primary.sample_ttf_attributed(rng);
+                if !rng.chance(*switch_reliability) {
+                    return (t1, who1);
+                }
+                let (t2, who2) = spare.sample_ttf_attributed(rng);
+                (t1 + t2, who2)
+            }
+            Block::KOfN { k, blocks } => {
+                let mut ts: Vec<(f64, &'static str)> =
+                    blocks.iter().map(|b| b.sample_ttf_attributed(rng)).collect();
+                ts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("ttf is not NaN"));
+                let n = ts.len();
+                if *k == 0 {
+                    return (f64::INFINITY, "k-of-n");
+                }
+                if *k > n {
+                    return (0.0, "k-of-n");
+                }
+                ts[n - *k]
+            }
+        }
+    }
+
+    /// Number of leaf components.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Block::Unit(_) => 1,
+            Block::Series(bs) | Block::Parallel(bs) => bs.iter().map(Block::leaf_count).sum(),
+            Block::KOfN { blocks, .. } => blocks.iter().map(Block::leaf_count).sum(),
+            Block::Standby { primary, spare, .. } => {
+                primary.leaf_count() + spare.leaf_count()
+            }
+        }
+    }
+}
+
+impl Hazard for Block {
+    fn survival(&self, t: f64) -> f64 {
+        Block::survival(self, t)
+    }
+
+    fn sample_ttf(&self, rng: &mut Rng) -> f64 {
+        Block::sample_ttf(self, rng)
+    }
+}
+
+/// The device archetypes contrasted by the paper (E10 ablation).
+pub mod bom {
+    use super::*;
+
+    /// Environmental inputs shared by the archetypes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Environment {
+        /// Enclosure temperature in °C (drives capacitor aging).
+        pub enclosure_c: f64,
+        /// Thermal-cycling climate (drives solder fatigue).
+        pub climate: ThermalCycling,
+        /// MTTF of external random kills (surge/vandalism), years.
+        pub external_mttf_years: f64,
+    }
+
+    impl Default for Environment {
+        /// A temperate outdoor pole-mount: 45 °C enclosure, default climate,
+        /// 80-year external-event MTTF.
+        fn default() -> Self {
+            Environment {
+                enclosure_c: 45.0,
+                climate: ThermalCycling::default(),
+                external_mttf_years: 80.0,
+            }
+        }
+    }
+
+    /// Battery-powered sensor node: MCU + radio + PCB + solder + primary
+    /// battery + electrolytic bulk cap (battery-rail buffering) + seal +
+    /// external hazards — all in series.
+    pub fn battery_node(env: &Environment) -> Block {
+        Block::Series(vec![
+            Block::Unit(components::mcu_lowpower()),
+            Block::Unit(components::radio_lowpower()),
+            Block::Unit(components::pcb_substrate()),
+            Block::Unit(components::solder_field(env.climate)),
+            Block::Unit(components::primary_battery(12.0)),
+            Block::Unit(components::electrolytic_cap(env.enclosure_c)),
+            Block::Unit(components::enclosure_seal()),
+            Block::Unit(components::external_random(env.external_mttf_years)),
+        ])
+    }
+
+    /// Energy-harvesting node: the battery is replaced by a harvester +
+    /// supercap, and the design point drops the electrolytic (low-power
+    /// rails are ceramic-only) — the paper's robustness argument.
+    pub fn harvesting_node(env: &Environment) -> Block {
+        Block::Series(vec![
+            Block::Unit(components::mcu_lowpower()),
+            Block::Unit(components::radio_lowpower()),
+            Block::Unit(components::pcb_substrate()),
+            Block::Unit(components::solder_field(env.climate)),
+            Block::Unit(components::pv_cell()),
+            Block::Unit(components::supercap_buffer()),
+            Block::Unit(components::ceramic_cap()),
+            Block::Unit(components::enclosure_seal()),
+            Block::Unit(components::external_random(env.external_mttf_years)),
+        ])
+    }
+
+    /// Raspberry-Pi-class gateway: SBC + SD card + PSU + external hazards.
+    /// (§4.4 relies on "the reliability of a (networked!) Raspberry
+    /// Pi-class device".)
+    pub fn pi_gateway(env: &Environment) -> Block {
+        Block::Series(vec![
+            Block::Unit(components::sbc_board()),
+            Block::Unit(components::sd_card()),
+            Block::Unit(components::psu_commodity(env.enclosure_c)),
+            Block::Unit(components::external_random(env.external_mttf_years)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{ceramic_cap, external_random};
+
+    fn rng() -> Rng {
+        Rng::seed_from(7)
+    }
+
+    fn unit(mttf: f64) -> Block {
+        Block::Unit(external_random(mttf))
+    }
+
+    #[test]
+    fn series_survival_is_product() {
+        let b = Block::Series(vec![unit(10.0), unit(10.0)]);
+        let s1 = unit(10.0).survival(5.0);
+        assert!((b.survival(5.0) - s1 * s1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_mttf_halves_for_two_identical_exponentials() {
+        let b = Block::Series(vec![unit(10.0), unit(10.0)]);
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| b.sample_ttf(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn parallel_survival_formula() {
+        let b = Block::Parallel(vec![unit(10.0), unit(10.0)]);
+        let s = unit(10.0).survival(5.0);
+        let expect = 1.0 - (1.0 - s) * (1.0 - s);
+        assert!((b.survival(5.0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_mttf_exceeds_single() {
+        let b = Block::Parallel(vec![unit(10.0), unit(10.0)]);
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| b.sample_ttf(&mut r)).sum::<f64>() / n as f64;
+        // For two exponentials: MTTF = 10 + 10 - 5 = 15.
+        assert!((mean - 15.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn k_of_n_boundaries() {
+        let mk = |k| Block::KOfN { k, blocks: vec![unit(10.0), unit(10.0), unit(10.0)] };
+        assert_eq!(mk(0).survival(5.0), 1.0);
+        assert_eq!(mk(4).survival(5.0), 0.0);
+        // 1-of-3 == parallel; 3-of-3 == series.
+        let p = Block::Parallel(vec![unit(10.0), unit(10.0), unit(10.0)]);
+        let s = Block::Series(vec![unit(10.0), unit(10.0), unit(10.0)]);
+        assert!((mk(1).survival(5.0) - p.survival(5.0)).abs() < 1e-12);
+        assert!((mk(3).survival(5.0) - s.survival(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_sampling_matches_analytic() {
+        let b = Block::KOfN { k: 2, blocks: vec![unit(10.0), unit(10.0), unit(10.0)] };
+        let mut r = rng();
+        let n = 100_000;
+        let t = 5.0;
+        let emp = (0..n).filter(|_| b.sample_ttf(&mut r) > t).count() as f64 / n as f64;
+        assert!((emp - b.survival(t)).abs() < 0.01, "emp {emp} vs {}", b.survival(t));
+    }
+
+    #[test]
+    fn standby_doubles_exponential_mttf_with_perfect_switch() {
+        // Cold standby of two identical exponentials: MTTF = 2/λ (an
+        // Erlang-2 life), unlike hot parallel (1.5/λ).
+        let b = Block::Standby {
+            primary: Box::new(unit(10.0)),
+            spare: Box::new(unit(10.0)),
+            switch_reliability: 1.0,
+        };
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| b.sample_ttf(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 20.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn standby_survival_matches_sampling() {
+        let b = Block::Standby {
+            primary: Box::new(unit(8.0)),
+            spare: Box::new(unit(12.0)),
+            switch_reliability: 0.9,
+        };
+        let mut r = rng();
+        let n = 100_000;
+        let t = 10.0;
+        let emp = (0..n).filter(|_| b.sample_ttf(&mut r) > t).count() as f64 / n as f64;
+        let analytic = b.survival(t);
+        assert!((emp - analytic).abs() < 0.01, "emp {emp} analytic {analytic}");
+    }
+
+    #[test]
+    fn failed_switch_reduces_to_primary_alone() {
+        let b = Block::Standby {
+            primary: Box::new(unit(10.0)),
+            spare: Box::new(unit(10.0)),
+            switch_reliability: 0.0,
+        };
+        let single = unit(10.0);
+        assert!((b.survival(5.0) - single.survival(5.0)).abs() < 1e-6);
+        assert_eq!(b.leaf_count(), 2);
+    }
+
+    #[test]
+    fn standby_attribution_names_spare_after_switch() {
+        let b = Block::Standby {
+            primary: Box::new(Block::Unit(ceramic_cap())),
+            spare: Box::new(Block::Unit(external_random(5.0))),
+            switch_reliability: 1.0,
+        };
+        let mut r = rng();
+        let (_, who) = b.sample_ttf_attributed(&mut r);
+        assert_eq!(who, "external-random");
+    }
+
+    #[test]
+    fn attribution_finds_weak_link() {
+        // A 2-year part among 100-year parts should dominate attribution.
+        let b = Block::Series(vec![
+            Block::Unit(ceramic_cap()),
+            Block::Unit(external_random(2.0)),
+        ]);
+        let mut r = rng();
+        let hits = (0..2_000)
+            .filter(|_| b.sample_ttf_attributed(&mut r).1 == "external-random")
+            .count();
+        assert!(hits > 1_900, "hits {hits}");
+    }
+
+    #[test]
+    fn leaf_count_recurses() {
+        let b = Block::Series(vec![
+            unit(1.0),
+            Block::Parallel(vec![unit(1.0), unit(1.0)]),
+            Block::KOfN { k: 1, blocks: vec![unit(1.0)] },
+        ]);
+        assert_eq!(b.leaf_count(), 4);
+    }
+
+    #[test]
+    fn bom_harvesting_outlives_battery() {
+        let env = bom::Environment::default();
+        let bat = bom::battery_node(&env);
+        let har = bom::harvesting_node(&env);
+        // Median comparison over a modest Monte Carlo.
+        let mut r = rng();
+        let n = 4_000;
+        let med = |b: &Block, r: &mut Rng| {
+            let mut v: Vec<f64> = (0..n).map(|_| b.sample_ttf(r)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[n / 2]
+        };
+        let mb = med(&bat, &mut r);
+        let mh = med(&har, &mut r);
+        assert!(
+            mb < mh,
+            "battery median {mb} should be below harvesting median {mh}"
+        );
+        // The battery node sits in the paper's 10-15 y folklore band.
+        assert!(mb > 5.0 && mb < 18.0, "battery median {mb}");
+    }
+
+    #[test]
+    fn bom_gateway_needs_attention_within_a_decade() {
+        let env = bom::Environment::default();
+        let gw = bom::pi_gateway(&env);
+        let mut r = rng();
+        let n = 4_000;
+        let mut v: Vec<f64> = (0..n).map(|_| gw.sample_ttf(&mut r)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[n / 2];
+        assert!(median > 1.0 && median < 10.0, "median {median}");
+    }
+
+    #[test]
+    fn empty_series_is_immortal() {
+        let b = Block::Series(vec![]);
+        assert_eq!(b.survival(1e6), 1.0);
+        assert_eq!(b.sample_ttf(&mut rng()), f64::INFINITY);
+    }
+}

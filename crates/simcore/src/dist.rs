@@ -1,0 +1,801 @@
+//! Probability distributions over the deterministic [`crate::rng::Rng`].
+//!
+//! Every sampler is a small value type with an explicit, validated parameter
+//! set and a `sample(&mut Rng)` method. The samplers used on hot paths
+//! (exponential, Weibull, normal) use inverse-CDF or Box–Muller forms whose
+//! output is a pure function of the consumed uniforms, keeping runs exactly
+//! reproducible.
+//!
+//! The set covers what the higher layers need:
+//!
+//! * lifetimes and hazards — [`Exponential`], [`Weibull`], [`LogNormal`]
+//! * measurement noise and service times — [`Normal`], [`Uniform`]
+//! * event counts — [`Poisson`], [`Geometric`], [`Bernoulli`]
+//! * heavy-tailed populations (AS sizes, hotspot ownership) — [`Zipf`],
+//!   [`Pareto`]
+//! * arbitrary categorical draws — [`Discrete`] (Walker alias table)
+
+use crate::rng::Rng;
+
+/// Error returned when distribution parameters are invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParamError {
+    what: &'static str,
+}
+
+impl ParamError {
+    fn new(what: &'static str) -> Self {
+        ParamError { what }
+    }
+}
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// Returns an error unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(ParamError::new("Uniform requires finite lo < hi"));
+        }
+        Ok(Uniform { lo, hi })
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+
+    /// The distribution mean, `(lo + hi) / 2`.
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Bernoulli distribution: `true` with probability `p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p ∈ [0,1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError::new("Bernoulli requires p in [0,1]"));
+        }
+        Ok(Bernoulli { p })
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut Rng) -> bool {
+        rng.chance(self.p)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError::new("Exponential requires lambda > 0"));
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// Creates an exponential distribution with the given mean (`1/lambda`).
+    pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(ParamError::new("Exponential requires mean > 0"));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Draws a sample by CDF inversion.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.next_f64_open().ln() / self.lambda
+    }
+
+    /// The distribution mean, `1/lambda`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// The rate parameter `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// `k < 1` models infant mortality (decreasing hazard), `k = 1` is
+/// exponential, `k > 1` models wear-out (increasing hazard) — the workhorse
+/// of the `reliability` crate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with `shape > 0` and `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !(shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0) {
+            return Err(ParamError::new("Weibull requires shape > 0 and scale > 0"));
+        }
+        Ok(Weibull { shape, scale })
+    }
+
+    /// Draws a sample by CDF inversion: `scale * (-ln U)^(1/shape)`.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.scale * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+
+    /// The distribution mean, `scale * Γ(1 + 1/shape)`.
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `λ` (the 63.2 % life).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and std-dev `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+            return Err(ParamError::new("Normal requires finite mu, sigma >= 0"));
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// Draws a sample (Box–Muller, using both uniforms for one output so the
+    /// sampler is stateless and draw-count deterministic).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// The standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// Draws a standard normal variate via Box–Muller (two uniforms per output).
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// Parameterized by the *underlying* normal, as is conventional. Use
+/// [`LogNormal::from_mean_cv`] to specify the arithmetic mean and coefficient
+/// of variation of the log-normal itself, which is usually what field data
+/// (e.g. service times) report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the underlying normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+
+    /// Creates a log-normal with the given arithmetic `mean > 0` and
+    /// coefficient of variation `cv >= 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0 && cv.is_finite() && cv >= 0.0) {
+            return Err(ParamError::new("LogNormal requires mean > 0 and cv >= 0"));
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+
+    /// The arithmetic mean `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.norm.mu + 0.5 * self.norm.sigma * self.norm.sigma).exp()
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Sampling uses Knuth's product method for `lambda < 30` and a normal
+/// approximation with continuity correction above (adequate for the event
+/// counts this toolkit draws, and draw-count bounded).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError::new("Poisson requires lambda > 0"));
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.lambda < 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.next_f64();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.round().max(0.0) as u64
+        }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Geometric distribution: number of Bernoulli(`p`) failures before the
+/// first success (support `0, 1, 2, …`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `0 < p <= 1`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(ParamError::new("Geometric requires 0 < p <= 1"));
+        }
+        Ok(Geometric { p })
+    }
+
+    /// Draws a sample by inversion.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = rng.next_f64_open();
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+
+    /// The distribution mean `(1-p)/p`.
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and tail index `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, ParamError> {
+        if !(x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0) {
+            return Err(ParamError::new("Pareto requires x_min > 0 and alpha > 0"));
+        }
+        Ok(Pareto { x_min, alpha })
+    }
+
+    /// Draws a sample by inversion.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.x_min / rng.next_f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// P(rank = k) ∝ 1/k^s. Sampling precomputes the CDF (O(n) memory) and draws
+/// by binary search; populations here are at most a few hundred thousand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n >= 1` ranks with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::new("Zipf requires n >= 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError::new("Zipf requires finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+
+    /// Draws a 1-based rank.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        // Smallest rank whose cumulative probability exceeds `u`; an exact
+        // boundary hit (measure zero) maps to that boundary's rank.
+        let idx = self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+            .unwrap_or_else(|i| i);
+        (idx + 1).min(self.cdf.len())
+    }
+
+    /// The probability mass of the 1-based `rank`.
+    ///
+    /// Returns 0 for ranks outside `1..=n`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 || rank > self.cdf.len() {
+            return 0.0;
+        }
+        let hi = self.cdf[rank - 1];
+        let lo = if rank >= 2 { self.cdf[rank - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Number of ranks `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Discrete distribution over `0..n` given unnormalized weights, sampled in
+/// O(1) via Walker's alias method.
+#[derive(Clone, Debug)]
+pub struct Discrete {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Discrete {
+    /// Builds an alias table from non-negative weights (not all zero).
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("Discrete requires at least one weight"));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ParamError::new("Discrete weights must be finite and >= 0"));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ParamError::new("Discrete weights must not all be zero"));
+        }
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries are 1 up to float error.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Ok(Discrete { prob, alias })
+    }
+
+    /// Draws an index in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns true if there are no categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+/// Empirical distribution: resamples from observed data with optional
+/// linear interpolation between order statistics (a smoothed bootstrap).
+#[derive(Clone, Debug)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+    interpolate: bool,
+}
+
+impl Empirical {
+    /// Builds from observed samples (non-finite values rejected).
+    pub fn new(samples: &[f64], interpolate: bool) -> Result<Self, ParamError> {
+        if samples.is_empty() {
+            return Err(ParamError::new("Empirical requires at least one sample"));
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(ParamError::new("Empirical samples must be finite"));
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite checked"));
+        Ok(Empirical { sorted, interpolate })
+    }
+
+    /// Draws a sample: a uniformly random observation, or (interpolating)
+    /// the inverse empirical CDF at a uniform point.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        if !self.interpolate || self.sorted.len() == 1 {
+            return self.sorted[rng.next_below(self.sorted.len() as u64) as usize];
+        }
+        let u = rng.next_f64() * (self.sorted.len() - 1) as f64;
+        let i = u.floor() as usize;
+        let frac = u - i as f64;
+        self.sorted[i] * (1.0 - frac) + self.sorted[i + 1] * frac
+    }
+
+    /// Number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The observed mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// Lanczos approximation of the gamma function Γ(x) for `x > 0`.
+///
+/// Accurate to ~1e-13 over the range used here (Weibull means with shapes
+/// between 0.3 and 10).
+pub fn gamma(x: f64) -> f64 {
+    // Lanczos g = 7, n = 9 coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        core::f64::consts::PI / ((core::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * core::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from(1234)
+    }
+
+    fn sample_mean(mut f: impl FnMut(&mut Rng) -> f64, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| f(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 5.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((2.0..5.0).contains(&x));
+        }
+        let m = sample_mean(|r| d.sample(r), 50_000);
+        assert!((m - 3.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn uniform_rejects_bad_params() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(7.0).unwrap();
+        let m = sample_mean(|r| d.sample(r), 100_000);
+        assert!((m - 7.0).abs() < 0.1, "mean {m}");
+        assert!((d.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_memoryless_shape() {
+        // P(X > 2m) should be about P(X > m)^2.
+        let d = Exponential::with_mean(1.0).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let p1 = xs.iter().filter(|&&x| x > 1.0).count() as f64 / n as f64;
+        let p2 = xs.iter().filter(|&&x| x > 2.0).count() as f64 / n as f64;
+        assert!((p2 - p1 * p1).abs() < 0.01, "p1 {p1} p2 {p2}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 3.0).unwrap();
+        assert!((w.mean() - 3.0).abs() < 1e-9);
+        let m = sample_mean(|r| w.sample(r), 100_000);
+        assert!((m - 3.0).abs() < 0.06, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_mean_gamma_form() {
+        // shape 2 => mean = scale * Γ(1.5) = scale * sqrt(pi)/2.
+        let w = Weibull::new(2.0, 10.0).unwrap();
+        let expect = 10.0 * (core::f64::consts::PI).sqrt() / 2.0;
+        assert!((w.mean() - expect).abs() < 1e-9);
+        let m = sample_mean(|r| w.sample(r), 100_000);
+        assert!((m - expect).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(-2.0, 3.0).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean + 2.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_from_mean_cv() {
+        let d = LogNormal::from_mean_cv(20.0, 0.5).unwrap();
+        assert!((d.mean() - 20.0).abs() < 1e-9);
+        let m = sample_mean(|r| d.sample(r), 200_000);
+        assert!((m - 20.0).abs() < 0.3, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_lambda() {
+        let d = Poisson::new(3.0).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_normal_regime() {
+        let d = Poisson::new(400.0).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 400.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let d = Geometric::new(0.25).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert_eq!(Geometric::new(1.0).unwrap().sample(&mut r), 0);
+    }
+
+    #[test]
+    fn pareto_min_respected() {
+        let d = Pareto::new(5.0, 2.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = vec![0usize; 101];
+        for _ in 0..n {
+            let k = z.sample(&mut r);
+            assert!((1..=100).contains(&k));
+            counts[k] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[2] > counts[4]);
+        // Empirical share of rank 1 close to pmf(1).
+        let share = counts[1] as f64 / n as f64;
+        assert!((share - z.pmf(1)).abs() < 0.01, "share {share} pmf {}", z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.3).unwrap();
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(51), 0.0);
+    }
+
+    #[test]
+    fn discrete_alias_matches_weights() {
+        let d = Discrete::new(&[1.0, 2.0, 7.0]).unwrap();
+        let mut r = rng();
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[d.sample(&mut r)] += 1;
+        }
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p2 - 0.7).abs() < 0.01, "p2 {p2}");
+        let p0 = counts[0] as f64 / n as f64;
+        assert!((p0 - 0.1).abs() < 0.01, "p0 {p0}");
+    }
+
+    #[test]
+    fn discrete_rejects_bad_weights() {
+        assert!(Discrete::new(&[]).is_err());
+        assert!(Discrete::new(&[0.0, 0.0]).is_err());
+        assert!(Discrete::new(&[-1.0, 2.0]).is_err());
+        assert!(Discrete::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn discrete_degenerate_single_category() {
+        let d = Discrete::new(&[3.0]).unwrap();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn empirical_resampling_preserves_support() {
+        let data = [1.0, 5.0, 9.0];
+        let d = Empirical::new(&data, false).unwrap();
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = d.sample(&mut r);
+            assert!(data.contains(&x));
+        }
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_interpolation_fills_gaps() {
+        let d = Empirical::new(&[0.0, 10.0], true).unwrap();
+        let mut r = rng();
+        let mut saw_interior = false;
+        for _ in 0..1_000 {
+            let x = d.sample(&mut r);
+            assert!((0.0..=10.0).contains(&x));
+            if x > 1.0 && x < 9.0 {
+                saw_interior = true;
+            }
+        }
+        assert!(saw_interior, "interpolation should produce interior values");
+    }
+
+    #[test]
+    fn empirical_mean_matches_under_resampling() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Empirical::new(&data, true).unwrap();
+        let m = sample_mean(|r| d.sample(r), 100_000);
+        assert!((m - 49.5).abs() < 0.5, "mean {m}");
+    }
+
+    #[test]
+    fn empirical_rejects_bad_input() {
+        assert!(Empirical::new(&[], false).is_err());
+        assert!(Empirical::new(&[1.0, f64::NAN], false).is_err());
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - core::f64::consts::PI.sqrt()).abs() < 1e-10);
+        assert!((gamma(1.5) - core::f64::consts::PI.sqrt() / 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn param_error_displays() {
+        let e = Uniform::new(1.0, 0.0).unwrap_err();
+        assert!(e.to_string().contains("Uniform"));
+    }
+}

@@ -1,0 +1,298 @@
+//! The discrete-event simulation loop.
+//!
+//! A simulation is a [`World`] — user state plus an event handler — driven by
+//! an [`Engine`] that owns the clock and the [`EventQueue`]. The handler
+//! receives a [`Ctx`] through which it schedules follow-up events, cancels
+//! pending ones, and requests a stop. This inversion (engine owns the queue,
+//! world owns the model) keeps borrows simple and the loop allocation-free.
+//!
+//! # Examples
+//!
+//! A minimal counter that reschedules itself until the horizon:
+//!
+//! ```
+//! use simcore::engine::{Ctx, Engine, World};
+//! use simcore::time::{SimDuration, SimTime};
+//!
+//! struct Ticker {
+//!     ticks: u64,
+//! }
+//!
+//! impl World for Ticker {
+//!     type Event = ();
+//!     fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _event: ()) {
+//!         self.ticks += 1;
+//!         ctx.schedule_in(SimDuration::from_days(1), ());
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Ticker { ticks: 0 });
+//! engine.schedule_at(SimTime::ZERO, ());
+//! engine.run_until(SimTime::from_days(10));
+//! assert_eq!(engine.world().ticks, 10);
+//! ```
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// User-provided simulation state and event handler.
+pub trait World {
+    /// The event payload type routed through the queue.
+    type Event;
+
+    /// Handles one event at the current simulation time (`ctx.now()`).
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+}
+
+/// Handler-side view of the engine: the clock and scheduling operations.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<E> Ctx<'_, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before `now`). Scheduling *at* `now`
+    /// is allowed and fires after the current event (FIFO).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules an event `delay` after the current time, saturating at the
+    /// end of representable time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule(self.now.saturating_add(delay), event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Requests that the engine stop after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// Why a call to [`Engine::run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The horizon was reached; events at or beyond it remain pending.
+    HorizonReached,
+    /// The event queue drained before the horizon.
+    QueueEmpty,
+    /// A handler called [`Ctx::stop`].
+    Stopped,
+}
+
+/// The discrete-event engine: clock + queue + world.
+pub struct Engine<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    stop: bool,
+    processed: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine at time zero wrapping `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            stop: false,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an event before or between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event)
+    }
+
+    /// Runs until the clock would pass `horizon`, the queue empties, or a
+    /// handler stops the run. Events exactly at `horizon` do **not** fire;
+    /// the clock is left at `horizon` when it is reached.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.stop {
+                // Consume the stop request so the engine can be resumed.
+                self.stop = false;
+                return RunOutcome::Stopped;
+            }
+            let Some(at) = self.queue.peek_time() else {
+                if self.now < horizon {
+                    self.now = horizon;
+                }
+                return RunOutcome::QueueEmpty;
+            };
+            if at >= horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event exists");
+            self.now = at;
+            self.processed += 1;
+            let mut ctx = Ctx {
+                now: self.now,
+                queue: &mut self.queue,
+                stop: &mut self.stop,
+            };
+            self.world.handle(&mut ctx, event);
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+        stop_on: Option<u32>,
+        chain: bool,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Ctx<'_, u32>, event: u32) {
+            self.seen.push((ctx.now().as_secs(), event));
+            if Some(event) == self.stop_on {
+                ctx.stop();
+            }
+            if self.chain && event < 5 {
+                ctx.schedule_in(SimDuration::from_secs(10), event + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn processes_in_order_and_reaches_horizon() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(20), 2);
+        e.schedule_at(SimTime::from_secs(10), 1);
+        let out = e.run_until(SimTime::from_secs(100));
+        assert_eq!(out, RunOutcome::QueueEmpty);
+        assert_eq!(e.world().seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(e.now(), SimTime::from_secs(100));
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    fn horizon_excludes_boundary_event() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(50), 1);
+        let out = e.run_until(SimTime::from_secs(50));
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert!(e.world().seen.is_empty());
+        assert_eq!(e.pending_events(), 1);
+        // Resuming past the boundary fires it.
+        let out = e.run_until(SimTime::from_secs(51));
+        assert_eq!(out, RunOutcome::QueueEmpty);
+        assert_eq!(e.world().seen, vec![(50, 1)]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut e = Engine::new(Recorder { chain: true, ..Default::default() });
+        e.schedule_at(SimTime::ZERO, 1);
+        e.run_until(SimTime::from_secs(1_000));
+        assert_eq!(
+            e.world().seen,
+            vec![(0, 1), (10, 2), (20, 3), (30, 4), (40, 5)]
+        );
+    }
+
+    #[test]
+    fn stop_halts_and_resumes() {
+        let mut e = Engine::new(Recorder { stop_on: Some(2), ..Default::default() });
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.schedule_at(SimTime::from_secs(2), 2);
+        e.schedule_at(SimTime::from_secs(3), 3);
+        let out = e.run_until(SimTime::from_secs(100));
+        assert_eq!(out, RunOutcome::Stopped);
+        assert_eq!(e.now(), SimTime::from_secs(2));
+        // Resume picks up remaining events.
+        let out = e.run_until(SimTime::from_secs(100));
+        assert_eq!(out, RunOutcome::QueueEmpty);
+        assert_eq!(e.world().seen, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(10), 1);
+        e.run_until(SimTime::from_secs(100));
+        e.schedule_at(SimTime::from_secs(5), 2);
+    }
+
+    #[test]
+    fn same_time_events_fifo() {
+        let mut e = Engine::new(Recorder::default());
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_secs(7), i);
+        }
+        e.run_until(SimTime::from_secs(8));
+        let order: Vec<u32> = e.world().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_world_returns_state() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::ZERO, 9);
+        e.run_until(SimTime::from_secs(1));
+        let w = e.into_world();
+        assert_eq!(w.seen, vec![(0, 9)]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Time-ordered event queue with stable FIFO tie-breaking and cancellation.
+//!
+//! The queue is the heart of the discrete-event engine. Two properties are
+//! load-bearing for reproducibility:
+//!
+//! 1. **Deterministic ordering** — events at equal timestamps pop in the
+//!    order they were scheduled (FIFO), enforced with a monotonically
+//!    increasing sequence number, so iteration order never depends on heap
+//!    internals.
+//! 2. **O(log n) cancellation** — cancelled events are tombstoned and
+//!    skipped on pop, which keeps cancellation cheap for the common pattern
+//!    of "schedule a failure, then supersede it after maintenance".
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+// `BinaryHeap` is a max-heap; invert the ordering to pop earliest first,
+// breaking ties by ascending sequence number (FIFO).
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+/// A priority queue of `(SimTime, payload)` events.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::event::EventQueue;
+/// use simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(10), "late");
+/// q.schedule(SimTime::from_secs(5), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_secs(), e), (5, "early"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids scheduled but not yet fired or cancelled.
+    pending: HashSet<EventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`, returning a cancellation handle.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry { at, seq, id, payload });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was pending (it will now never fire);
+    /// `false` if it already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// Removes and returns the earliest live event, skipping tombstones left
+    /// by cancellation.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.id) {
+                return Some((entry.at, entry.payload));
+            }
+        }
+        None
+    }
+
+    /// Returns the timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain tombstones off the top so the peeked entry is live.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.id) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled, not yet fired) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns true if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_prevents_fire() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let _b = q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        q.schedule(t(5), 2);
+        q.schedule(t(7), 3);
+        assert_eq!(q.pop(), Some((t(5), 2)));
+        q.schedule(t(6), 4);
+        assert_eq!(q.pop(), Some((t(6), 4)));
+        assert_eq!(q.pop(), Some((t(7), 3)));
+    }
+}

@@ -1,0 +1,220 @@
+//! The structured event log — the simulated "experimental diary" of §4.5.
+//!
+//! The paper commits to a public, living diary of every intervention made to
+//! keep the 50-year experiment alive. [`Diary`] is that artifact for
+//! simulated runs: an append-only log of tagged entries with severity,
+//! filterable and renderable as plain text.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// How consequential a diary entry is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Routine observation (data arrived, cohort deployed).
+    Info,
+    /// Degradation that needs no immediate action (device offline, redundancy lost).
+    Warning,
+    /// An intervention or loss (gateway replaced, backhaul sunset, device stranded).
+    Incident,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARN",
+            Severity::Incident => "INCIDENT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which tier of the Figure-1 hierarchy an entry concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Edge devices.
+    Device,
+    /// Gateways.
+    Gateway,
+    /// Backhaul links and providers.
+    Backhaul,
+    /// The cloud/data endpoint.
+    Cloud,
+    /// Cross-cutting (policy changes, staffing, budget).
+    System,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::Device => "device",
+            Tier::Gateway => "gateway",
+            Tier::Backhaul => "backhaul",
+            Tier::Cloud => "cloud",
+            Tier::System => "system",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One diary entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// When it happened.
+    pub at: SimTime,
+    /// How consequential it is.
+    pub severity: Severity,
+    /// Which tier it concerns.
+    pub tier: Tier,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// An append-only, time-ordered log of simulation happenings.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::trace::{Diary, Severity, Tier};
+/// use simcore::time::SimTime;
+///
+/// let mut d = Diary::new();
+/// d.log(SimTime::from_years(3), Severity::Incident, Tier::Gateway,
+///       "gateway gw-0 SD card failed; replaced");
+/// assert_eq!(d.count(Severity::Incident), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Diary {
+    entries: Vec<Entry>,
+}
+
+impl Diary {
+    /// Creates an empty diary.
+    pub fn new() -> Self {
+        Diary::default()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the last entry — the diary
+    /// mirrors simulation time, which only moves forward.
+    pub fn log(
+        &mut self,
+        at: SimTime,
+        severity: Severity,
+        tier: Tier,
+        message: impl Into<String>,
+    ) {
+        debug_assert!(
+            self.entries.last().is_none_or(|e| at >= e.at),
+            "diary entries must be time-ordered"
+        );
+        self.entries.push(Entry { at, severity, tier, message: message.into() });
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries at exactly the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.entries.iter().filter(|e| e.severity == severity).count()
+    }
+
+    /// Number of entries for the given tier.
+    pub fn count_tier(&self, tier: Tier) -> usize {
+        self.entries.iter().filter(|e| e.tier == tier).count()
+    }
+
+    /// Iterator over entries at or above a severity.
+    pub fn at_least(&self, severity: Severity) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(move |e| e.severity >= severity)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends another diary's entries (e.g. merging per-arm diaries),
+    /// re-sorting by time with a stable sort so same-time entries keep their
+    /// original relative order.
+    pub fn merge(&mut self, other: &Diary) {
+        self.entries.extend(other.entries.iter().cloned());
+        self.entries.sort_by_key(|e| e.at);
+    }
+
+    /// Renders the diary as plain text, one line per entry.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "[{}] {:8} {:8} {}", e.at, e.severity, e.tier, e.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_and_count() {
+        let mut d = Diary::new();
+        d.log(SimTime::ZERO, Severity::Info, Tier::Device, "deployed");
+        d.log(SimTime::from_years(1), Severity::Warning, Tier::Device, "offline");
+        d.log(SimTime::from_years(2), Severity::Incident, Tier::Backhaul, "sunset");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.count(Severity::Info), 1);
+        assert_eq!(d.count(Severity::Incident), 1);
+        assert_eq!(d.count_tier(Tier::Device), 2);
+        assert_eq!(d.at_least(Severity::Warning).count(), 2);
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Incident);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let mut d = Diary::new();
+        d.log(SimTime::from_years(5), Severity::Incident, Tier::Gateway, "gw replaced");
+        let text = d.render();
+        assert!(text.contains("INCIDENT"));
+        assert!(text.contains("gateway"));
+        assert!(text.contains("gw replaced"));
+        assert!(text.contains("y005"));
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let mut a = Diary::new();
+        a.log(SimTime::from_years(1), Severity::Info, Tier::Device, "a1");
+        a.log(SimTime::from_years(3), Severity::Info, Tier::Device, "a3");
+        let mut b = Diary::new();
+        b.log(SimTime::from_years(2), Severity::Info, Tier::Cloud, "b2");
+        a.merge(&b);
+        let years: Vec<u64> = a.entries().iter().map(|e| e.at.year()).collect();
+        assert_eq!(years, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_diary() {
+        let d = Diary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.render(), "");
+    }
+}

@@ -1,0 +1,75 @@
+//! City planner: when should a municipality own its infrastructure?
+//!
+//! Walks §3.3–3.4's economics for a growing smart-city fleet: backhaul
+//! choice per gateway, the vertical-integration tipping point, and the
+//! spectrum-sunset exposure of renting.
+//!
+//! ```text
+//! cargo run --release --example city_planner
+//! ```
+
+use backhaul::sunset::{migrate_forward, SunsetSchedule};
+use backhaul::tech::{BackhaulTech, CellularGen};
+use econ::money::Usd;
+use econ::tipping::{tipping_fleet_size, tipping_year, Owned, ThirdParty};
+
+fn main() {
+    println!("=== City planner: rent or own? ===\n");
+
+    // Per-gateway backhaul, 50-year view.
+    println!("per-gateway backhaul, 50-year totals:");
+    for tech in [
+        BackhaulTech::Fiber,
+        BackhaulTech::Cellular(CellularGen::G4),
+        BackhaulTech::Ethernet,
+        BackhaulTech::Wimax,
+    ] {
+        let stream = tech.cost_stream(50);
+        println!(
+            "  {:<14} nominal {:>12}   NPV(3%) {:>12}   revocable: {}",
+            tech.label(),
+            stream.total().to_string(),
+            stream.npv(0.03).to_string(),
+            if tech.revocable() { "yes" } else { "no" },
+        );
+    }
+    let fiber = BackhaulTech::Fiber.cost_stream(50);
+    let cell = BackhaulTech::Cellular(CellularGen::G4).cost_stream(50);
+    if let Some(y) = cell.crossover_year(&fiber) {
+        println!("  cellular's cumulative bill passes fiber's in year {y}");
+    }
+
+    // The tipping point for the whole deployment.
+    let third = ThirdParty {
+        per_device_yearly: Usd::from_dollars(12),
+        sunset_rate_per_year: 0.05,
+        replacement_per_device: Usd::from_dollars(125),
+    };
+    let owned = Owned {
+        buildout: Usd::from_dollars(500_000),
+        yearly_ops: Usd::from_dollars(50_000),
+        per_device_yearly: Usd::from_dollars(1),
+    };
+    println!("\nvertical-integration tipping point (50-year horizon):");
+    match tipping_fleet_size(&third, &owned, 50, 10_000_000) {
+        Some(tp) => println!("  owning wins from {} devices up", tp.fleet),
+        None => println!("  owning never wins at any fleet size tried"),
+    }
+    for fleet in [1_000u64, 10_000, 100_000] {
+        match tipping_year(&third, &owned, fleet, 50) {
+            Some(y) => println!("  at {fleet} devices, owning pays for itself by year {y}"),
+            None => println!("  at {fleet} devices, renting stays cheaper all 50 years"),
+        }
+    }
+
+    // Sunset exposure of the rented path.
+    println!("\nspectrum-sunset exposure for a 4G-attached gateway fleet:");
+    let schedule = SunsetSchedule::default();
+    for (year, next) in migrate_forward(&schedule, CellularGen::G4, 50.0) {
+        match next {
+            Some(g) => println!("  year {year:>4.0}: forced migration to {g:?}"),
+            None => println!("  year {year:>4.0}: sunset with nothing newer — devices stranded"),
+        }
+    }
+    println!("\nTakeaway (paper, §3.4): retain the option of self-reliance.");
+}

@@ -1,0 +1,14 @@
+//! Umbrella package for the `century` workspace.
+//!
+//! This package exists to host the workspace-level runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`). The
+//! library surface simply re-exports the member crates for convenience.
+
+pub use backhaul;
+pub use century;
+pub use econ;
+pub use energy;
+pub use fleet;
+pub use net;
+pub use reliability;
+pub use simcore;

@@ -1,0 +1,80 @@
+//! Integration tests over the exhibit suite: every table/figure renders
+//! and reproduces its claimed shape at the default seed.
+
+#[test]
+fn every_exhibit_renders_nonempty() {
+    for id in bench::exhibits::ALL {
+        let text = bench::exhibits::render(id, 2021)
+            .unwrap_or_else(|| panic!("exhibit {id} unknown"));
+        assert!(text.len() > 100, "exhibit {id} suspiciously short");
+        assert!(
+            text.to_lowercase().contains(&id.to_lowercase()),
+            "exhibit {id} must name itself"
+        );
+    }
+}
+
+#[test]
+fn unknown_exhibit_is_none() {
+    assert!(bench::exhibits::render("e99", 1).is_none());
+    assert!(bench::ablations::render("a99", 1).is_none());
+}
+
+#[test]
+fn every_ablation_renders_nonempty() {
+    for id in bench::ablations::ALL {
+        let text = bench::ablations::render(id, 2021)
+            .unwrap_or_else(|| panic!("ablation {id} unknown"));
+        assert!(text.len() > 100, "ablation {id} suspiciously short");
+        assert!(
+            text.to_lowercase().contains(&id.to_lowercase()),
+            "ablation {id} must name itself"
+        );
+    }
+}
+
+#[test]
+fn exhibits_deterministic_per_seed() {
+    for id in ["e1", "e7", "f1"] {
+        let a = bench::exhibits::render(id, 7).expect("known id");
+        let b = bench::exhibits::render(id, 7).expect("known id");
+        assert_eq!(a, b, "exhibit {id} must be reproducible");
+    }
+}
+
+#[test]
+fn e2_shape_holds() {
+    let e = bench::exhibits::e2::compute(1);
+    assert!((e.nominal_hours - 197_105.0).abs() < 1.0);
+    assert!(e.batched_hours < e.reactive_hours);
+}
+
+#[test]
+fn e5_and_e6_shapes_hold() {
+    let e5 = bench::exhibits::e5::compute();
+    assert!(e5.crossover_year.is_some());
+    let e6 = bench::exhibits::e6::compute();
+    assert!(e6.tipping_fleet.is_some());
+}
+
+#[test]
+fn e8_exact_numbers_hold() {
+    let e8 = bench::exhibits::e8::compute();
+    assert_eq!(e8.fifty_year_credits, 438_000);
+    assert_eq!(e8.wallet_credits, 500_000);
+}
+
+#[test]
+fn e9_uptime_above_ninety_five_percent() {
+    let out = bench::exhibits::e9::compute(2021, 5);
+    for arm in &out.arms {
+        assert!(arm.uptime.clone().mean() > 0.95, "{}", arm.name);
+    }
+}
+
+#[test]
+fn f1_redundancy_in_figure_one_regime() {
+    let f1 = bench::exhibits::f1::compute(2021);
+    assert!(f1.mean_redundancy >= 1.0 && f1.mean_redundancy <= 4.0);
+    assert!(f1.covered > 0.8);
+}

@@ -1,0 +1,242 @@
+//! Cross-crate property-based tests (proptest) on the toolkit's invariants.
+
+use proptest::prelude::*;
+
+use econ::cost::CostStream;
+use fleet::commissioning::{Registry, Session};
+use econ::credits::Wallet;
+use econ::money::Usd;
+use simcore::event::EventQueue;
+use simcore::rng::Rng;
+use simcore::survival::{KaplanMeier, Observation};
+use simcore::time::{SimDuration, SimTime};
+
+proptest! {
+    /// Money arithmetic is exact: sum of parts equals scaled whole.
+    #[test]
+    fn money_no_drift(micros in 1i64..1_000_000, k in 1i64..10_000) {
+        let unit = Usd::from_micros(micros as i128);
+        let mut total = Usd::ZERO;
+        for _ in 0..k {
+            total += unit;
+        }
+        prop_assert_eq!(total, unit * k);
+    }
+
+    /// NPV at zero discount equals the nominal total for any stream.
+    #[test]
+    fn npv_zero_rate_is_total(cents in proptest::collection::vec(0i64..1_000_000, 1..40)) {
+        let mut s = CostStream::zeros(cents.len());
+        for (y, &c) in cents.iter().enumerate() {
+            s.add(y, Usd::from_cents(c));
+        }
+        prop_assert_eq!(s.npv(0.0), s.total());
+    }
+
+    /// NPV is monotone non-increasing in the discount rate for
+    /// non-negative streams.
+    #[test]
+    fn npv_monotone_in_rate(cents in proptest::collection::vec(0i64..1_000_000, 1..30)) {
+        let mut s = CostStream::zeros(cents.len());
+        for (y, &c) in cents.iter().enumerate() {
+            s.add(y, Usd::from_cents(c));
+        }
+        let lo = s.npv(0.01);
+        let hi = s.npv(0.10);
+        prop_assert!(hi <= lo + Usd::from_micros(cents.len() as i128));
+    }
+
+    /// Wallet conservation: burned + balance is invariant under any burn
+    /// sequence.
+    #[test]
+    fn wallet_conservation(initial in 0u64..10_000, burns in proptest::collection::vec(0u32..200, 0..50)) {
+        let mut w = Wallet::with_credits(initial);
+        for (i, &bytes) in burns.iter().enumerate() {
+            let _ = w.burn_packet(SimTime::from_secs(i as u64), bytes);
+        }
+        prop_assert_eq!(w.balance() + w.burned(), initial);
+    }
+
+    /// Event queue: any schedule order pops in time order, stable by
+    /// insertion for ties.
+    #[test]
+    fn event_queue_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t.as_secs() >= lt);
+                if t.as_secs() == lt {
+                    prop_assert!(i > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((t.as_secs(), i));
+        }
+    }
+
+    /// Kaplan-Meier: survival curve is non-increasing and within [0,1]
+    /// for arbitrary censored data.
+    #[test]
+    fn km_monotone(
+        times in proptest::collection::vec(0.0f64..100.0, 1..100),
+        events in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let obs: Vec<Observation> = times
+            .iter()
+            .zip(events.iter())
+            .map(|(&t, &e)| Observation { time: t, event: e })
+            .collect();
+        let km = KaplanMeier::fit(&obs);
+        let mut last = 1.0;
+        for p in km.points() {
+            prop_assert!(p.survival >= -1e-12 && p.survival <= 1.0 + 1e-12);
+            prop_assert!(p.survival <= last + 1e-12);
+            last = p.survival;
+        }
+    }
+
+    /// RNG stream splitting: children with distinct labels never collide
+    /// on their first outputs, and splitting is pure.
+    #[test]
+    fn rng_split_stability(seed in any::<u64>(), a in 0u64..1_000, b in 0u64..1_000) {
+        let root = Rng::seed_from(seed);
+        let mut c1 = root.split("x", a);
+        let mut c2 = root.split("x", a);
+        prop_assert_eq!(c1.next_u64(), c2.next_u64());
+        if a != b {
+            let mut d = root.split("x", b);
+            let mut c = root.split("x", a);
+            prop_assert_ne!(c.next_u64(), d.next_u64());
+        }
+    }
+
+    /// Time arithmetic: (t + d) - d == t for any values that do not
+    /// overflow.
+    #[test]
+    fn time_roundtrip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 2) {
+        let time = SimTime::from_secs(t);
+        let dur = SimDuration::from_secs(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!(((time + dur) - time).as_secs(), d);
+    }
+
+    /// LoRa airtime is positive, finite, and monotone in payload for any
+    /// spreading factor.
+    #[test]
+    fn lora_airtime_monotone(payload in 1u32..200, sf_idx in 0usize..6) {
+        let sf = net::lora::SpreadingFactor::ALL[sf_idx];
+        let cfg = net::lora::LoraConfig::uplink(sf);
+        let t1 = cfg.airtime_s(payload);
+        let t2 = cfg.airtime_s(payload + 24);
+        prop_assert!(t1.is_finite() && t1 > 0.0);
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Reliability block composition: a series system never outlives its
+    /// weakest sampled member.
+    #[test]
+    fn series_never_outlives_members(seed in any::<u64>(), mttf1 in 1.0f64..50.0, mttf2 in 1.0f64..50.0) {
+        use reliability::components::external_random;
+        use reliability::Block;
+        let s = Block::Series(vec![
+            Block::Unit(external_random(mttf1)),
+            Block::Unit(external_random(mttf2)),
+        ]);
+        let mut rng = Rng::seed_from(seed);
+        let t = 5.0;
+        // Analytic: S_series(t) <= min(S_1(t), S_2(t)).
+        let s1 = (-t / mttf1).exp();
+        let s2 = (-t / mttf2).exp();
+        prop_assert!(s.survival(t) <= s1.min(s2) + 1e-12);
+        prop_assert!(s.sample_ttf(&mut rng) >= 0.0);
+    }
+
+    /// Commissioning protocol: sessions are conserved — every attached
+    /// device is, after any sequence of orderly migrations and disorderly
+    /// failures, either live on some gateway or in the orphan list.
+    #[test]
+    fn commissioning_conserves_devices(
+        devices in 1u32..60,
+        keyed_mod in 1u32..5,
+        ops in proptest::collection::vec(any::<bool>(), 0..8),
+    ) {
+        let mut r = Registry::new();
+        r.add_factory(0);
+        r.commission(0).unwrap();
+        for d in 0..devices {
+            let s = if d % keyed_mod == 0 { Session::Keyed { epoch: 0 } } else { Session::Forwarding };
+            r.attach(0, d, s).unwrap();
+        }
+        let mut current = 0u32;
+        let mut next_id = 1u32;
+        let mut lost_forwarding = 0u32;
+        for &orderly in &ops {
+            if orderly {
+                r.add_factory(next_id);
+                if r.begin_migration(current, next_id).is_ok() {
+                    r.complete_migration(current).unwrap();
+                    current = next_id;
+                    next_id += 1;
+                }
+            } else {
+                // Disorderly death: keyed orphaned, forwarding lost from
+                // the registry (they re-home out of band).
+                let before = r.live_sessions() as u32;
+                let orphaned = r.fail_without_handoff(current).unwrap_or(0) as u32;
+                lost_forwarding += before - orphaned;
+                // Stand up a fresh gateway; re-attach nothing (those
+                // devices are gone from this registry's view).
+                r.add_factory(next_id);
+                r.commission(next_id).unwrap();
+                current = next_id;
+                next_id += 1;
+            }
+        }
+        let live = r.live_sessions() as u32;
+        let orphans = r.orphaned().len() as u32;
+        prop_assert_eq!(live + orphans + lost_forwarding, devices);
+    }
+
+    /// Upgrade planner: installs always cover every mount at least once,
+    /// and OnSupportEnd never accrues unsupported time.
+    #[test]
+    fn upgrade_planner_invariants(seed in any::<u64>(), mounts in 1u32..40) {
+        use fleet::upgrade::{run, timeline, UpgradePolicy};
+        use reliability::hazard::ExponentialHazard;
+        let tl = timeline(10.0, 15.0, 30.0);
+        let ttf = ExponentialHazard::with_mttf(5.0);
+        let mut rng = Rng::seed_from(seed);
+        let out = run(UpgradePolicy::OnSupportEnd, &ttf, &tl, mounts, 30.0, &mut rng);
+        prop_assert!(out.installs >= mounts as u64);
+        prop_assert!(out.unsupported_mount_years < 1e-9);
+        prop_assert!(out.mean_heterogeneity >= 1.0 - 1e-9);
+    }
+
+    /// Workforce backlog conservation: served + final backlog equals total
+    /// demand.
+    #[test]
+    fn backlog_conserves_demand(
+        demand in proptest::collection::vec(0.0f64..500.0, 1..30),
+        capacity in 1.0f64..300.0,
+    ) {
+        use fleet::workforce::{run_backlog, Workforce};
+        let crew = Workforce::new(capacity, 1.0);
+        let out = run_backlog(&demand, &crew);
+        let total: f64 = demand.iter().sum();
+        let served = out.worked.hours(); // 1 h per unit.
+        let final_backlog = out.backlog.last().copied().unwrap_or(0.0);
+        prop_assert!((served + final_backlog - total).abs() < 1e-6);
+    }
+
+    /// Person-hours scale linearly with task count.
+    #[test]
+    fn labor_linear(tasks in 0u64..100_000, mins in 1u64..120) {
+        use econ::labor::recovery_effort;
+        let one = recovery_effort(1, SimDuration::from_mins(mins)).hours();
+        let many = recovery_effort(tasks, SimDuration::from_mins(mins)).hours();
+        prop_assert!((many - one * tasks as f64).abs() < 1e-6 * (tasks as f64 + 1.0));
+    }
+}
