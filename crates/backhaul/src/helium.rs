@@ -104,6 +104,16 @@ impl HotspotPopulation {
         self.count
     }
 
+    /// Chaos: an abrupt market collapse removes `fraction` of the current
+    /// population at once (deterministic floor, no RNG draw so injection
+    /// never perturbs the arm's random streams). Returns hotspots removed.
+    pub fn collapse(&mut self, fraction: f64) -> u32 {
+        let f = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
+        let removed = (self.count as f64 * f).floor() as u32;
+        self.count -= removed.min(self.count);
+        removed
+    }
+
     /// Probability that at least one hotspot decodes an uplink, given each
     /// in-range hotspot independently decodes with probability `p_each`.
     pub fn delivery_probability(&self, p_each: f64) -> f64 {
@@ -193,5 +203,17 @@ mod tests {
     #[should_panic(expected = "churn")]
     fn rejects_bad_churn() {
         HotspotPopulation::new(1, 1.0, 1, 1.0, 1.5);
+    }
+
+    #[test]
+    fn collapse_removes_fraction_without_rng() {
+        let mut pop = HotspotPopulation::emerging(100);
+        assert_eq!(pop.collapse(0.6), 60);
+        assert_eq!(pop.count(), 40);
+        // Out-of-range and non-finite fractions are clamped, not panics.
+        assert_eq!(pop.collapse(2.0), 40);
+        assert_eq!(pop.count(), 0);
+        assert_eq!(pop.collapse(f64::NAN), 0);
+        assert!(!pop.has_coverage());
     }
 }

@@ -15,6 +15,8 @@
 //! * [`asn`] — the paper's AS-diversity measurement, synthesized and
 //!   analyzed (top-10 ASes ≈ 50 % of 12,400 gateways, ~200-AS tail).
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod asn;
 pub mod helium;
 pub mod provider;

@@ -7,11 +7,11 @@
 //! [`century::experiment::run_replicated`] for the same seeds.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use century::experiment::ExperimentOutcome;
 use century::metrics::ArmSummary;
 use fleet::sim::{FleetConfig, FleetReport, FleetSim};
-use parking_lot::Mutex;
 
 /// Runs `replicates` seeds (`base_seed..base_seed+replicates`) across
 /// `threads` workers, returning reports in seed order.
@@ -29,20 +29,22 @@ pub fn run_reports(
     assert!(threads > 0, "need at least one thread");
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, FleetReport)>> = Mutex::new(Vec::with_capacity(replicates));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(replicates) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= replicates {
                     break;
                 }
                 let report = FleetSim::run(make_config(base_seed + i as u64));
-                results.lock().push((i, report));
+                results
+                    .lock()
+                    .expect("a worker panicked while holding the lock")
+                    .push((i, report));
             });
         }
-    })
-    .expect("worker panicked");
-    let mut out = results.into_inner();
+    });
+    let mut out = results.into_inner().expect("a worker panicked");
     out.sort_by_key(|&(i, _)| i);
     out.into_iter().map(|(_, r)| r).collect()
 }

@@ -93,6 +93,7 @@ mod tests {
             labor: PersonHours::from_hours(50.0),
             spend: Usd::from_dollars(2_000),
             wallets_exhausted: 0,
+            faults_injected: 0,
             lifetime_observations: Vec::new(),
         }
     }

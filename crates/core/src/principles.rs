@@ -5,10 +5,8 @@
 //! is the toolkit's answer to "is this deployment century-ready?" — the
 //! same checklist a reviewer would walk, but executable and testable.
 
-use serde::{Deserialize, Serialize};
-
 /// The architectural principles of §3, in paper order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Principle {
     /// §3.1: "individual devices should expect no human attention during
     /// their operational lifetime."
@@ -66,7 +64,7 @@ impl Principle {
 }
 
 /// The design decisions of a deployment, as audit inputs.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DesignPosture {
     /// Devices require scheduled maintenance (battery swaps, manual
     /// re-keying) to stay alive.
@@ -118,7 +116,7 @@ impl DesignPosture {
 }
 
 /// One audit finding.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Violation {
     /// The violated principle.
     pub principle: Principle,

@@ -161,6 +161,13 @@ impl Wallet {
         self.funded += cost;
     }
 
+    /// Chaos: a top-up failure empties the wallet (payment processor gone,
+    /// account closed, operator forgot). Returns the credits lost;
+    /// `exhausted_at` is recorded by the next failed burn as usual.
+    pub fn drain(&mut self) -> u64 {
+        std::mem::take(&mut self.balance)
+    }
+
     /// How long the current balance lasts at one `payload_bytes` packet per
     /// `interval`. Returns [`SimDuration::MAX`] for a zero burn rate.
     pub fn runway(&self, payload_bytes: u32, interval: SimDuration) -> SimDuration {
@@ -362,5 +369,17 @@ mod tests {
     fn error_displays() {
         let e = InsufficientCredits { needed: 2, available: 1 };
         assert!(e.to_string().contains("needed 2"));
+    }
+
+    #[test]
+    fn drain_empties_wallet_and_next_burn_records_exhaustion() {
+        let mut w = Wallet::with_credits(10_000);
+        let lost = w.drain();
+        assert_eq!(lost, 10_000);
+        assert_eq!(w.balance(), 0);
+        assert!(w.exhausted_at().is_none(), "recorded only on failed burn");
+        let now = SimTime::from_years(3);
+        assert!(w.burn_packet(now, 24).is_err());
+        assert_eq!(w.exhausted_at(), Some(now));
     }
 }

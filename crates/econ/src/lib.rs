@@ -16,6 +16,8 @@
 //!   estimate.
 //! * [`tipping`] — when owning infrastructure beats renting it.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cost;
 pub mod credits;
 pub mod labor;

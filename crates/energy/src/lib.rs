@@ -16,6 +16,8 @@
 //! * [`intermittent`] — checkpointed intermittent-computing runtime costs.
 //! * [`scheduler`] — fixed vs energy-aware reporting policies, measured.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod budget;
 pub mod env;
 pub mod harvester;

@@ -145,13 +145,15 @@ impl Registry {
             Some(GatewayPhase::Commissioned) => {}
             _ => return Err(ProtocolError::NotCommissioned),
         }
-        match self.gateways.get(&new).map(|r| &r.phase) {
-            Some(GatewayPhase::Factory) => {}
+        match self.gateways.get_mut(&new) {
+            Some(rec) if rec.phase == GatewayPhase::Factory => {
+                rec.phase = GatewayPhase::Commissioned;
+            }
             _ => return Err(ProtocolError::SuccessorNotFactory),
         }
-        self.gateways.get_mut(&new).expect("checked").phase = GatewayPhase::Commissioned;
-        self.gateways.get_mut(&old).expect("checked").phase =
-            GatewayPhase::Migrating { to: new };
+        if let Some(rec) = self.gateways.get_mut(&old) {
+            rec.phase = GatewayPhase::Migrating { to: new };
+        }
         Ok(())
     }
 
@@ -163,11 +165,19 @@ impl Registry {
             Some(GatewayPhase::Migrating { to }) => to,
             _ => return Err(ProtocolError::NoMigrationInProgress),
         };
-        let sessions = std::mem::take(
-            &mut self.gateways.get_mut(&old).expect("exists").sessions,
-        );
+        let sessions = match self.gateways.get_mut(&old) {
+            Some(rec) => std::mem::take(&mut rec.sessions),
+            None => return Err(ProtocolError::NoMigrationInProgress),
+        };
         let moved = sessions.len();
-        let successor = self.gateways.get_mut(&to).expect("successor exists");
+        let Some(successor) = self.gateways.get_mut(&to) else {
+            // The successor record vanished mid-window: put the sessions
+            // back so nothing is lost and report the broken handoff.
+            if let Some(rec) = self.gateways.get_mut(&old) {
+                rec.sessions = sessions;
+            }
+            return Err(ProtocolError::NotCommissioned);
+        };
         for (dev, session) in sessions {
             let migrated = match session {
                 Session::Forwarding => Session::Forwarding,
@@ -175,7 +185,9 @@ impl Registry {
             };
             successor.sessions.insert(dev, migrated);
         }
-        self.gateways.get_mut(&old).expect("exists").phase = GatewayPhase::Retired;
+        if let Some(rec) = self.gateways.get_mut(&old) {
+            rec.phase = GatewayPhase::Retired;
+        }
         Ok(moved)
     }
 
@@ -194,6 +206,34 @@ impl Registry {
             }
         }
         Ok(orphaned)
+    }
+
+    /// Looks up a device's session on a gateway.
+    ///
+    /// Returns [`ProtocolError::UnknownDevice`] when the gateway holds no
+    /// session for `device`.
+    pub fn session(&self, gw: GatewayId, device: DeviceId) -> Result<Session, ProtocolError> {
+        let rec = self.gateways.get(&gw).ok_or(ProtocolError::NotCommissioned)?;
+        rec.sessions
+            .get(&device)
+            .copied()
+            .ok_or(ProtocolError::UnknownDevice(device))
+    }
+
+    /// Detaches a device from a gateway (decommissioning a single sensor),
+    /// returning the session it held.
+    ///
+    /// Returns [`ProtocolError::UnknownDevice`] when the gateway holds no
+    /// session for `device`.
+    pub fn detach(
+        &mut self,
+        gw: GatewayId,
+        device: DeviceId,
+    ) -> Result<Session, ProtocolError> {
+        let rec = self.gateways.get_mut(&gw).ok_or(ProtocolError::NotCommissioned)?;
+        rec.sessions
+            .remove(&device)
+            .ok_or(ProtocolError::UnknownDevice(device))
     }
 
     /// The record for a gateway.
@@ -313,9 +353,75 @@ mod tests {
         assert_eq!(r.live_sessions(), 2);
     }
 
+    // One test per ProtocolError variant: every error the protocol can
+    // emit is constructed through the public API.
+
+    #[test]
+    fn not_commissioned_variant() {
+        // From attach on a factory gateway…
+        let mut r = Registry::new();
+        r.add_factory(5);
+        assert_eq!(
+            r.attach(5, 0, Session::Forwarding),
+            Err(ProtocolError::NotCommissioned)
+        );
+        // …from migrating an unknown source…
+        assert_eq!(r.begin_migration(99, 5), Err(ProtocolError::NotCommissioned));
+        // …and from a disorderly failure of an unknown gateway.
+        assert_eq!(r.fail_without_handoff(42), Err(ProtocolError::NotCommissioned));
+    }
+
+    #[test]
+    fn successor_not_factory_variant() {
+        let mut r = registry_with_devices(1);
+        // Missing successor record.
+        assert_eq!(r.begin_migration(0, 77), Err(ProtocolError::SuccessorNotFactory));
+        // Already-commissioned successor.
+        r.add_factory(1);
+        r.commission(1).expect("commission");
+        assert_eq!(r.begin_migration(0, 1), Err(ProtocolError::SuccessorNotFactory));
+        // Double-commission reports the same phase violation.
+        assert_eq!(r.commission(1), Err(ProtocolError::SuccessorNotFactory));
+    }
+
+    #[test]
+    fn no_migration_in_progress_variant() {
+        let mut r = registry_with_devices(1);
+        assert_eq!(r.complete_migration(0), Err(ProtocolError::NoMigrationInProgress));
+        // Completing twice: the second call finds the source retired.
+        r.add_factory(1);
+        r.begin_migration(0, 1).expect("begin");
+        r.complete_migration(0).expect("complete");
+        assert_eq!(r.complete_migration(0), Err(ProtocolError::NoMigrationInProgress));
+    }
+
+    #[test]
+    fn unknown_device_variant() {
+        let mut r = registry_with_devices(2);
+        assert_eq!(r.session(0, 9), Err(ProtocolError::UnknownDevice(9)));
+        assert_eq!(r.detach(0, 9), Err(ProtocolError::UnknownDevice(9)));
+        // Known devices resolve, and a detached device becomes unknown.
+        assert_eq!(r.session(0, 0), Ok(Session::Forwarding));
+        assert_eq!(r.detach(0, 1), Ok(Session::Keyed { epoch: 0 }));
+        assert_eq!(r.session(0, 1), Err(ProtocolError::UnknownDevice(1)));
+        assert_eq!(r.live_sessions(), 1);
+    }
+
+    #[test]
+    fn aborted_begin_leaves_source_untouched() {
+        // A failed begin_migration must not half-commit: the source stays
+        // Commissioned when the successor check fails.
+        let mut r = registry_with_devices(3);
+        assert!(r.begin_migration(0, 77).is_err());
+        assert_eq!(r.gateway(0).unwrap().phase, GatewayPhase::Commissioned);
+        assert_eq!(r.live_sessions(), 3);
+    }
+
     #[test]
     fn error_display() {
         assert!(ProtocolError::UnknownDevice(7).to_string().contains('7'));
         assert!(ProtocolError::NotCommissioned.to_string().contains("commissioned"));
+        assert!(ProtocolError::SuccessorNotFactory.to_string().contains("factory"));
+        assert!(ProtocolError::NoMigrationInProgress.to_string().contains("migration"));
     }
 }

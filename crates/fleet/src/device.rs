@@ -73,6 +73,11 @@ pub struct DeviceState {
     pub failed: bool,
     /// Lifetime sequence number of transmitted reports.
     pub seq: u64,
+    /// Chaos: firmware wedged (transmitting nothing) until this time.
+    pub stuck_until: SimTime,
+    /// Chaos: emitting garbage readings (transmit, but worthless) until
+    /// this time.
+    pub byzantine_until: SimTime,
 }
 
 impl DeviceState {
@@ -90,7 +95,19 @@ impl DeviceState {
             fails_at: now.saturating_add(SimDuration::from_years_f64(ttf_years)),
             failed: false,
             seq: 0,
+            stuck_until: SimTime::ZERO,
+            byzantine_until: SimTime::ZERO,
         }
+    }
+
+    /// Whether the firmware is wedged (chaos-injected) at `t`.
+    pub fn stuck_at(&self, t: SimTime) -> bool {
+        t < self.stuck_until
+    }
+
+    /// Whether the device emits garbage readings (chaos-injected) at `t`.
+    pub fn byzantine_at(&self, t: SimTime) -> bool {
+        t < self.byzantine_until
     }
 
     /// Whether the hardware is functional at `t`.

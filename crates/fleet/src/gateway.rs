@@ -76,6 +76,8 @@ pub struct GatewayState {
     pub down: bool,
     /// Hardware replacements so far.
     pub repairs: u64,
+    /// Chaos: suppressed (storm/power outage) until this time.
+    pub outage_until: SimTime,
 }
 
 impl GatewayState {
@@ -86,7 +88,14 @@ impl GatewayState {
             fails_at: now.saturating_add(Self::sample_life(env, rng)),
             down: false,
             repairs: 0,
+            outage_until: SimTime::ZERO,
         }
+    }
+
+    /// Chaos: suppresses forwarding until `until` (correlated regional
+    /// outage). Overlapping outages keep the latest end time.
+    pub fn suppress_until(&mut self, until: SimTime) {
+        self.outage_until = self.outage_until.max(until);
     }
 
     fn sample_life(env: &bom::Environment, rng: &mut Rng) -> SimDuration {
@@ -109,10 +118,13 @@ impl GatewayState {
         self.fails_at = now.saturating_add(Self::sample_life(env, rng));
     }
 
-    /// Whether the gateway forwards traffic at `t`: hardware up and
-    /// backhaul technology still in service.
+    /// Whether the gateway forwards traffic at `t`: hardware up, backhaul
+    /// technology still in service, and no chaos-injected outage active.
     pub fn forwarding_at(&self, t: SimTime) -> bool {
-        !self.down && t < self.fails_at && self.spec.backhaul.available(t.as_years_f64())
+        !self.down
+            && t < self.fails_at
+            && t >= self.outage_until
+            && self.spec.backhaul.available(t.as_years_f64())
     }
 }
 

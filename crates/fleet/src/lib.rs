@@ -21,6 +21,8 @@
 //! * [`workforce`] — crew-capacity backlog dynamics: what replacement waves
 //!   cost in dark device-years when the crew is finite.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cloud;
 pub mod commissioning;
 pub mod device;

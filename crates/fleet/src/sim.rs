@@ -223,10 +223,15 @@ enum ArmInfra {
         backhaul_down: bool,
         /// Whether the technology-sunset incident has been logged.
         sunset_logged: bool,
+        /// Chaos: the backhaul link is flapping/offline until this time.
+        flap_until: SimTime,
     },
     Federated {
         hotspots: HotspotPopulation,
         wallets: Vec<Wallet>,
+        /// Chaos: a regional outage blacks out every hotspot until this
+        /// time.
+        dark_until: SimTime,
     },
 }
 
@@ -257,6 +262,8 @@ pub struct ArmReport {
     pub spend: Usd,
     /// Devices whose wallets exhausted (federated arm).
     pub wallets_exhausted: u64,
+    /// Chaos faults injected into this arm (zero outside chaos runs).
+    pub faults_injected: u64,
     /// Per-incarnation device lifetimes in years: failures observed during
     /// the run plus right-censored survivors at the horizon — ready for
     /// [`simcore::survival::KaplanMeier`] or `reliability::fit`.
@@ -355,13 +362,22 @@ impl FleetSim {
                         }
                         gws.push(gw);
                     }
-                    ArmInfra::Owned { gateways: gws, backhaul_down: false, sunset_logged: false }
+                    ArmInfra::Owned {
+                        gateways: gws,
+                        backhaul_down: false,
+                        sunset_logged: false,
+                        flap_until: SimTime::ZERO,
+                    }
                 }
                 ArmKind::Federated { hotspots, wallet_dollars } => {
                     let wallets = (0..arm_cfg.devices)
                         .map(|_| Wallet::provision_dollars(*wallet_dollars))
                         .collect();
-                    ArmInfra::Federated { hotspots: hotspots.clone(), wallets }
+                    ArmInfra::Federated {
+                        hotspots: hotspots.clone(),
+                        wallets,
+                        dark_until: SimTime::ZERO,
+                    }
                 }
             };
             // Figure 1: each device relies on one or two gateways.
@@ -429,6 +445,17 @@ impl FleetSim {
         let horizon = SimTime::ZERO + cfg.horizon;
         let mut engine = Self::build(cfg);
         engine.run_until(horizon);
+        Self::into_report(engine, horizon)
+    }
+
+    /// Finalizes a finished engine into a [`FleetReport`]: right-censors
+    /// the survivors and collects the per-arm ledgers. Shared by [`run`]
+    /// and external drivers (fault injection wraps the engine itself, then
+    /// finalizes through the same path so reports stay structurally
+    /// identical).
+    ///
+    /// [`run`]: FleetSim::run
+    pub fn into_report(engine: Engine<FleetSim>, horizon: SimTime) -> FleetReport {
         let events = engine.events_processed();
         let mut world = engine.into_world();
         // Right-censor the survivors at the horizon.
@@ -450,45 +477,52 @@ impl FleetSim {
 
     /// Evaluates one week for one arm: delivers readings, burns credits,
     /// and updates the uptime ledger.
+    ///
+    /// **Common-random-numbers discipline:** exactly one normal draw is
+    /// consumed per *alive* device per week, whether or not the path is up.
+    /// Path state (cloud, backhaul, gateways, hotspots, chaos injections)
+    /// only scales the per-packet probability the draw is applied to, so a
+    /// fault schedule can never shift another entity's random stream — the
+    /// property the metamorphic monotonicity tests depend on.
     fn weekly_eval(&mut self, ai: usize, now: SimTime) {
         let cloud_up = self.cloud.up_at(now);
         let arm = &mut self.arms[ai];
         let reports = arm.cfg.device_spec.reports_per_week();
         arm.report.weeks_total += 1;
         arm.report.readings_expected += reports * arm.cfg.devices as u64;
-        if !cloud_up {
-            return;
-        }
-        // Arm-level infrastructure state.
+        // Arm-level infrastructure state (chaos-aware).
         let federated_prob = match &arm.infra {
-            ArmInfra::Owned { backhaul_down, .. } => {
-                if *backhaul_down {
-                    return;
-                }
-                None
-            }
-            ArmInfra::Federated { hotspots, .. } => {
-                let p = hotspots.delivery_probability(arm.cfg.per_packet_delivery);
-                if p <= 0.0 {
-                    return;
-                }
+            ArmInfra::Owned { .. } => None,
+            ArmInfra::Federated { hotspots, dark_until, .. } => {
+                let p = if now < *dark_until {
+                    0.0
+                } else {
+                    hotspots.delivery_probability(arm.cfg.per_packet_delivery)
+                };
                 Some(p)
             }
         };
+        let owned_backhaul_up = match &arm.infra {
+            ArmInfra::Owned { backhaul_down, flap_until, .. } => {
+                !*backhaul_down && now >= *flap_until
+            }
+            ArmInfra::Federated { .. } => true,
+        };
         let mut any_delivered = false;
         for di in 0..arm.devices.len() {
-            let alive = arm.devices[di].alive_at(now);
-            if !alive {
+            if !arm.devices[di].alive_at(now) {
                 continue;
             }
+            // One unconditional draw per alive device (CRN; see above).
+            let z = simcore::dist::standard_normal(&mut arm.rng);
             // Expected deliveries this week for this device: Figure 1's
             // reliance structure — the device's own gateways must forward.
-            let p_packet = match (&arm.infra, federated_prob) {
+            let path_p = match (&arm.infra, federated_prob) {
                 (ArmInfra::Owned { gateways, .. }, _) => {
                     let heard = arm.homes[di]
                         .iter()
                         .any(|&g| gateways.get(g).is_some_and(|gw| gw.forwarding_at(now)));
-                    if heard {
+                    if heard && owned_backhaul_up {
                         arm.cfg.per_packet_delivery
                     } else {
                         0.0
@@ -496,19 +530,20 @@ impl FleetSim {
                 }
                 (_, Some(p)) => p,
                 _ => 0.0,
-            } * arm.cfg.device_spec.energy_availability;
-            if p_packet <= 0.0 {
-                continue;
-            }
+            };
+            let p_packet = if !cloud_up || arm.devices[di].stuck_at(now) {
+                0.0
+            } else {
+                path_p * arm.cfg.device_spec.energy_availability
+            };
             // Sample the delivered count with a normal approximation of the
             // binomial (reports is 168 for the paper cadence).
-            let mean = reports as f64 * p_packet;
-            let sd = (reports as f64 * p_packet * (1.0 - p_packet)).sqrt();
             let delivered = if p_packet <= 0.0 {
                 0
             } else {
-                let draw = mean + sd * simcore::dist::standard_normal(&mut arm.rng);
-                draw.round().clamp(0.0, reports as f64) as u64
+                let mean = reports as f64 * p_packet;
+                let sd = (reports as f64 * p_packet * (1.0 - p_packet)).sqrt();
+                (mean + sd * z).round().clamp(0.0, reports as f64) as u64
             };
             // Federated arm: credits burn per delivered packet.
             let delivered = match &mut arm.infra {
@@ -538,6 +573,9 @@ impl FleetSim {
                 }
                 ArmInfra::Owned { .. } => delivered,
             };
+            // A byzantine device transmits (and pays) as usual, but its
+            // readings are garbage: nothing usable reaches the endpoint.
+            let delivered = if arm.devices[di].byzantine_at(now) { 0 } else { delivered };
             if delivered > 0 {
                 any_delivered = true;
                 arm.devices[di].seq += delivered;
@@ -547,6 +585,170 @@ impl FleetSim {
         if any_delivered {
             arm.report.weeks_up += 1;
         }
+    }
+
+    /// Number of configured arms (fault planners size their targets by
+    /// this).
+    pub fn arm_count(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Records one applied chaos fault: diary line + per-arm counter.
+    /// Every injection funnels through here so "chaos:" grep-counts the
+    /// applied faults exactly.
+    fn chaos_log(&mut self, ai: usize, now: SimTime, tier: Tier, what: String) {
+        let arm = &mut self.arms[ai];
+        arm.report.faults_injected += 1;
+        self.diary.log(
+            now,
+            Severity::Incident,
+            tier,
+            format!("{}: chaos: {what}", arm.cfg.name),
+        );
+    }
+
+    /// Chaos: a correlated regional outage (storm, grid failure) takes the
+    /// whole arm's coverage down until `now + duration` — every owned
+    /// gateway is suppressed, or every hotspot goes dark. Returns whether
+    /// the fault applied (arm exists).
+    ///
+    /// Injection draws no randomness: overlapping outages keep the latest
+    /// end time, so fault schedules compose monotonically.
+    pub fn inject_regional_outage(&mut self, ai: usize, now: SimTime, duration: SimDuration) -> bool {
+        let until = now.saturating_add(duration);
+        let Some(arm) = self.arms.get_mut(ai) else { return false };
+        match &mut arm.infra {
+            ArmInfra::Owned { gateways, .. } => {
+                for gw in gateways.iter_mut() {
+                    gw.suppress_until(until);
+                }
+            }
+            ArmInfra::Federated { dark_until, .. } => {
+                *dark_until = (*dark_until).max(until);
+            }
+        }
+        let days = duration.as_secs() / 86_400;
+        self.chaos_log(ai, now, Tier::Gateway, format!("regional outage, {days} days"));
+        true
+    }
+
+    /// Chaos: the backhaul provider's link flaps out until `now +
+    /// duration` (owned arms only; federated arms have no single backhaul
+    /// to flap). Returns whether the fault applied.
+    pub fn inject_backhaul_flap(&mut self, ai: usize, now: SimTime, duration: SimDuration) -> bool {
+        let until = now.saturating_add(duration);
+        match self.arms.get_mut(ai).map(|a| &mut a.infra) {
+            Some(ArmInfra::Owned { flap_until, .. }) => {
+                *flap_until = (*flap_until).max(until);
+            }
+            _ => return false,
+        }
+        let hours = duration.as_secs() / 3_600;
+        self.chaos_log(ai, now, Tier::Backhaul, format!("backhaul flapping, {hours} h"));
+        true
+    }
+
+    /// Chaos: the backhaul provider sunsets service abruptly — no notice
+    /// period, §3.3.2's revocable-medium risk — and the arm spends a
+    /// quarter dark while an emergency replacement is commissioned (owned
+    /// arms only). Returns whether the fault applied.
+    pub fn inject_provider_sunset(&mut self, ai: usize, now: SimTime) -> bool {
+        let until = now.saturating_add(SimDuration::from_weeks(13));
+        match self.arms.get_mut(ai).map(|a| &mut a.infra) {
+            Some(ArmInfra::Owned { flap_until, .. }) => {
+                *flap_until = (*flap_until).max(until);
+            }
+            _ => return false,
+        }
+        self.chaos_log(
+            ai,
+            now,
+            Tier::Backhaul,
+            "provider sunset without notice; emergency recommissioning".to_string(),
+        );
+        true
+    }
+
+    /// Chaos: the hotspot market collapses, removing `fraction` of the
+    /// arm's audible hotspots at once (federated arms only). Returns
+    /// whether the fault applied.
+    pub fn inject_hotspot_collapse(&mut self, ai: usize, now: SimTime, fraction: f64) -> bool {
+        let removed = match self.arms.get_mut(ai).map(|a| &mut a.infra) {
+            Some(ArmInfra::Federated { hotspots, .. }) => hotspots.collapse(fraction),
+            _ => return false,
+        };
+        self.chaos_log(
+            ai,
+            now,
+            Tier::Gateway,
+            format!("hotspot population collapse, {removed} hotspots lost"),
+        );
+        true
+    }
+
+    /// Chaos: a top-up/billing failure empties `device`'s prepaid wallet
+    /// (federated arms only). Returns whether the fault applied.
+    pub fn inject_wallet_failure(&mut self, ai: usize, now: SimTime, device: usize) -> bool {
+        match self.arms.get_mut(ai).map(|a| &mut a.infra) {
+            Some(ArmInfra::Federated { wallets, .. }) => match wallets.get_mut(device) {
+                Some(w) => {
+                    w.drain();
+                }
+                None => return false,
+            },
+            _ => return false,
+        }
+        self.chaos_log(
+            ai,
+            now,
+            Tier::Backhaul,
+            format!("device {device} top-up failed; wallet drained"),
+        );
+        true
+    }
+
+    /// Chaos: `device`'s firmware wedges — it transmits nothing until `now
+    /// + duration`. Returns whether the fault applied.
+    pub fn inject_device_stuck(
+        &mut self,
+        ai: usize,
+        now: SimTime,
+        device: usize,
+        duration: SimDuration,
+    ) -> bool {
+        let until = now.saturating_add(duration);
+        match self.arms.get_mut(ai).and_then(|a| a.devices.get_mut(device)) {
+            Some(dev) => dev.stuck_until = dev.stuck_until.max(until),
+            None => return false,
+        }
+        let weeks = duration.as_secs() / (7 * 86_400);
+        self.chaos_log(ai, now, Tier::Device, format!("device {device} firmware stuck, {weeks} weeks"));
+        true
+    }
+
+    /// Chaos: `device` turns byzantine — it keeps transmitting (and
+    /// paying) but every reading is garbage until `now + duration`.
+    /// Returns whether the fault applied.
+    pub fn inject_device_byzantine(
+        &mut self,
+        ai: usize,
+        now: SimTime,
+        device: usize,
+        duration: SimDuration,
+    ) -> bool {
+        let until = now.saturating_add(duration);
+        match self.arms.get_mut(ai).and_then(|a| a.devices.get_mut(device)) {
+            Some(dev) => dev.byzantine_until = dev.byzantine_until.max(until),
+            None => return false,
+        }
+        let weeks = duration.as_secs() / (7 * 86_400);
+        self.chaos_log(
+            ai,
+            now,
+            Tier::Device,
+            format!("device {device} byzantine readings, {weeks} weeks"),
+        );
+        true
     }
 }
 
@@ -566,7 +768,13 @@ impl World for FleetSim {
                 for arm in &mut self.arms {
                     if let ArmInfra::Federated { hotspots, .. } = &mut arm.infra {
                         let before = hotspots.count();
-                        let after = hotspots.step_year(&mut arm.rng);
+                        // Per-year split stream: churn draws scale with the
+                        // census, so a chaos-injected collapse would shift
+                        // every later draw if churn shared the arm's weekly
+                        // stream. Keyed on the year, the perturbation stays
+                        // confined to the hotspot model (CRN).
+                        let mut hrng = arm.rng.split("hotspots", u64::from(hotspots.year()) + 1);
+                        let after = hotspots.step_year(&mut hrng);
                         if before > 0 && after == 0 {
                             self.diary.log(
                                 now,
@@ -942,6 +1150,80 @@ mod tests {
         );
         let text = report.diary.render();
         assert!(text.contains("wallet exhausted"));
+    }
+
+    #[test]
+    fn injections_apply_only_to_matching_arms() {
+        let mut engine = FleetSim::build(FleetConfig::paper_experiment(9));
+        let w = engine.world_mut();
+        let t = SimTime::from_years(1);
+        // Arm 0 is owned, arm 1 is federated.
+        assert!(w.inject_regional_outage(0, t, SimDuration::from_weeks(1)));
+        assert!(w.inject_regional_outage(1, t, SimDuration::from_weeks(1)));
+        assert!(w.inject_backhaul_flap(0, t, SimDuration::from_hours(6)));
+        assert!(!w.inject_backhaul_flap(1, t, SimDuration::from_hours(6)));
+        assert!(w.inject_provider_sunset(0, t));
+        assert!(!w.inject_provider_sunset(1, t));
+        assert!(!w.inject_hotspot_collapse(0, t, 0.5));
+        assert!(w.inject_hotspot_collapse(1, t, 0.5));
+        assert!(!w.inject_wallet_failure(0, t, 0));
+        assert!(w.inject_wallet_failure(1, t, 0));
+        assert!(w.inject_device_stuck(0, t, 3, SimDuration::from_weeks(2)));
+        assert!(w.inject_device_byzantine(1, t, 3, SimDuration::from_weeks(2)));
+        // Out-of-range targets are rejected, not panics.
+        assert!(!w.inject_regional_outage(99, t, SimDuration::from_weeks(1)));
+        assert!(!w.inject_device_stuck(0, t, 99, SimDuration::from_weeks(1)));
+        assert!(!w.inject_wallet_failure(1, t, 99));
+    }
+
+    #[test]
+    fn hooked_faults_degrade_uptime_and_are_diarised() {
+        use simcore::engine::FaultHook;
+
+        // A year-long regional outage against both arms every 5 years.
+        struct Storms {
+            times: Vec<SimTime>,
+            next: usize,
+        }
+        impl FaultHook<FleetSim> for Storms {
+            fn next_fault_at(&self) -> Option<SimTime> {
+                self.times.get(self.next).copied()
+            }
+            fn fire(&mut self, now: SimTime, world: &mut FleetSim, _ctx: &mut Ctx<'_, Ev>) {
+                self.next += 1;
+                for ai in 0..world.arm_count() {
+                    assert!(world.inject_regional_outage(ai, now, SimDuration::from_years(1)));
+                }
+            }
+        }
+
+        let horizon = SimTime::ZERO + SimDuration::from_years(50);
+        let baseline = FleetSim::run(FleetConfig::paper_experiment(11));
+        let mut hook = Storms {
+            times: (1..50).step_by(5).map(SimTime::from_years).collect(),
+            next: 0,
+        };
+        let n_storms = hook.times.len() as u64;
+        let mut engine = FleetSim::build(FleetConfig::paper_experiment(11));
+        engine.run_until_hooked(horizon, &mut hook);
+        let stormy = FleetSim::into_report(engine, horizon);
+
+        for (b, s) in baseline.arms.iter().zip(&stormy.arms) {
+            assert_eq!(s.faults_injected, n_storms, "{}", s.name);
+            assert!(
+                s.weeks_up < b.weeks_up,
+                "{}: {} storm-weeks should cost uptime ({} vs {})",
+                s.name,
+                n_storms,
+                s.weeks_up,
+                b.weeks_up
+            );
+        }
+        let text = stormy.diary.render();
+        assert!(text.contains("chaos: regional outage"));
+        let chaos_lines = text.lines().filter(|l| l.contains("chaos:")).count() as u64;
+        assert_eq!(chaos_lines, 2 * n_storms);
+        assert!(!baseline.diary.render().contains("chaos:"));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`coverage`] — who-hears-whom resolution and Figure-1 reliance
 //!   statistics.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod aloha;
 pub mod coverage;
 pub mod ieee802154;

@@ -10,6 +10,42 @@
 use crate::lora::{LoraConfig, SpreadingFactor};
 use crate::units::{Db, Dbm};
 
+/// Why an SF could not be assigned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SfSelectError {
+    /// Even SF12 cannot close this link with the requested margin.
+    LinkCannotClose {
+        /// Received power at the gateway.
+        rx: Dbm,
+        /// The margin that was required.
+        min_margin_db: f64,
+    },
+    /// A survey-wide statistic was requested over an empty survey.
+    EmptySurvey,
+    /// No device in the survey could close its link at any SF.
+    NoneReachable {
+        /// How many links were surveyed (all unreachable).
+        surveyed: usize,
+    },
+}
+
+impl core::fmt::Display for SfSelectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SfSelectError::LinkCannotClose { rx, min_margin_db } => write!(
+                f,
+                "no SF closes the link: rx {rx:?} with {min_margin_db} dB margin required"
+            ),
+            SfSelectError::EmptySurvey => f.write_str("survey contains no links"),
+            SfSelectError::NoneReachable { surveyed } => {
+                write!(f, "none of the {surveyed} surveyed links is reachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SfSelectError {}
+
 /// The assignment outcome for one device.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SfAssignment {
@@ -25,25 +61,26 @@ pub struct SfAssignment {
 /// from a transmitter at `tx`, requiring at least `min_margin_db` of slack
 /// (fade margin for decades of foliage growth and new construction).
 ///
-/// Returns `None` if even SF12 cannot close the link.
+/// Returns [`SfSelectError::LinkCannotClose`] if even SF12 cannot close
+/// the link.
 pub fn select_sf(
     tx: Dbm,
     path_loss: Db,
     min_margin_db: f64,
     payload_bytes: u32,
-) -> Option<SfAssignment> {
+) -> Result<SfAssignment, SfSelectError> {
     let rx = tx - path_loss;
     for sf in SpreadingFactor::ALL {
         let margin = rx - sf.sensitivity_125khz();
         if margin.0 >= min_margin_db {
-            return Some(SfAssignment {
+            return Ok(SfAssignment {
                 sf,
                 margin,
                 airtime_s: LoraConfig::uplink(sf).airtime_s(payload_bytes),
             });
         }
     }
-    None
+    Err(SfSelectError::LinkCannotClose { rx, min_margin_db })
 }
 
 /// Distribution of SF assignments over a set of link losses — the site
@@ -58,32 +95,38 @@ pub fn survey(
     let mut unreachable = 0;
     for &loss in losses {
         match select_sf(tx, loss, min_margin_db, payload_bytes) {
-            Some(a) => counts[(a.sf.value() - 7) as usize] += 1,
-            None => unreachable += 1,
+            Ok(a) => counts[(a.sf.value() - 7) as usize] += 1,
+            Err(_) => unreachable += 1,
         }
     }
     (counts, unreachable)
 }
 
 /// Mean per-packet airtime over a survey (collision-footprint planning).
+///
+/// Returns [`SfSelectError::EmptySurvey`] for an empty loss set and
+/// [`SfSelectError::NoneReachable`] when no surveyed link closes.
 pub fn mean_airtime_s(
     tx: Dbm,
     losses: &[Db],
     min_margin_db: f64,
     payload_bytes: u32,
-) -> Option<f64> {
+) -> Result<f64, SfSelectError> {
+    if losses.is_empty() {
+        return Err(SfSelectError::EmptySurvey);
+    }
     let mut total = 0.0;
     let mut n = 0usize;
     for &loss in losses {
-        if let Some(a) = select_sf(tx, loss, min_margin_db, payload_bytes) {
+        if let Ok(a) = select_sf(tx, loss, min_margin_db, payload_bytes) {
             total += a.airtime_s;
             n += 1;
         }
     }
     if n == 0 {
-        None
+        Err(SfSelectError::NoneReachable { surveyed: losses.len() })
     } else {
-        Some(total / n as f64)
+        Ok(total / n as f64)
     }
 }
 
@@ -109,14 +152,20 @@ mod tests {
     }
 
     #[test]
-    fn hopeless_link_is_none() {
-        assert_eq!(select_sf(Dbm(14.0), Db(170.0), 3.0, 24), None);
+    fn hopeless_link_is_typed_error() {
+        match select_sf(Dbm(14.0), Db(170.0), 3.0, 24) {
+            Err(SfSelectError::LinkCannotClose { rx, min_margin_db }) => {
+                assert!((rx.0 - (14.0 - 170.0)).abs() < 1e-9);
+                assert!((min_margin_db - 3.0).abs() < 1e-9);
+            }
+            other => panic!("expected LinkCannotClose, got {other:?}"),
+        }
     }
 
     #[test]
     fn airtime_grows_with_assigned_sf() {
-        let near = select_sf(Dbm(14.0), Db(100.0), 3.0, 24).unwrap();
-        let far = select_sf(Dbm(14.0), Db(145.0), 3.0, 24).unwrap();
+        let near = select_sf(Dbm(14.0), Db(100.0), 3.0, 24).expect("closes");
+        let far = select_sf(Dbm(14.0), Db(145.0), 3.0, 24).expect("closes");
         assert!(far.sf > near.sf);
         assert!(far.airtime_s > near.airtime_s * 2.0);
     }
@@ -132,19 +181,41 @@ mod tests {
     }
 
     #[test]
+    fn empty_survey_is_well_defined() {
+        // Regression: empty input must produce typed errors, not panics.
+        let (counts, unreachable) = survey(Dbm(14.0), &[], 3.0, 24);
+        assert_eq!(counts, [0; 6]);
+        assert_eq!(unreachable, 0);
+        assert_eq!(
+            mean_airtime_s(Dbm(14.0), &[], 3.0, 24),
+            Err(SfSelectError::EmptySurvey)
+        );
+    }
+
+    #[test]
     fn higher_margin_requirement_pushes_sf_up() {
-        let lax = select_sf(Dbm(14.0), Db(135.0), 2.0, 24).unwrap();
-        let strict = select_sf(Dbm(14.0), Db(135.0), 12.0, 24).unwrap();
+        let lax = select_sf(Dbm(14.0), Db(135.0), 2.0, 24).expect("closes");
+        let strict = select_sf(Dbm(14.0), Db(135.0), 12.0, 24).expect("closes");
         assert!(strict.sf > lax.sf);
     }
 
     #[test]
     fn mean_airtime_over_survey() {
         let losses = [Db(100.0), Db(145.0)];
-        let mean = mean_airtime_s(Dbm(14.0), &losses, 3.0, 24).unwrap();
-        let a = select_sf(Dbm(14.0), Db(100.0), 3.0, 24).unwrap().airtime_s;
-        let b = select_sf(Dbm(14.0), Db(145.0), 3.0, 24).unwrap().airtime_s;
+        let mean = mean_airtime_s(Dbm(14.0), &losses, 3.0, 24).expect("reachable");
+        let a = select_sf(Dbm(14.0), Db(100.0), 3.0, 24).expect("closes").airtime_s;
+        let b = select_sf(Dbm(14.0), Db(145.0), 3.0, 24).expect("closes").airtime_s;
         assert!((mean - 0.5 * (a + b)).abs() < 1e-12);
-        assert_eq!(mean_airtime_s(Dbm(14.0), &[Db(200.0)], 3.0, 24), None);
+        assert_eq!(
+            mean_airtime_s(Dbm(14.0), &[Db(200.0)], 3.0, 24),
+            Err(SfSelectError::NoneReachable { surveyed: 1 })
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SfSelectError::NoneReachable { surveyed: 4 };
+        assert!(e.to_string().contains('4'));
+        assert!(SfSelectError::EmptySurvey.to_string().contains("survey"));
     }
 }

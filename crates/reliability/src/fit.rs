@@ -128,7 +128,7 @@ pub fn fit_weibull(observations: &[Observation]) -> Result<WeibullFit, FitError>
     }
     {
         let mut distinct = fail_times.clone();
-        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.sort_by(|a, b| a.total_cmp(b));
         distinct.dedup();
         if distinct.len() < 2 {
             return Err(FitError::DegenerateData);
@@ -299,7 +299,23 @@ mod tests {
     }
 
     #[test]
+    fn no_convergence_is_error() {
+        // Two distinct failure times separated by one ULP pass the
+        // degeneracy check, but the profile score stays positive past the
+        // bracket loop's 2^60 ceiling: with N points at 1+ε and one at 1,
+        // score(k) ≈ (N+1)/k − N·ε, and (N+1)/2^60 > N·ε for N = 1000.
+        let mut times = vec![1.0 + f64::EPSILON; 1_000];
+        times.push(1.0);
+        match fit_weibull_complete(&times) {
+            Err(FitError::NoConvergence) => {}
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_display() {
         assert!(FitError::NoFailures.to_string().contains("failures"));
+        assert!(FitError::DegenerateData.to_string().contains("distinct"));
+        assert!(FitError::NoConvergence.to_string().contains("converge"));
     }
 }

@@ -21,6 +21,8 @@
 //!   for analyzing simulated (or real) deployment diaries.
 //! * [`burnin`] — burn-in screening and its warranty arithmetic.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod arrhenius;
 pub mod burnin;
 pub mod components;

@@ -115,7 +115,7 @@ impl Block {
                 .max(0.0),
             Block::KOfN { k, blocks } => {
                 let mut ts: Vec<f64> = blocks.iter().map(|b| b.sample_ttf(rng)).collect();
-                ts.sort_by(|a, b| a.partial_cmp(b).expect("ttf is not NaN"));
+                ts.sort_by(|a, b| a.total_cmp(b));
                 let n = ts.len();
                 if *k == 0 {
                     return f64::INFINITY;
@@ -146,12 +146,12 @@ impl Block {
             Block::Series(bs) => bs
                 .iter()
                 .map(|b| b.sample_ttf_attributed(rng))
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("ttf is not NaN"))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
                 .unwrap_or((f64::INFINITY, "empty-series")),
             Block::Parallel(bs) => bs
                 .iter()
                 .map(|b| b.sample_ttf_attributed(rng))
-                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("ttf is not NaN"))
+                .max_by(|a, b| a.0.total_cmp(&b.0))
                 .unwrap_or((0.0, "empty-parallel")),
             Block::Standby { primary, spare, switch_reliability } => {
                 let (t1, who1) = primary.sample_ttf_attributed(rng);
@@ -164,7 +164,7 @@ impl Block {
             Block::KOfN { k, blocks } => {
                 let mut ts: Vec<(f64, &'static str)> =
                     blocks.iter().map(|b| b.sample_ttf_attributed(rng)).collect();
-                ts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("ttf is not NaN"));
+                ts.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let n = ts.len();
                 if *k == 0 {
                     return (f64::INFINITY, "k-of-n");

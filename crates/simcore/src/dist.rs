@@ -381,7 +381,7 @@ impl Zipf {
         // boundary hit (measure zero) maps to that boundary's rank.
         let idx = self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
             .unwrap_or_else(|i| i);
         (idx + 1).min(self.cdf.len())
     }
@@ -492,7 +492,7 @@ impl Empirical {
             return Err(ParamError::new("Empirical samples must be finite"));
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite checked"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ok(Empirical { sorted, interpolate })
     }
 

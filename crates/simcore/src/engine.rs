@@ -74,6 +74,15 @@ impl<E> Ctx<'_, E> {
         self.queue.schedule(self.now.saturating_add(delay), event)
     }
 
+    /// Fallible version of [`Ctx::schedule_at`]: returns
+    /// [`SimError::ScheduledInPast`] instead of panicking.
+    pub fn try_schedule_at(&mut self, at: SimTime, event: E) -> Result<EventId, SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduledInPast { at, now: self.now });
+        }
+        Ok(self.queue.schedule(at, event))
+    }
+
     /// Cancels a pending event. Returns `true` if it had not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
         self.queue.cancel(id)
@@ -83,6 +92,132 @@ impl<E> Ctx<'_, E> {
     pub fn stop(&mut self) {
         *self.stop = true;
     }
+}
+
+/// Structured diagnosis returned by the checked engine entry points.
+///
+/// Mirrors the `FitError` / `ProtocolError` pattern: every way the engine
+/// can go wrong is a typed variant instead of a panic or a hang.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An event was scheduled before the current clock.
+    ScheduledInPast {
+        /// The requested (past) time.
+        at: SimTime,
+        /// The clock when the request was made.
+        now: SimTime,
+    },
+    /// A handler kept rescheduling at the same instant: the clock cannot
+    /// advance and an unchecked run would spin forever.
+    Livelock {
+        /// The instant the simulation is stuck at.
+        at: SimTime,
+        /// Events processed at that instant before the watchdog fired.
+        events: u64,
+    },
+    /// Event volume within one simulated day exceeded the watchdog budget
+    /// (unbounded self-rescheduling that *does* advance the clock).
+    EventStorm {
+        /// The simulated day (days since time zero) that blew the budget.
+        day: u64,
+        /// Events processed within that day before the watchdog fired.
+        events: u64,
+    },
+    /// The queue drained before the horizon while the watchdog was told
+    /// starvation is abnormal for this workload.
+    Starvation {
+        /// The clock when the queue emptied.
+        at: SimTime,
+        /// The horizon the run was supposed to reach.
+        horizon: SimTime,
+    },
+    /// The queue yielded an event timestamped before the clock — a
+    /// time-monotonicity violation inside the scheduling substrate.
+    TimeRegression {
+        /// The engine clock.
+        now: SimTime,
+        /// The (earlier) event timestamp.
+        event_at: SimTime,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::ScheduledInPast { at, now } => {
+                write!(f, "scheduled into the past: at={at:?} < now={now:?}")
+            }
+            SimError::Livelock { at, events } => {
+                write!(f, "livelock: {events} events at {at:?} without the clock advancing")
+            }
+            SimError::EventStorm { day, events } => {
+                write!(f, "event storm: {events} events within simulated day {day}")
+            }
+            SimError::Starvation { at, horizon } => {
+                write!(f, "queue starved at {at:?} before horizon {horizon:?}")
+            }
+            SimError::TimeRegression { now, event_at } => {
+                write!(f, "time regression: event at {event_at:?} behind clock {now:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Budgets for [`Engine::run_until_checked`].
+///
+/// The defaults are far above anything a healthy fleet simulation produces
+/// (a 50-year run processes a few thousand events total) while still
+/// catching a runaway handler within milliseconds of wall-clock time.
+#[derive(Clone, Copy, Debug)]
+pub struct Watchdog {
+    /// Maximum events processed at a single instant before the run is
+    /// declared a [`SimError::Livelock`].
+    pub max_events_per_instant: u64,
+    /// Maximum events processed within one simulated day before the run is
+    /// declared a [`SimError::EventStorm`].
+    pub max_events_per_day: u64,
+    /// When `true`, the queue draining before the horizon is reported as
+    /// [`SimError::Starvation`] instead of a normal `QueueEmpty` outcome.
+    pub starvation_is_error: bool,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            max_events_per_instant: 100_000,
+            max_events_per_day: 1_000_000,
+            starvation_is_error: false,
+        }
+    }
+}
+
+/// A source of scheduled faults interleaved with a [`World`]'s own events.
+///
+/// The hook lives on the *engine*, not inside the world: any `World` can be
+/// run under fault injection without modifying its handler. At each step
+/// the engine fires every fault due at or before the next world event
+/// (faults win ties), handing the hook direct access to the world and a
+/// scheduling context.
+pub trait FaultHook<W: World> {
+    /// The time of the next pending fault, if any. Must be non-decreasing
+    /// across calls unless [`FaultHook::fire`] consumed faults.
+    fn next_fault_at(&self) -> Option<SimTime>;
+
+    /// Applies every fault due at `now` to the world. The hook must advance
+    /// its own cursor so `next_fault_at` moves past `now`.
+    fn fire(&mut self, now: SimTime, world: &mut W, ctx: &mut Ctx<'_, W::Event>);
+}
+
+/// A no-op hook used by the unhooked entry points.
+struct NoFaults;
+
+impl<W: World> FaultHook<W> for NoFaults {
+    fn next_fault_at(&self) -> Option<SimTime> {
+        None
+    }
+    fn fire(&mut self, _now: SimTime, _world: &mut W, _ctx: &mut Ctx<'_, W::Event>) {}
 }
 
 /// Why a call to [`Engine::run_until`] returned.
@@ -127,25 +262,136 @@ impl<W: World> Engine<W> {
         self.queue.schedule(at, event)
     }
 
+    /// Fallible version of [`Engine::schedule_at`]: returns
+    /// [`SimError::ScheduledInPast`] instead of panicking.
+    pub fn try_schedule_at(&mut self, at: SimTime, event: W::Event) -> Result<EventId, SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduledInPast { at, now: self.now });
+        }
+        Ok(self.queue.schedule(at, event))
+    }
+
     /// Runs until the clock would pass `horizon`, the queue empties, or a
     /// handler stops the run. Events exactly at `horizon` do **not** fire;
     /// the clock is left at `horizon` when it is reached.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        match self.run_supervised(horizon, &mut NoFaults, None) {
+            Ok(outcome) => outcome,
+            // No watchdog is installed, so no supervised error can occur.
+            Err(e) => unreachable!("unchecked run cannot fail: {e}"),
+        }
+    }
+
+    /// Runs like [`Engine::run_until`] with a [`FaultHook`] interleaved:
+    /// every fault due before the next world event is applied first (faults
+    /// win ties with events at the same instant).
+    pub fn run_until_hooked(
+        &mut self,
+        horizon: SimTime,
+        hook: &mut dyn FaultHook<W>,
+    ) -> RunOutcome {
+        match self.run_supervised(horizon, hook, None) {
+            Ok(outcome) => outcome,
+            Err(e) => unreachable!("unchecked run cannot fail: {e}"),
+        }
+    }
+
+    /// Runs like [`Engine::run_until`] under a [`Watchdog`], returning a
+    /// structured [`SimError`] diagnosis instead of hanging or panicking
+    /// when the world misbehaves (livelock, event storm, starvation).
+    pub fn run_until_checked(
+        &mut self,
+        horizon: SimTime,
+        watchdog: &Watchdog,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_supervised(horizon, &mut NoFaults, Some(watchdog))
+    }
+
+    /// [`Engine::run_until_checked`] with a [`FaultHook`] interleaved.
+    pub fn run_until_checked_hooked(
+        &mut self,
+        horizon: SimTime,
+        hook: &mut dyn FaultHook<W>,
+        watchdog: &Watchdog,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_supervised(horizon, hook, Some(watchdog))
+    }
+
+    fn run_supervised(
+        &mut self,
+        horizon: SimTime,
+        hook: &mut dyn FaultHook<W>,
+        watchdog: Option<&Watchdog>,
+    ) -> Result<RunOutcome, SimError> {
+        let mut instant_at = self.now;
+        let mut instant_events: u64 = 0;
+        let mut day = self.now.as_secs() / 86_400;
+        let mut day_events: u64 = 0;
         loop {
             if self.stop {
                 // Consume the stop request so the engine can be resumed.
                 self.stop = false;
-                return RunOutcome::Stopped;
+                return Ok(RunOutcome::Stopped);
             }
-            let Some(at) = self.queue.peek_time() else {
+            // Faults due before the next event (or before the horizon when
+            // the queue is empty) fire first; ties go to the fault so an
+            // outage starting "this week" suppresses this week's readings.
+            let fault_at = hook.next_fault_at().filter(|&t| t < horizon);
+            let event_at = self.queue.peek_time();
+            if let Some(fat) = fault_at {
+                let fault_first = match event_at {
+                    Some(eat) => fat <= eat,
+                    None => true,
+                };
+                if fault_first {
+                    self.now = self.now.max(fat);
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        queue: &mut self.queue,
+                        stop: &mut self.stop,
+                    };
+                    hook.fire(self.now, &mut self.world, &mut ctx);
+                    continue;
+                }
+            }
+            let Some(at) = event_at else {
                 if self.now < horizon {
                     self.now = horizon;
                 }
-                return RunOutcome::QueueEmpty;
+                if let Some(w) = watchdog {
+                    if w.starvation_is_error {
+                        return Err(SimError::Starvation { at: self.now, horizon });
+                    }
+                }
+                return Ok(RunOutcome::QueueEmpty);
             };
             if at >= horizon {
                 self.now = horizon;
-                return RunOutcome::HorizonReached;
+                return Ok(RunOutcome::HorizonReached);
+            }
+            if at < self.now {
+                return Err(SimError::TimeRegression { now: self.now, event_at: at });
+            }
+            if let Some(w) = watchdog {
+                if at == instant_at {
+                    instant_events += 1;
+                    if instant_events >= w.max_events_per_instant {
+                        return Err(SimError::Livelock { at, events: instant_events });
+                    }
+                } else {
+                    instant_at = at;
+                    instant_events = 1;
+                }
+                let at_day = at.as_secs() / 86_400;
+                if at_day == day {
+                    day_events += 1;
+                    if day_events >= w.max_events_per_day {
+                        return Err(SimError::EventStorm { day, events: day_events });
+                    }
+                } else {
+                    day = at_day;
+                    day_events = 1;
+                }
             }
             let (at, event) = self.queue.pop().expect("peeked event exists");
             self.now = at;
@@ -294,5 +540,143 @@ mod tests {
         e.run_until(SimTime::from_secs(1));
         let w = e.into_world();
         assert_eq!(w.seen, vec![(0, 9)]);
+    }
+
+    #[test]
+    fn try_schedule_at_rejects_past_without_panicking() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(10), 1);
+        e.run_until(SimTime::from_secs(100));
+        let err = e.try_schedule_at(SimTime::from_secs(5), 2).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ScheduledInPast {
+                at: SimTime::from_secs(5),
+                now: SimTime::from_secs(100)
+            }
+        );
+        assert!(e.try_schedule_at(SimTime::from_secs(100), 3).is_ok());
+    }
+
+    /// A world that reschedules itself at the *same instant* forever: the
+    /// classic livelock an unchecked engine would spin on.
+    struct SameInstantLoop;
+
+    impl World for SameInstantLoop {
+        type Event = ();
+        fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _event: ()) {
+            let now = ctx.now();
+            ctx.schedule_at(now, ());
+        }
+    }
+
+    #[test]
+    fn watchdog_catches_self_rescheduling_livelock_within_a_day() {
+        let mut e = Engine::new(SameInstantLoop);
+        e.schedule_at(SimTime::ZERO, ());
+        let err = e
+            .run_until_checked(SimTime::from_days(365), &Watchdog::default())
+            .unwrap_err();
+        match err {
+            SimError::Livelock { at, events } => {
+                // Caught before one simulated day elapsed.
+                assert!(at < SimTime::from_days(1), "stuck at {at:?}");
+                assert_eq!(events, Watchdog::default().max_events_per_instant);
+            }
+            other => panic!("expected Livelock, got {other:?}"),
+        }
+    }
+
+    /// A world that advances the clock by one second per event — never
+    /// stuck at an instant, but an unbounded storm per simulated day.
+    struct SecondTicker;
+
+    impl World for SecondTicker {
+        type Event = ();
+        fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _event: ()) {
+            ctx.schedule_in(SimDuration::from_secs(1), ());
+        }
+    }
+
+    #[test]
+    fn watchdog_catches_event_storm() {
+        let mut e = Engine::new(SecondTicker);
+        e.schedule_at(SimTime::ZERO, ());
+        let wd = Watchdog { max_events_per_day: 1_000, ..Watchdog::default() };
+        let err = e.run_until_checked(SimTime::from_days(365), &wd).unwrap_err();
+        match err {
+            SimError::EventStorm { day: 0, events: 1_000 } => {}
+            other => panic!("expected EventStorm on day 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_starvation_when_asked() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(1), 1);
+        let wd = Watchdog { starvation_is_error: true, ..Watchdog::default() };
+        let err = e.run_until_checked(SimTime::from_secs(100), &wd).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Starvation {
+                at: SimTime::from_secs(100),
+                horizon: SimTime::from_secs(100)
+            }
+        );
+    }
+
+    #[test]
+    fn checked_run_passes_healthy_world_through() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(3), 1);
+        e.schedule_at(SimTime::from_secs(5), 2);
+        let out = e
+            .run_until_checked(SimTime::from_secs(10), &Watchdog::default())
+            .expect("healthy world");
+        assert_eq!(out, RunOutcome::QueueEmpty);
+        assert_eq!(e.world().seen, vec![(3, 1), (5, 2)]);
+    }
+
+    /// Hook that records fire times and injects a marker event.
+    struct EveryTen {
+        next: u64,
+        fired: Vec<u64>,
+    }
+
+    impl FaultHook<Recorder> for EveryTen {
+        fn next_fault_at(&self) -> Option<SimTime> {
+            Some(SimTime::from_secs(self.next))
+        }
+        fn fire(&mut self, now: SimTime, _world: &mut Recorder, ctx: &mut Ctx<'_, u32>) {
+            self.fired.push(now.as_secs());
+            ctx.schedule_at(now, 999);
+            self.next += 10;
+        }
+    }
+
+    #[test]
+    fn hook_fires_before_tied_events_and_respects_horizon() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(10), 1);
+        e.schedule_at(SimTime::from_secs(25), 2);
+        let mut hook = EveryTen { next: 10, fired: Vec::new() };
+        let out = e.run_until_hooked(SimTime::from_secs(31), &mut hook);
+        assert_eq!(out, RunOutcome::QueueEmpty);
+        // Faults at 10, 20, 30 all fire (30 < 31). The fault at 10 wins the
+        // tie with the world's event, but its marker enters the queue
+        // behind the already-scheduled event (FIFO at equal times).
+        assert_eq!(hook.fired, vec![10, 20, 30]);
+        assert_eq!(
+            e.world().seen,
+            vec![(10, 1), (10, 999), (20, 999), (25, 2), (30, 999)]
+        );
+    }
+
+    #[test]
+    fn sim_error_display_is_informative() {
+        let s = SimError::Livelock { at: SimTime::ZERO, events: 7 }.to_string();
+        assert!(s.contains("livelock"), "{s}");
+        let s = SimError::EventStorm { day: 3, events: 9 }.to_string();
+        assert!(s.contains("day 3"), "{s}");
     }
 }

@@ -60,8 +60,11 @@
 //! assert!(engine.world().failures > 5);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod dist;
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod quantile;
 pub mod rng;
@@ -71,6 +74,7 @@ pub mod survival;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Engine, RunOutcome, World};
+pub use engine::{Ctx, Engine, FaultHook, RunOutcome, SimError, Watchdog, World};
+pub use error::ModelError;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

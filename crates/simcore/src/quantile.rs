@@ -6,6 +6,29 @@
 //! piecewise-parabolic interpolation — accurate to a fraction of a percent
 //! for smooth distributions at any stream length.
 
+/// Error returned by [`P2Quantile::new`] for an invalid target quantile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuantileError {
+    /// The requested quantile is not strictly inside `(0, 1)` (or not
+    /// finite at all).
+    OutOfRange {
+        /// The rejected value.
+        q: f64,
+    },
+}
+
+impl core::fmt::Display for QuantileError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QuantileError::OutOfRange { q } => {
+                write!(f, "quantile must be in (0,1), got {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantileError {}
+
 /// A single-quantile P² estimator.
 ///
 /// # Examples
@@ -14,7 +37,7 @@
 /// use simcore::quantile::P2Quantile;
 /// use simcore::rng::Rng;
 ///
-/// let mut p50 = P2Quantile::new(0.5);
+/// let mut p50 = P2Quantile::new(0.5).unwrap();
 /// let mut rng = Rng::seed_from(1);
 /// for _ in 0..100_000 {
 ///     p50.add(rng.next_f64());
@@ -42,12 +65,12 @@ pub struct P2Quantile {
 impl P2Quantile {
     /// Creates an estimator for the `q`-quantile.
     ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < q < 1`.
-    pub fn new(q: f64) -> Self {
-        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
-        P2Quantile {
+    /// Returns [`QuantileError::OutOfRange`] unless `0 < q < 1`.
+    pub fn new(q: f64) -> Result<Self, QuantileError> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(QuantileError::OutOfRange { q });
+        }
+        Ok(P2Quantile {
             q,
             heights: [0.0; 5],
             positions: [1.0, 2.0, 3.0, 4.0, 5.0],
@@ -55,7 +78,7 @@ impl P2Quantile {
             increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
             count: 0,
             initial: Vec::with_capacity(5),
-        }
+        })
     }
 
     /// Adds one observation.
@@ -67,8 +90,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite by filter"));
+                self.initial.sort_by(|a, b| a.total_cmp(b));
                 for (h, &v) in self.heights.iter_mut().zip(&self.initial) {
                     *h = v;
                 }
@@ -144,7 +166,7 @@ impl P2Quantile {
                 return None;
             }
             let mut v = self.initial.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite by filter"));
+            v.sort_by(|a, b| a.total_cmp(b));
             let idx = ((v.len() - 1) as f64 * self.q).round() as usize;
             return Some(v[idx]);
         }
@@ -170,7 +192,7 @@ mod tests {
 
     #[test]
     fn uniform_median() {
-        let mut est = P2Quantile::new(0.5);
+        let mut est = P2Quantile::new(0.5).unwrap();
         let mut rng = Rng::seed_from(1);
         for _ in 0..200_000 {
             est.add(rng.next_f64());
@@ -183,7 +205,7 @@ mod tests {
     #[test]
     fn normal_p90() {
         let d = Normal::new(10.0, 2.0).unwrap();
-        let mut est = P2Quantile::new(0.9);
+        let mut est = P2Quantile::new(0.9).unwrap();
         let mut rng = Rng::seed_from(2);
         for _ in 0..200_000 {
             est.add(d.sample(&mut rng));
@@ -196,7 +218,7 @@ mod tests {
     #[test]
     fn exponential_p99_heavy_tail() {
         let d = Exponential::with_mean(1.0).unwrap();
-        let mut est = P2Quantile::new(0.99);
+        let mut est = P2Quantile::new(0.99).unwrap();
         let mut rng = Rng::seed_from(3);
         for _ in 0..400_000 {
             est.add(d.sample(&mut rng));
@@ -208,7 +230,7 @@ mod tests {
 
     #[test]
     fn small_sample_fallback() {
-        let mut est = P2Quantile::new(0.5);
+        let mut est = P2Quantile::new(0.5).unwrap();
         assert_eq!(est.estimate(), None);
         est.add(3.0);
         assert_eq!(est.estimate(), Some(3.0));
@@ -220,7 +242,7 @@ mod tests {
 
     #[test]
     fn ignores_non_finite() {
-        let mut est = P2Quantile::new(0.5);
+        let mut est = P2Quantile::new(0.5).unwrap();
         for x in [1.0, f64::NAN, 2.0, f64::INFINITY, 3.0, 4.0, 5.0] {
             est.add(x);
         }
@@ -232,7 +254,7 @@ mod tests {
     fn tracks_sorted_input() {
         // Adversarial (sorted) input is the algorithm's weak spot; it
         // should still land in the right neighborhood.
-        let mut est = P2Quantile::new(0.5);
+        let mut est = P2Quantile::new(0.5).unwrap();
         for i in 0..100_001 {
             est.add(i as f64);
         }
@@ -241,8 +263,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile")]
-    fn rejects_bad_q() {
-        P2Quantile::new(1.0);
+    fn rejects_bad_q_without_panicking() {
+        for q in [0.0, 1.0, -0.5, 2.0, f64::NAN, f64::INFINITY] {
+            match P2Quantile::new(q) {
+                Err(QuantileError::OutOfRange { .. }) => {}
+                other => panic!("q={q}: expected OutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_estimate_is_none() {
+        // Regression: estimating with zero observations must not panic.
+        let est = P2Quantile::new(0.25).unwrap();
+        assert_eq!(est.estimate(), None);
+        assert_eq!(est.count(), 0);
+    }
+
+    #[test]
+    fn error_display_names_the_value() {
+        let e = QuantileError::OutOfRange { q: 1.5 };
+        assert!(e.to_string().contains("1.5"));
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything must pass offline (no registry access;
+# proptest/criterion resolve to the path shims under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== lint gate (clippy, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

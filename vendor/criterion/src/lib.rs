@@ -1,0 +1,144 @@
+//! Minimal, dependency-free re-implementation of the subset of the
+//! `criterion` API this workspace's benches use, so `cargo build` and
+//! `cargo bench` work without registry access.
+//!
+//! Each benchmark runs its closure for a small number of timed batches and
+//! prints the mean wall-clock time per iteration. No statistics, plots, or
+//! baselines — swap the real crate back in when the registry is reachable.
+
+use std::time::Instant;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed batch of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up once so lazy setup doesn't pollute the measurement.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Shim benchmark driver mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+fn run_one(name: &str, sample_size: u64, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: sample_size.max(1),
+        elapsed_ns: 0.0,
+    };
+    f(&mut b);
+    let per_iter_ns = b.elapsed_ns / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!("{name:<40} {per_iter_ns:>14.1} ns/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!("{name:<40} {per_iter_ns:>14.1} ns/iter  {rate:>14.0} B/s");
+        }
+        None => println!("{name:<40} {per_iter_ns:>14.1} ns/iter"),
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.parent.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; supports both the plain and the
+/// `name = ...; config = ...; targets = ...` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
