@@ -22,6 +22,7 @@ pub fn compute(base_seed: u64, replicates: usize) -> ExperimentOutcome {
             replicates,
             threads,
         )
+        .expect("replicates >= 4 and threads >= 1")
     } else {
         paper_experiment(base_seed, replicates)
     }

@@ -4,60 +4,106 @@
 //! seed, so results are independent of scheduling: workers claim seed
 //! indices from an atomic counter, and the collector reorders by index
 //! before aggregation. Output is **bit-identical** to the serial
-//! [`century::experiment::run_replicated`] for the same seeds.
+//! [`century::experiment::run_replicated`] for the same seeds — the
+//! golden-digest suite pins this with [`FleetReport::digest`] equality.
+//!
+//! Each worker accumulates its results locally and hands them back
+//! through its join handle; a panicking worker's payload is re-raised
+//! intact with [`std::panic::resume_unwind`] rather than surfacing as a
+//! second panic about a poisoned lock.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use century::experiment::ExperimentOutcome;
 use century::metrics::ArmSummary;
 use fleet::sim::{FleetConfig, FleetReport, FleetSim};
 
+/// Precondition failures of the parallel runners.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelError {
+    /// `replicates` was zero: there would be no reports to aggregate.
+    ZeroReplicates,
+    /// `threads` was zero: no worker could claim a seed.
+    ZeroThreads,
+}
+
+impl core::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParallelError::ZeroReplicates => f.write_str("need at least one replicate"),
+            ParallelError::ZeroThreads => f.write_str("need at least one thread"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
 /// Runs `replicates` seeds (`base_seed..base_seed+replicates`) across
 /// `threads` workers, returning reports in seed order.
 ///
+/// # Errors
+///
+/// [`ParallelError`] if `replicates` or `threads` is zero.
+///
 /// # Panics
 ///
-/// Panics if `replicates == 0` or `threads == 0`.
+/// Re-raises (with its original payload) any panic that escapes a
+/// worker's `make_config` or simulation run.
 pub fn run_reports(
     make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
     base_seed: u64,
     replicates: usize,
     threads: usize,
-) -> Vec<FleetReport> {
-    assert!(replicates > 0, "need at least one replicate");
-    assert!(threads > 0, "need at least one thread");
+) -> Result<Vec<FleetReport>, ParallelError> {
+    if replicates == 0 {
+        return Err(ParallelError::ZeroReplicates);
+    }
+    if threads == 0 {
+        return Err(ParallelError::ZeroThreads);
+    }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, FleetReport)>> = Mutex::new(Vec::with_capacity(replicates));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(replicates) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= replicates {
-                    break;
-                }
-                let report = FleetSim::run(make_config(base_seed + i as u64));
-                results
-                    .lock()
-                    .expect("a worker panicked while holding the lock")
-                    .push((i, report));
-            });
+    let mut indexed: Vec<(usize, FleetReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(replicates))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= replicates {
+                            break;
+                        }
+                        local.push((i, FleetSim::run(make_config(base_seed + i as u64))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(replicates);
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => all.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
+        all
     });
-    let mut out = results.into_inner().expect("a worker panicked");
-    out.sort_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
+    indexed.sort_by_key(|&(i, _)| i);
+    Ok(indexed.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Parallel equivalent of [`century::experiment::run_replicated`]:
 /// identical summaries, wall-clock divided by the worker count.
+///
+/// # Errors
+///
+/// [`ParallelError`] if `replicates` or `threads` is zero.
 pub fn run_replicated_parallel(
     make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
     base_seed: u64,
     replicates: usize,
     threads: usize,
-) -> ExperimentOutcome {
-    let reports = run_reports(make_config, base_seed, replicates, threads);
+) -> Result<ExperimentOutcome, ParallelError> {
+    let reports = run_reports(make_config, base_seed, replicates, threads)?;
     let mut arms: Vec<ArmSummary> = reports[0]
         .arms
         .iter()
@@ -68,8 +114,8 @@ pub fn run_replicated_parallel(
             summary.add(arm);
         }
     }
-    let exemplar = reports.into_iter().next().expect("replicates > 0");
-    ExperimentOutcome { arms, exemplar, replicates }
+    let exemplar = reports.into_iter().next().expect("replicates checked nonzero above");
+    Ok(ExperimentOutcome { arms, exemplar, replicates })
 }
 
 #[cfg(test)]
@@ -80,7 +126,7 @@ mod tests {
     fn parallel_matches_serial_exactly() {
         let serial = century::experiment::run_replicated(FleetConfig::paper_experiment, 900, 4);
         let parallel =
-            run_replicated_parallel(&FleetConfig::paper_experiment, 900, 4, 4);
+            run_replicated_parallel(&FleetConfig::paper_experiment, 900, 4, 4).unwrap();
         assert_eq!(serial.replicates, parallel.replicates);
         for (s, p) in serial.arms.iter().zip(&parallel.arms) {
             assert_eq!(s.name, p.name);
@@ -94,9 +140,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_digests_match_serial() {
+        // The acceptance bar for the observability layer: same seed ⇒ the
+        // same run digest whether the replicate ran serial or threaded.
+        let serial: Vec<u64> = (0..4)
+            .map(|i| FleetSim::run(FleetConfig::paper_experiment(900 + i)).digest())
+            .collect();
+        let parallel: Vec<u64> = run_reports(&FleetConfig::paper_experiment, 900, 4, 4)
+            .unwrap()
+            .iter()
+            .map(FleetReport::digest)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn reports_in_seed_order_regardless_of_threads() {
-        let one = run_reports(&FleetConfig::paper_experiment, 50, 6, 1);
-        let many = run_reports(&FleetConfig::paper_experiment, 50, 6, 6);
+        let one = run_reports(&FleetConfig::paper_experiment, 50, 6, 1).unwrap();
+        let many = run_reports(&FleetConfig::paper_experiment, 50, 6, 6).unwrap();
         for (a, b) in one.iter().zip(&many) {
             assert_eq!(a.arms[0].readings_delivered, b.arms[0].readings_delivered);
             assert_eq!(a.diary.len(), b.diary.len());
@@ -105,13 +166,41 @@ mod tests {
 
     #[test]
     fn more_threads_than_replicates_is_fine() {
-        let out = run_reports(&FleetConfig::paper_experiment, 1, 2, 16);
+        let out = run_reports(&FleetConfig::paper_experiment, 1, 2, 16).unwrap();
         assert_eq!(out.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "replicate")]
-    fn zero_replicates_panics() {
-        run_reports(&FleetConfig::paper_experiment, 1, 0, 4);
+    fn zero_preconditions_are_typed_errors() {
+        assert_eq!(
+            run_reports(&FleetConfig::paper_experiment, 1, 0, 4).unwrap_err(),
+            ParallelError::ZeroReplicates
+        );
+        assert_eq!(
+            run_reports(&FleetConfig::paper_experiment, 1, 4, 0).unwrap_err(),
+            ParallelError::ZeroThreads
+        );
+        match run_replicated_parallel(&FleetConfig::paper_experiment, 1, 0, 4) {
+            Err(e @ ParallelError::ZeroReplicates) => {
+                assert_eq!(e.to_string(), "need at least one replicate");
+            }
+            other => panic!("expected ZeroReplicates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        let boom = |seed: u64| -> FleetConfig {
+            assert!(seed != 3, "boom at seed 3");
+            FleetConfig::paper_experiment(seed)
+        };
+        let result = std::panic::catch_unwind(|| run_reports(&boom, 0, 6, 2));
+        let payload = result.expect_err("the worker panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at seed 3"), "original payload must survive: {msg:?}");
     }
 }

@@ -402,6 +402,7 @@ impl FaultHook<FleetSim> for FleetInjector {
             self.applied += 1;
         } else {
             self.skipped += 1;
+            world.note_chaos_skipped();
         }
     }
 }
@@ -528,6 +529,11 @@ mod tests {
         let hooked = run_with_plan(cfg(9), FaultPlan::empty());
         assert_eq!(plain.diary.render(), hooked.diary.render());
         assert_eq!(plain.events_processed, hooked.events_processed);
+        assert_eq!(
+            plain.digest(),
+            hooked.digest(),
+            "a zero-fault chaos run must digest identically to a plain run"
+        );
         for (a, b) in plain.arms.iter().zip(&hooked.arms) {
             assert_eq!(a.weeks_up, b.weeks_up);
             assert_eq!(a.readings_delivered, b.readings_delivered);
@@ -577,6 +583,10 @@ mod tests {
         let report = FleetSim::into_report(engine, horizon);
         let injected: u64 = report.arms.iter().map(|a| a.faults_injected).sum();
         assert_eq!(injected, 1);
+        // Both outcomes are ledgered in the metric snapshot too.
+        use telemetry::MetricValue;
+        assert_eq!(report.metrics.get("chaos.applied"), Some(&MetricValue::Counter(1)));
+        assert_eq!(report.metrics.get("chaos.skipped"), Some(&MetricValue::Counter(2)));
     }
 
     #[test]

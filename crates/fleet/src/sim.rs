@@ -30,11 +30,13 @@ use econ::credits::Wallet;
 use econ::labor::PersonHours;
 use econ::money::Usd;
 use reliability::system::bom;
-use simcore::engine::{Ctx, Engine, World};
+use simcore::engine::{Ctx, Engine, EngineProfile, World};
 use simcore::rng::Rng;
 use simcore::survival::Observation;
 use simcore::time::{SimDuration, SimTime, WEEK};
 use simcore::trace::{Diary, Severity, Tier};
+use telemetry::span::{SpanId, SpanLog};
+use telemetry::{Buckets, Counter, Digest, Histogram, LocalHistogram, Registry, Snapshot, Span};
 
 use crate::cloud::CloudEndpoint;
 use crate::device::{DeviceSpec, DeviceState};
@@ -297,6 +299,65 @@ pub struct FleetReport {
     pub diary: Diary,
     /// Events processed by the engine.
     pub events_processed: u64,
+    /// Engine profiling: per-kind dispatch counts, queue high-water mark,
+    /// wall-clock timing. Excluded from [`digest`](FleetReport::digest) —
+    /// wall-clock varies run to run.
+    pub profile: EngineProfile,
+    /// Final metric snapshot, name-sorted.
+    pub metrics: Snapshot,
+    /// Recorded sim-time spans (e.g. backhaul outages), in open order.
+    pub spans: Vec<Span>,
+}
+
+impl FleetReport {
+    /// The deterministic run digest: a 64-bit fold of everything the
+    /// simulation *did* — ordered diary, spans, per-arm ledgers, the
+    /// metric snapshot and the event count. Same seed + same code ⇒ same
+    /// digest, serial or parallel; wall-clock profiling is excluded by
+    /// contract. The golden-trace regression suite pins these values.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str("century-fleet-digest-v1");
+        d.write_u64(self.events_processed);
+        d.fold_diary(&self.diary);
+        d.write_u64(self.arms.len() as u64);
+        for arm in &self.arms {
+            d.write_str(arm.name);
+            for v in [
+                arm.weeks_up,
+                arm.weeks_total,
+                arm.readings_delivered,
+                arm.readings_expected,
+                arm.device_failures,
+                arm.device_replacements,
+                arm.gateway_repairs,
+                arm.backhaul_migrations,
+                arm.wallets_exhausted,
+                arm.faults_injected,
+            ] {
+                d.write_u64(v);
+            }
+            d.write_f64(arm.labor.hours());
+            d.write_i128(arm.spend.micros());
+            d.write_u64(arm.lifetime_observations.len() as u64);
+            for o in &arm.lifetime_observations {
+                d.write_f64(o.time);
+                d.write_u8(u8::from(o.event));
+            }
+        }
+        d.fold_spans(&self.spans);
+        d.fold_snapshot(&self.metrics);
+        d.finish()
+    }
+
+    /// Exports the run as JSON Lines: diary events, then spans, then the
+    /// metric snapshot — one self-describing object per line.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = telemetry::jsonl::diary_to_jsonl(&self.diary);
+        out.push_str(&telemetry::jsonl::spans_to_jsonl(&self.spans));
+        out.push_str(&telemetry::jsonl::snapshot_to_jsonl(&self.metrics));
+        out
+    }
 }
 
 struct ArmState {
@@ -312,6 +373,19 @@ struct ArmState {
     /// arm to a configuration cannot perturb existing arms (the
     /// common-random-numbers property DESIGN.md calls out).
     rng: Rng,
+    /// Telemetry: readings delivered end-to-end (mirrors the report field
+    /// so the snapshot cross-checks the ledger). Settled once at finalize
+    /// from the report ledger rather than bumped mid-run.
+    delivered: Counter,
+    /// Telemetry: distribution of per-device delivered readings per week.
+    weekly_hist: Histogram,
+    /// Hot-loop buffer for `weekly_hist`: ~50k observations per 50-year
+    /// run accumulate here without atomics and flush once at finalize,
+    /// keeping instrumentation inside the profiling overhead budget.
+    weekly_acc: LocalHistogram,
+    /// Telemetry: the open backhaul-outage span, between a provider exit
+    /// and the replacement commissioning.
+    outage_span: Option<SpanId>,
 }
 
 /// The simulation world.
@@ -320,6 +394,10 @@ pub struct FleetSim {
     arms: Vec<ArmState>,
     cloud: CloudEndpoint,
     diary: Diary,
+    metrics: Registry,
+    spans: SpanLog,
+    chaos_applied: Counter,
+    chaos_skipped: Counter,
 }
 
 impl FleetSim {
@@ -329,6 +407,12 @@ impl FleetSim {
         let mut diary = Diary::new();
         let mut arms = Vec::new();
         let mut initial_failures: Vec<(SimTime, Ev)> = Vec::new();
+        let metrics = Registry::new();
+        // Chaos counters are pre-registered (at zero) in *every* run, so a
+        // zero-fault chaos run snapshots — and therefore digests —
+        // identically to a plain run.
+        let chaos_applied = metrics.counter("chaos.applied").expect("fresh registry");
+        let chaos_skipped = metrics.counter("chaos.skipped").expect("fresh registry");
 
         for (ai, arm_cfg) in cfg.arms.iter().enumerate() {
             let arm_rng = root.split("arm", ai as u64);
@@ -417,6 +501,19 @@ impl FleetSim {
                 Tier::System,
                 format!("arm '{}' deployed: {} devices", arm_cfg.name, arm_cfg.devices),
             );
+            // Per-arm metric handles; the index prefix makes names unique
+            // even if two arms share a display name.
+            let delivered = metrics
+                .counter(&format!("fleet.arm{ai}.{}.readings_delivered", arm_cfg.name))
+                .expect("index-prefixed names are unique");
+            let weekly_buckets = Buckets::linear(0.0, 24.0, 7).expect("static bucket layout");
+            let weekly_hist = metrics
+                .histogram(
+                    &format!("fleet.arm{ai}.{}.weekly_deliveries", arm_cfg.name),
+                    weekly_buckets.clone(),
+                )
+                .expect("index-prefixed names are unique");
+            let weekly_acc = LocalHistogram::new(weekly_buckets);
             arms.push(ArmState {
                 cfg: arm_cfg.clone(),
                 devices,
@@ -424,13 +521,18 @@ impl FleetSim {
                 infra,
                 report,
                 rng: arm_rng.split("runtime", 0),
+                delivered,
+                weekly_hist,
+                weekly_acc,
+                outage_span: None,
             });
         }
 
         let mut cloud_rng = root.split("cloud", 0);
         let cloud = CloudEndpoint::paper_default(cfg.horizon, &mut cloud_rng);
 
-        let world = FleetSim { cfg, arms, cloud, diary };
+        let world =
+            FleetSim { cfg, arms, cloud, diary, metrics, spans: SpanLog::new(), chaos_applied, chaos_skipped };
         let mut engine = Engine::new(world);
         engine.schedule_at(SimTime::ZERO + SimDuration::from_weeks(1), Ev::WeeklyCheck);
         engine.schedule_at(SimTime::ZERO + SimDuration::from_years(1), Ev::YearlyTick);
@@ -457,6 +559,7 @@ impl FleetSim {
     /// [`run`]: FleetSim::run
     pub fn into_report(engine: Engine<FleetSim>, horizon: SimTime) -> FleetReport {
         let events = engine.events_processed();
+        let profile = engine.profile().clone();
         let mut world = engine.into_world();
         // Right-censor the survivors at the horizon.
         for arm in &mut world.arms {
@@ -468,10 +571,24 @@ impl FleetSim {
                 }
             }
         }
+        // Settle the per-arm delivery metrics the hot loop deferred: the
+        // counter from the report ledger, the histogram from its local
+        // accumulator. Local f64 accumulation starting from 0.0 matches
+        // the sequential atomic-add order bit-for-bit, so digests are
+        // unchanged by the batching.
+        for arm in &mut world.arms {
+            arm.delivered.add(arm.report.readings_delivered);
+            let flushed = arm.weekly_acc.flush_into(&arm.weekly_hist);
+            debug_assert!(flushed, "accumulator layout matches by construction");
+        }
+        let metrics = world.metrics.snapshot();
         FleetReport {
             arms: world.arms.into_iter().map(|a| a.report).collect(),
             diary: world.diary,
             events_processed: events,
+            profile,
+            metrics,
+            spans: world.spans.spans().to_vec(),
         }
     }
 
@@ -576,6 +693,7 @@ impl FleetSim {
             // A byzantine device transmits (and pays) as usual, but its
             // readings are garbage: nothing usable reaches the endpoint.
             let delivered = if arm.devices[di].byzantine_at(now) { 0 } else { delivered };
+            arm.weekly_acc.observe(delivered as f64);
             if delivered > 0 {
                 any_delivered = true;
                 arm.devices[di].seq += delivered;
@@ -593,10 +711,31 @@ impl FleetSim {
         self.arms.len()
     }
 
+    /// The run's live metric registry. Snapshot it (or finalize through
+    /// [`FleetSim::into_report`]) to read values. Note: the per-arm
+    /// delivery counter and weekly-deliveries histogram are batched in the
+    /// hot loop and only settle at finalize, so mid-run snapshots show
+    /// them at zero; chaos counters are always live.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The run's sim-time span log.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Records a chaos fault whose target did not exist — the injector's
+    /// skipped path — so the metric snapshot ledgers both outcomes.
+    pub fn note_chaos_skipped(&self) {
+        self.chaos_skipped.inc();
+    }
+
     /// Records one applied chaos fault: diary line + per-arm counter.
     /// Every injection funnels through here so "chaos:" grep-counts the
     /// applied faults exactly.
     fn chaos_log(&mut self, ai: usize, now: SimTime, tier: Tier, what: String) {
+        self.chaos_applied.inc();
         let arm = &mut self.arms[ai];
         arm.report.faults_injected += 1;
         self.diary.log(
@@ -755,6 +894,19 @@ impl FleetSim {
 impl World for FleetSim {
     type Event = Ev;
 
+    fn event_kind(event: &Ev) -> &'static str {
+        match event {
+            Ev::WeeklyCheck => "weekly-check",
+            Ev::YearlyTick => "yearly-tick",
+            Ev::DeviceFail(..) => "device-fail",
+            Ev::DeviceReplace(..) => "device-replace",
+            Ev::GatewayFail(..) => "gateway-fail",
+            Ev::GatewayRepair(..) => "gateway-repair",
+            Ev::ProviderExit(..) => "provider-exit",
+            Ev::BackhaulMigrated(..) => "backhaul-migrated",
+        }
+    }
+
     fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
         let now = ctx.now();
         match ev {
@@ -900,6 +1052,8 @@ impl World for FleetSim {
                 let arm = &mut self.arms[ai];
                 if let ArmInfra::Owned { backhaul_down, .. } = &mut arm.infra {
                     *backhaul_down = true;
+                    arm.outage_span =
+                        Some(self.spans.open(format!("{}: backhaul-outage", arm.cfg.name), now));
                     self.diary.log(
                         now,
                         Severity::Incident,
@@ -919,6 +1073,9 @@ impl World for FleetSim {
                 let arm = &mut self.arms[ai];
                 if let ArmInfra::Owned { gateways, backhaul_down, .. } = &mut arm.infra {
                     *backhaul_down = false;
+                    if let Some(id) = arm.outage_span.take() {
+                        self.spans.close(id, now);
+                    }
                     arm.report.backhaul_migrations += 1;
                     let n_gw = gateways.len() as i64;
                     // Re-attachment cost and commissioning labor per gateway.
@@ -1224,6 +1381,93 @@ mod tests {
         let chaos_lines = text.lines().filter(|l| l.contains("chaos:")).count() as u64;
         assert_eq!(chaos_lines, 2 * n_storms);
         assert!(!baseline.diary.render().contains("chaos:"));
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_seed_sensitive() {
+        let a = FleetSim::run(FleetConfig::paper_experiment(13));
+        let b = FleetSim::run(FleetConfig::paper_experiment(13));
+        let c = FleetSim::run(FleetConfig::paper_experiment(14));
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest(), "different seeds must not collide");
+    }
+
+    #[test]
+    fn metric_snapshot_cross_checks_the_ledger() {
+        use telemetry::MetricValue;
+        let report = FleetSim::run(FleetConfig::paper_experiment(15));
+        for (ai, arm) in report.arms.iter().enumerate() {
+            let name = format!("fleet.arm{ai}.{}.readings_delivered", arm.name);
+            assert_eq!(
+                report.metrics.get(&name),
+                Some(&MetricValue::Counter(arm.readings_delivered)),
+                "{name} must mirror the report ledger"
+            );
+            let hist = format!("fleet.arm{ai}.{}.weekly_deliveries", arm.name);
+            match report.metrics.get(&hist) {
+                Some(MetricValue::Histogram { count, .. }) => {
+                    // One observation per alive device per week: bounded by
+                    // devices × weeks.
+                    assert!(*count > 0 && *count <= 10 * arm.weeks_total, "{hist}: {count}");
+                }
+                other => panic!("{hist}: expected histogram, got {other:?}"),
+            }
+        }
+        assert_eq!(report.metrics.get("chaos.applied"), Some(&MetricValue::Counter(0)));
+        assert_eq!(report.metrics.get("chaos.skipped"), Some(&MetricValue::Counter(0)));
+    }
+
+    #[test]
+    fn provider_exits_record_outage_spans() {
+        // Find a seed whose owned arm migrates at least once, then check
+        // the span ledger matches the migration count.
+        for seed in 0..10 {
+            let report = FleetSim::run(FleetConfig::paper_experiment(seed));
+            let owned = &report.arms[0];
+            if owned.backhaul_migrations == 0 {
+                continue;
+            }
+            let outages: Vec<_> = report
+                .spans
+                .iter()
+                .filter(|s| s.name.contains("backhaul-outage"))
+                .collect();
+            assert!(outages.len() as u64 >= owned.backhaul_migrations);
+            let closed = outages.iter().filter(|s| s.end.is_some()).count() as u64;
+            assert_eq!(closed, owned.backhaul_migrations, "every migration closes its span");
+            for s in &outages {
+                if let Some(end) = s.end {
+                    // §3.4: sourcing a replacement takes a quarter.
+                    assert_eq!(end.since(s.start), SimDuration::from_weeks(13));
+                }
+            }
+            return;
+        }
+        panic!("no provider exit across 10 seeds is implausible");
+    }
+
+    #[test]
+    fn profile_reports_event_mix_and_timing() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(16));
+        assert_eq!(report.profile.count("weekly-check"), 50 * 365 / 7);
+        assert_eq!(report.profile.count("yearly-tick"), 49);
+        assert_eq!(report.profile.total_dispatched(), report.events_processed);
+        assert!(report.profile.queue_high_water > 0);
+        assert!(report.profile.run_nanos >= report.profile.handler_nanos);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let report = FleetSim::run(FleetConfig::paper_experiment(17));
+        let out = report.export_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines.len(),
+            report.diary.len() + report.spans.len() + report.metrics.len()
+        );
+        for line in &lines {
+            assert!(line.starts_with("{\"type\":\"") && line.ends_with('}'), "{line}");
+        }
     }
 
     #[test]

@@ -42,6 +42,66 @@ pub trait World {
 
     /// Handles one event at the current simulation time (`ctx.now()`).
     fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+
+    /// A stable label for an event, used by [`EngineProfile`] to break
+    /// dispatch counts down per kind. The default lumps everything under
+    /// one label; worlds with an event enum should map each variant to
+    /// its own name.
+    fn event_kind(_event: &Self::Event) -> &'static str {
+        "event"
+    }
+}
+
+/// Per-run profiling collected by the engine: where the simulated
+/// half-century went.
+///
+/// Dispatch counts and the queue high-water mark are deterministic for a
+/// deterministic world. `handler_nanos` and `run_nanos` are wall-clock
+/// and vary run to run — they are **excluded from run digests** by
+/// contract (DESIGN.md §6).
+#[derive(Clone, Debug, Default)]
+pub struct EngineProfile {
+    /// Dispatch counts per event kind, in first-dispatch order.
+    kinds: Vec<(&'static str, u64)>,
+    /// Highest pending-event count observed at a dispatch point.
+    pub queue_high_water: usize,
+    /// Wall-clock nanoseconds spent inside `World::handle`.
+    pub handler_nanos: u64,
+    /// Wall-clock nanoseconds spent inside engine run calls (handlers,
+    /// hooks, and queue operations together).
+    pub run_nanos: u64,
+    /// Fault-hook firings interleaved into the run.
+    pub hook_fires: u64,
+}
+
+impl EngineProfile {
+    /// Per-kind dispatch counts, in first-dispatch order.
+    pub fn dispatches(&self) -> &[(&'static str, u64)] {
+        &self.kinds
+    }
+
+    /// Dispatches of one kind (zero if never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.kinds.iter().find(|(k, _)| *k == kind).map_or(0, |&(_, n)| n)
+    }
+
+    /// Total events dispatched across all kinds.
+    pub fn total_dispatched(&self) -> u64 {
+        self.kinds.iter().map(|&(_, n)| n).sum()
+    }
+
+    #[inline]
+    fn record(&mut self, kind: &'static str) {
+        // The kind set is tiny (one entry per event-enum variant), so a
+        // linear scan beats hashing on this hot path.
+        for entry in &mut self.kinds {
+            if entry.0 == kind {
+                entry.1 += 1;
+                return;
+            }
+        }
+        self.kinds.push((kind, 1));
+    }
 }
 
 /// Handler-side view of the engine: the clock and scheduling operations.
@@ -238,6 +298,7 @@ pub struct Engine<W: World> {
     now: SimTime,
     stop: bool,
     processed: u64,
+    profile: EngineProfile,
 }
 
 impl<W: World> Engine<W> {
@@ -249,6 +310,7 @@ impl<W: World> Engine<W> {
             now: SimTime::ZERO,
             stop: false,
             processed: 0,
+            profile: EngineProfile::default(),
         }
     }
 
@@ -323,6 +385,18 @@ impl<W: World> Engine<W> {
         hook: &mut dyn FaultHook<W>,
         watchdog: Option<&Watchdog>,
     ) -> Result<RunOutcome, SimError> {
+        let run_started = std::time::Instant::now();
+        let result = self.run_supervised_inner(horizon, hook, watchdog);
+        self.profile.run_nanos += run_started.elapsed().as_nanos() as u64;
+        result
+    }
+
+    fn run_supervised_inner(
+        &mut self,
+        horizon: SimTime,
+        hook: &mut dyn FaultHook<W>,
+        watchdog: Option<&Watchdog>,
+    ) -> Result<RunOutcome, SimError> {
         let mut instant_at = self.now;
         let mut instant_events: u64 = 0;
         let mut day = self.now.as_secs() / 86_400;
@@ -351,6 +425,7 @@ impl<W: World> Engine<W> {
                         stop: &mut self.stop,
                     };
                     hook.fire(self.now, &mut self.world, &mut ctx);
+                    self.profile.hook_fires += 1;
                     continue;
                 }
             }
@@ -393,15 +468,22 @@ impl<W: World> Engine<W> {
                     day_events = 1;
                 }
             }
+            let pending = self.queue.len();
+            if pending > self.profile.queue_high_water {
+                self.profile.queue_high_water = pending;
+            }
             let (at, event) = self.queue.pop().expect("peeked event exists");
             self.now = at;
             self.processed += 1;
+            self.profile.record(W::event_kind(&event));
             let mut ctx = Ctx {
                 now: self.now,
                 queue: &mut self.queue,
                 stop: &mut self.stop,
             };
+            let handler_started = std::time::Instant::now();
             self.world.handle(&mut ctx, event);
+            self.profile.handler_nanos += handler_started.elapsed().as_nanos() as u64;
         }
     }
 
@@ -418,6 +500,11 @@ impl<W: World> Engine<W> {
     /// Number of events still pending.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Profiling collected so far (cumulative across run calls).
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
     }
 
     /// Shared access to the world.
@@ -670,6 +757,66 @@ mod tests {
             e.world().seen,
             vec![(10, 1), (10, 999), (20, 999), (25, 2), (30, 999)]
         );
+    }
+
+    /// Two-kind world for profile tests: pings reschedule as pongs.
+    struct PingPong;
+
+    impl World for PingPong {
+        type Event = bool;
+        fn handle(&mut self, ctx: &mut Ctx<'_, bool>, ping: bool) {
+            if ping {
+                ctx.schedule_in(SimDuration::from_secs(1), false);
+            }
+        }
+        fn event_kind(event: &bool) -> &'static str {
+            if *event {
+                "ping"
+            } else {
+                "pong"
+            }
+        }
+    }
+
+    #[test]
+    fn profile_counts_kinds_and_queue_depth() {
+        let mut e = Engine::new(PingPong);
+        for i in 0..5 {
+            e.schedule_at(SimTime::from_secs(i), true);
+        }
+        e.run_until(SimTime::from_secs(100));
+        let p = e.profile();
+        assert_eq!(p.count("ping"), 5);
+        assert_eq!(p.count("pong"), 5);
+        assert_eq!(p.count("never"), 0);
+        assert_eq!(p.total_dispatched(), 10);
+        assert_eq!(p.total_dispatched(), e.events_processed());
+        // All five pings were pending at the first dispatch.
+        assert_eq!(p.queue_high_water, 5);
+        // First-dispatch order is stable.
+        let kinds: Vec<&str> = p.dispatches().iter().map(|&(k, _)| k).collect();
+        assert_eq!(kinds, vec!["ping", "pong"]);
+    }
+
+    #[test]
+    fn profile_tracks_hook_fires_and_wall_clock() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(5), 1);
+        let mut hook = EveryTen { next: 10, fired: Vec::new() };
+        e.run_until_hooked(SimTime::from_secs(35), &mut hook);
+        let p = e.profile();
+        assert_eq!(p.hook_fires, 3, "faults at 10, 20, 30");
+        assert!(p.run_nanos > 0, "run wall-clock must accumulate");
+        assert!(p.run_nanos >= p.handler_nanos);
+    }
+
+    #[test]
+    fn default_event_kind_lumps_everything() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::ZERO, 1);
+        e.schedule_at(SimTime::from_secs(1), 2);
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.profile().count("event"), 2);
     }
 
     #[test]

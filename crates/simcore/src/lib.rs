@@ -74,7 +74,7 @@ pub mod survival;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Engine, FaultHook, RunOutcome, SimError, Watchdog, World};
+pub use engine::{Ctx, Engine, EngineProfile, FaultHook, RunOutcome, SimError, Watchdog, World};
 pub use error::ModelError;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -20,6 +20,18 @@ pub enum Severity {
     Incident,
 }
 
+impl Severity {
+    /// Stable one-byte encoding used by run digests; must never be
+    /// renumbered (it would silently re-bless every golden trace).
+    pub const fn code(self) -> u8 {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Incident => 2,
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -44,6 +56,20 @@ pub enum Tier {
     Cloud,
     /// Cross-cutting (policy changes, staffing, budget).
     System,
+}
+
+impl Tier {
+    /// Stable one-byte encoding used by run digests; must never be
+    /// renumbered (it would silently re-bless every golden trace).
+    pub const fn code(self) -> u8 {
+        match self {
+            Tier::Device => 0,
+            Tier::Gateway => 1,
+            Tier::Backhaul => 2,
+            Tier::Cloud => 3,
+            Tier::System => 4,
+        }
+    }
 }
 
 impl fmt::Display for Tier {
@@ -154,6 +180,16 @@ impl Diary {
         self.entries.sort_by_key(|e| e.at);
     }
 
+    /// Consuming counterpart of [`Diary::merge`]: moves `other`'s entries
+    /// in without cloning, re-sorting by time. The sort is stable, so
+    /// same-time entries keep `self`-before-`other` order and each
+    /// diary's internal order — merging per-arm diaries is reproducible
+    /// regardless of how many arms contributed.
+    pub fn extend(&mut self, other: Diary) {
+        self.entries.extend(other.entries);
+        self.entries.sort_by_key(|e| e.at);
+    }
+
     /// Renders the diary as plain text, one line per entry.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -209,6 +245,57 @@ mod tests {
         a.merge(&b);
         let years: Vec<u64> = a.entries().iter().map(|e| e.at.year()).collect();
         assert_eq!(years, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn extend_is_stable_across_per_arm_diaries() {
+        // Three "arms" log at the same instants; after extend-merging, the
+        // same-time entries must keep arm order (a, then b, then c) and
+        // each arm's internal order — the property digests rely on.
+        let t = SimTime::from_years(1);
+        let mut a = Diary::new();
+        a.log(t, Severity::Info, Tier::Device, "a-first");
+        a.log(t, Severity::Info, Tier::Device, "a-second");
+        let mut b = Diary::new();
+        b.log(SimTime::ZERO, Severity::Info, Tier::Cloud, "b-early");
+        b.log(t, Severity::Info, Tier::Cloud, "b-at-t");
+        let mut c = Diary::new();
+        c.log(t, Severity::Info, Tier::System, "c-at-t");
+        a.extend(b);
+        a.extend(c);
+        let msgs: Vec<&str> = a.entries().iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["b-early", "a-first", "a-second", "b-at-t", "c-at-t"]);
+    }
+
+    #[test]
+    fn extend_matches_merge() {
+        let mut base1 = Diary::new();
+        base1.log(SimTime::from_years(2), Severity::Warning, Tier::Device, "w");
+        let mut base2 = base1.clone();
+        let mut other = Diary::new();
+        other.log(SimTime::from_years(1), Severity::Info, Tier::Gateway, "i");
+        base1.merge(&other);
+        base2.extend(other);
+        assert_eq!(base1.render(), base2.render());
+    }
+
+    #[test]
+    fn digest_codes_are_frozen() {
+        // These byte values are part of the golden-digest contract.
+        assert_eq!(
+            [Severity::Info.code(), Severity::Warning.code(), Severity::Incident.code()],
+            [0, 1, 2]
+        );
+        assert_eq!(
+            [
+                Tier::Device.code(),
+                Tier::Gateway.code(),
+                Tier::Backhaul.code(),
+                Tier::Cloud.code(),
+                Tier::System.code()
+            ],
+            [0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

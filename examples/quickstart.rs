@@ -48,4 +48,18 @@ fn main() {
     for entry in report.diary.at_least(Severity::Incident).take(5) {
         println!("  [{}] {}", entry.at, entry.message);
     }
+
+    // The run digest pins this exact trace (the golden-digest suite
+    // regression-tests these); the engine profile shows the event mix.
+    println!("\nrun digest: {:016x}", report.digest());
+    let p = &report.profile;
+    print!("engine: {} events dispatched —", p.total_dispatched());
+    for (kind, count) in p.dispatches() {
+        print!(" {kind}:{count}");
+    }
+    println!();
+    // Wall-clock profile fields (handler_nanos/run_nanos) vary run to
+    // run and are deliberately not printed: quickstart output stays
+    // byte-identical across invocations, like every seeded surface.
+    println!("engine: queue high-water {}", p.queue_high_water);
 }

@@ -1,0 +1,39 @@
+//! Times the 50-year paper experiment — the before/after harness for the
+//! engine-profiling overhead budget (≤ 5 %, see DESIGN.md §6).
+//!
+//! ```text
+//! cargo run --release --example telemetry_overhead
+//! ```
+
+use std::time::Instant;
+
+use fleet::sim::{FleetConfig, FleetSim};
+
+fn main() {
+    const REPS: u64 = 200;
+    // Warm-up.
+    let _ = FleetSim::run(FleetConfig::paper_experiment(0));
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    // Per-run wall times. On a shared core the *minimum* is the robust
+    // before/after statistic: preemption only ever slows a run down, so
+    // the fastest of 200 approaches the true cost floor.
+    let mut per_run = Vec::with_capacity(REPS as usize);
+    for seed in 0..REPS {
+        let r0 = Instant::now();
+        let report = FleetSim::run(FleetConfig::paper_experiment(seed));
+        per_run.push(r0.elapsed().as_secs_f64() * 1e3);
+        events += report.events_processed;
+    }
+    let dt = t0.elapsed();
+    per_run.sort_by(f64::total_cmp);
+    println!(
+        "{REPS} x 50-year runs: {:.3} s total, min {:.3} / p10 {:.3} / median {:.3} ms/run, {} events ({:.0} ev/s)",
+        dt.as_secs_f64(),
+        per_run[0],
+        per_run[per_run.len() / 10],
+        per_run[per_run.len() / 2],
+        events,
+        events as f64 / dt.as_secs_f64(),
+    );
+}

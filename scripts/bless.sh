@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Re-bless the golden run digests after an INTENTIONAL behaviour change.
+# Rewrites tests/golden/digests.txt with the current build's digests, then
+# shows the diff so the change can be reviewed before committing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_BLESS=1 cargo test --release --test golden_digests -- run_digests_match_golden
+git --no-pager diff -- tests/golden/digests.txt || true
+echo "golden digests re-blessed; review the diff above, then commit."

@@ -10,6 +10,12 @@ cargo build --release
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== golden digests (regression; drift fails, bless via scripts/bless.sh) =="
+cargo test -q --release --test golden_digests
+
+echo "== example smoke pass =="
+cargo run -q --release --example quickstart > /dev/null
+
 echo "== lint gate (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,5 +1,7 @@
 //! Cross-crate property-based tests (proptest) on the toolkit's invariants.
 
+#![allow(clippy::unwrap_used)] // Test-only target, gated behind `--features proptest`.
+
 use proptest::prelude::*;
 
 use econ::cost::CostStream;
@@ -238,5 +240,74 @@ proptest! {
         let one = recovery_effort(1, SimDuration::from_mins(mins)).hours();
         let many = recovery_effort(tasks, SimDuration::from_mins(mins)).hours();
         prop_assert!((many - one * tasks as f64).abs() < 1e-6 * (tasks as f64 + 1.0));
+    }
+
+    /// RNG child streams are independent: distinct labels or indices give
+    /// streams that disagree in their first outputs, and a child never
+    /// mirrors its parent.
+    #[test]
+    fn rng_split_streams_independent(seed in any::<u64>(), i in 0u64..500) {
+        let root = Rng::seed_from(seed);
+        let mut a = root.split("alpha", i);
+        let mut b = root.split("beta", i);
+        let mut c = root.split("alpha", i + 1);
+        let mut parent = Rng::seed_from(seed);
+        let av: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let cv: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        let pv: Vec<u64> = (0..4).map(|_| parent.next_u64()).collect();
+        prop_assert_ne!(av.clone(), bv, "label must separate streams");
+        prop_assert_ne!(av.clone(), cv, "index must separate streams");
+        prop_assert_ne!(av, pv, "child must not mirror the parent");
+    }
+
+    /// `next_below` stays in range and is roughly uniform: with 2000
+    /// draws over at most 20 buckets, every bucket count sits within
+    /// ±50% of its expectation (5+ standard deviations of slack).
+    #[test]
+    fn next_below_uniform(seed in any::<u64>(), n in 2u64..20) {
+        let mut rng = Rng::seed_from(seed);
+        let draws = 2_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            let v = rng.next_below(n);
+            prop_assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > expected * 0.5 && (c as f64) < expected * 1.5,
+                "bucket {} got {} of {} draws (expected ~{})",
+                bucket, c, draws, expected
+            );
+        }
+    }
+
+    /// Histogram bucketing is monotone in the observation, and each value
+    /// lands in the first bucket whose upper bound is at or above it.
+    #[test]
+    fn histogram_bucketing_monotone(
+        widths in proptest::collection::vec(0.1f64..10.0, 1..12),
+        x in -5.0f64..130.0,
+        dx in 0.0f64..50.0,
+    ) {
+        let mut bounds = Vec::with_capacity(widths.len());
+        let mut acc = 0.0f64;
+        for w in &widths {
+            acc += w;
+            bounds.push(acc);
+        }
+        let b = telemetry::Buckets::explicit(bounds.clone()).unwrap();
+        let i = b.bucket_index(x);
+        let j = b.bucket_index(x + dx);
+        prop_assert!(i <= j, "monotonicity violated: {} then {}", i, j);
+        prop_assert!(j <= bounds.len(), "overflow bucket is the last slot");
+        if i < bounds.len() {
+            prop_assert!(bounds[i] >= x, "chosen bound must cover the value");
+        }
+        if i > 0 {
+            prop_assert!(bounds[i - 1] < x, "an earlier bucket would have fit");
+        }
     }
 }
