@@ -1,0 +1,241 @@
+//! Reproducible throughput benchmark for the 50-year paper experiment.
+//!
+//! Measures events/second and wall-clock through the full `FleetSim` stack
+//! — the number the ROADMAP's "as fast as the hardware allows" north star
+//! is tracked against — in two modes:
+//!
+//! * **serial**: one replicate after another through [`fleet::sim::FleetSim::run`];
+//! * **parallel**: the same seeds through [`bench::parallel::run_reports`]
+//!   across worker threads.
+//!
+//! Seeds are fixed (`base_seed..base_seed + replicates`), so the event
+//! count and the per-seed run digests are deterministic; the binary folds
+//! the digests and **fails** if the serial and parallel digest sets
+//! disagree — throughput numbers from a non-reproducible run are
+//! worthless. Output is a single JSON object (serde-free, same dialect as
+//! `telemetry::jsonl`) written to `--out` and echoed to stdout, including
+//! the pinned pre-optimisation baseline passed by `scripts/bench.sh` so
+//! every future PR has a trajectory to beat in one file.
+//!
+//! ```text
+//! cargo run --release -p bench --bin throughput -- \
+//!     --replicates 64 --threads 8 --out BENCH_sim_throughput.json
+//! ```
+
+use std::time::Instant;
+
+use bench::parallel::run_reports;
+use fleet::sim::{FleetConfig, FleetSim};
+
+/// One measured pass: wall-clock plus the determinism checksum.
+struct Pass {
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    /// XOR-fold of the per-seed run digests (order-insensitive).
+    digest_xor: u64,
+}
+
+/// Best (fastest) of `passes` measurements. On a shared core preemption
+/// only ever slows a pass down, so the minimum approaches the true cost
+/// floor — same rationale as `examples/telemetry_overhead.rs`.
+fn best_of(passes: usize, mut f: impl FnMut() -> Pass) -> Pass {
+    let mut best = f();
+    for _ in 1..passes {
+        let p = f();
+        if p.wall_ms < best.wall_ms {
+            best = p;
+        }
+    }
+    best
+}
+
+fn measure_serial(base_seed: u64, replicates: usize) -> Pass {
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    let mut digest_xor = 0u64;
+    for i in 0..replicates {
+        let report = FleetSim::run(FleetConfig::paper_experiment(base_seed + i as u64));
+        events += report.events_processed;
+        digest_xor ^= report.digest();
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Pass { wall_ms, events, events_per_sec: events as f64 / (wall_ms / 1e3), digest_xor }
+}
+
+fn measure_parallel(base_seed: u64, replicates: usize, threads: usize) -> Pass {
+    let t0 = Instant::now();
+    let reports = run_reports(&FleetConfig::paper_experiment, base_seed, replicates, threads)
+        .expect("replicates and threads are validated nonzero in main");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let events: u64 = reports.iter().map(|r| r.events_processed).sum();
+    let digest_xor = reports.iter().fold(0u64, |acc, r| acc ^ r.digest());
+    Pass { wall_ms, events, events_per_sec: events as f64 / (wall_ms / 1e3), digest_xor }
+}
+
+fn pass_json(p: &Pass) -> String {
+    format!(
+        "{{\"wall_ms\":{:.3},\"events\":{},\"events_per_sec\":{:.0},\"digest_xor\":\"{:016x}\"}}",
+        p.wall_ms, p.events, p.events_per_sec, p.digest_xor
+    )
+}
+
+/// Pinned numbers a current run is compared against (`scripts/bench.sh`
+/// passes the pre-optimisation measurement recorded in that script).
+#[derive(Default)]
+struct Baseline {
+    rev: String,
+    serial_events_per_sec: f64,
+    serial_wall_ms: f64,
+    parallel_events_per_sec: f64,
+    parallel_wall_ms: f64,
+}
+
+struct Args {
+    replicates: usize,
+    threads: usize,
+    base_seed: u64,
+    passes: usize,
+    out: Option<String>,
+    git_rev: String,
+    baseline: Option<Baseline>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        replicates: 64,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        base_seed: 0,
+        passes: 3,
+        out: None,
+        git_rev: "unknown".to_string(),
+        baseline: None,
+    };
+    let mut baseline = Baseline::default();
+    let mut have_baseline = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--replicates" => args.replicates = parse(&value(&flag)?)?,
+            "--threads" => args.threads = parse(&value(&flag)?)?,
+            "--base-seed" => args.base_seed = parse(&value(&flag)?)?,
+            "--passes" => args.passes = parse(&value(&flag)?)?,
+            "--out" => args.out = Some(value(&flag)?),
+            "--git-rev" => args.git_rev = value(&flag)?,
+            "--baseline-rev" => {
+                baseline.rev = value(&flag)?;
+                have_baseline = true;
+            }
+            "--baseline-serial-eps" => {
+                baseline.serial_events_per_sec = parse(&value(&flag)?)?;
+                have_baseline = true;
+            }
+            "--baseline-serial-wall-ms" => {
+                baseline.serial_wall_ms = parse(&value(&flag)?)?;
+                have_baseline = true;
+            }
+            "--baseline-parallel-eps" => {
+                baseline.parallel_events_per_sec = parse(&value(&flag)?)?;
+                have_baseline = true;
+            }
+            "--baseline-parallel-wall-ms" => {
+                baseline.parallel_wall_ms = parse(&value(&flag)?)?;
+                have_baseline = true;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.replicates == 0 || args.threads == 0 || args.passes == 0 {
+        return Err("--replicates, --threads and --passes must be nonzero".to_string());
+    }
+    if have_baseline {
+        args.baseline = Some(baseline);
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Warm-up run so the first measured replicate doesn't pay cold-cache
+    // costs the rest don't.
+    let _ = FleetSim::run(FleetConfig::paper_experiment(args.base_seed));
+
+    let serial = best_of(args.passes, || measure_serial(args.base_seed, args.replicates));
+    let parallel = best_of(args.passes, || {
+        measure_parallel(args.base_seed, args.replicates, args.threads)
+    });
+
+    // Reproducibility gate: the parallel batch-scheduling path must produce
+    // bit-identical runs (digest for digest) or the numbers are meaningless.
+    if serial.digest_xor != parallel.digest_xor {
+        eprintln!(
+            "throughput: serial/parallel digest mismatch ({:016x} vs {:016x}) — \
+             the batch-scheduling path drifted; this is a correctness failure",
+            serial.digest_xor, parallel.digest_xor
+        );
+        std::process::exit(1);
+    }
+
+    let mut json = String::from("{\"bench\":\"sim_throughput\",");
+    json.push_str("\"experiment\":\"paper_experiment_50y\",");
+    json.push_str(&format!("\"git_rev\":\"{}\",", args.git_rev));
+    json.push_str(&format!(
+        "\"replicates\":{},\"threads\":{},\"base_seed\":{},\"passes\":{},",
+        args.replicates, args.threads, args.base_seed, args.passes
+    ));
+    if let Some(b) = &args.baseline {
+        json.push_str(&format!(
+            "\"baseline\":{{\"git_rev\":\"{}\",\"serial\":{{\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}},\
+             \"parallel\":{{\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}}}},",
+            b.rev,
+            b.serial_wall_ms,
+            b.serial_events_per_sec,
+            b.parallel_wall_ms,
+            b.parallel_events_per_sec
+        ));
+    }
+    json.push_str(&format!("\"serial\":{},", pass_json(&serial)));
+    json.push_str(&format!("\"parallel\":{}", pass_json(&parallel)));
+    if let Some(b) = &args.baseline {
+        if b.serial_events_per_sec > 0.0 {
+            json.push_str(&format!(
+                ",\"serial_speedup_vs_baseline\":{:.3}",
+                serial.events_per_sec / b.serial_events_per_sec
+            ));
+        }
+        if b.parallel_events_per_sec > 0.0 {
+            json.push_str(&format!(
+                ",\"parallel_speedup_vs_baseline\":{:.3}",
+                parallel.events_per_sec / b.parallel_events_per_sec
+            ));
+        }
+    }
+    json.push('}');
+
+    println!("{json}");
+    if let Some(path) = &args.out {
+        let mut contents = json;
+        contents.push('\n');
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("throughput: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,8 +15,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use century::experiment::ExperimentOutcome;
-use century::metrics::ArmSummary;
+use century::metrics::{ArmRow, ArmSummary};
 use fleet::sim::{FleetConfig, FleetReport, FleetSim};
+use simcore::event::EventQueue;
 
 /// Precondition failures of the parallel runners.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,18 +62,44 @@ pub fn run_reports(
     if threads == 0 {
         return Err(ParallelError::ZeroThreads);
     }
+    let mut indexed = run_indexed(make_config, base_seed, replicates, threads, |_, report| report);
+    indexed.sort_by_key(|&(i, _)| i);
+    Ok(indexed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Worker pool shared by the report and summary runners: claims seed
+/// indices from an atomic counter, recycles one event queue per worker
+/// across all the seeds it claims (see [`FleetSim::run_with_queue`]), and
+/// maps each finished report through `extract` so callers choose how much
+/// of it outlives the run. Results are unordered; callers sort by index.
+///
+/// # Panics
+///
+/// Re-raises (with its original payload) any panic that escapes a
+/// worker's `make_config` or simulation run.
+fn run_indexed<T: Send>(
+    make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
+    base_seed: u64,
+    replicates: usize,
+    threads: usize,
+    extract: impl Fn(usize, FleetReport) -> T + Sync,
+) -> Vec<(usize, T)> {
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, FleetReport)> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.min(replicates))
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    let mut queue = EventQueue::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= replicates {
                             break;
                         }
-                        local.push((i, FleetSim::run(make_config(base_seed + i as u64))));
+                        let report;
+                        (report, queue) =
+                            FleetSim::run_with_queue(make_config(base_seed + i as u64), queue);
+                        local.push((i, extract(i, report)));
                     }
                     local
                 })
@@ -86,9 +113,7 @@ pub fn run_reports(
             }
         }
         all
-    });
-    indexed.sort_by_key(|&(i, _)| i);
-    Ok(indexed.into_iter().map(|(_, r)| r).collect())
+    })
 }
 
 /// Parallel equivalent of [`century::experiment::run_replicated`]:
@@ -116,6 +141,42 @@ pub fn run_replicated_parallel(
     }
     let exemplar = reports.into_iter().next().expect("replicates checked nonzero above");
     Ok(ExperimentOutcome { arms, exemplar, replicates })
+}
+
+/// Summary-only fast path: like [`run_replicated_parallel`] but each
+/// worker reduces a replicate to its [`ArmRow`] scalars as soon as the
+/// run finishes, so full `FleetReport`s (diary, spans, metric snapshots)
+/// never pile up behind the join barrier — memory stays O(threads)
+/// instead of O(replicates). Rows are folded in seed order, making the
+/// resulting [`ArmSummary`]s bit-identical to the serial
+/// [`century::experiment::run_replicated`] for the same seeds.
+///
+/// # Errors
+///
+/// [`ParallelError`] if `replicates` or `threads` is zero.
+pub fn run_replicated_parallel_summaries(
+    make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
+    base_seed: u64,
+    replicates: usize,
+    threads: usize,
+) -> Result<Vec<ArmSummary>, ParallelError> {
+    if replicates == 0 {
+        return Err(ParallelError::ZeroReplicates);
+    }
+    if threads == 0 {
+        return Err(ParallelError::ZeroThreads);
+    }
+    let mut indexed = run_indexed(make_config, base_seed, replicates, threads, |_, report| {
+        report.arms.iter().map(ArmRow::of).collect::<Vec<ArmRow>>()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    let mut arms: Vec<ArmSummary> = indexed[0].1.iter().map(|r| ArmSummary::new(r.name)).collect();
+    for (_, rows) in &indexed {
+        for (summary, row) in arms.iter_mut().zip(rows) {
+            summary.add_row(row);
+        }
+    }
+    Ok(arms)
 }
 
 #[cfg(test)]
@@ -162,6 +223,40 @@ mod tests {
             assert_eq!(a.arms[0].readings_delivered, b.arms[0].readings_delivered);
             assert_eq!(a.diary.len(), b.diary.len());
         }
+    }
+
+    #[test]
+    fn summaries_fast_path_matches_serial_bit_for_bit() {
+        let serial = century::experiment::run_replicated(FleetConfig::paper_experiment, 700, 5);
+        let fast = run_replicated_parallel_summaries(&FleetConfig::paper_experiment, 700, 5, 3)
+            .expect("nonzero replicates and threads");
+        assert_eq!(serial.arms.len(), fast.len());
+        for (s, f) in serial.arms.iter().zip(&fast) {
+            assert_eq!(s.name, f.name);
+            assert_eq!(s.replicates(), f.replicates());
+            // Samples must match in value AND order (seed order), not
+            // just as a multiset.
+            assert_eq!(s.uptime.values(), f.uptime.values());
+            assert_eq!(s.data_yield.values(), f.data_yield.values());
+            assert_eq!(s.device_failures.values(), f.device_failures.values());
+            assert_eq!(s.gateway_repairs.values(), f.gateway_repairs.values());
+            assert_eq!(s.spend_dollars.values(), f.spend_dollars.values());
+            assert_eq!(s.labor_hours.values(), f.labor_hours.values());
+        }
+    }
+
+    #[test]
+    fn summaries_fast_path_checks_preconditions() {
+        assert_eq!(
+            run_replicated_parallel_summaries(&FleetConfig::paper_experiment, 1, 0, 4)
+                .unwrap_err(),
+            ParallelError::ZeroReplicates
+        );
+        assert_eq!(
+            run_replicated_parallel_summaries(&FleetConfig::paper_experiment, 1, 4, 0)
+                .unwrap_err(),
+            ParallelError::ZeroThreads
+        );
     }
 
     #[test]

@@ -43,9 +43,13 @@ pub fn run_replicated(
     assert!(replicates > 0, "need at least one replicate");
     let mut exemplar = None;
     let mut arms: Vec<ArmSummary> = Vec::new();
+    // One event queue recycled across all seeds: per-replicate scheduler
+    // allocations are paid once (digest-neutral, see FleetSim docs).
+    let mut queue = simcore::event::EventQueue::new();
     for i in 0..replicates {
         let cfg = make_config(base_seed + i as u64);
-        let report = FleetSim::run(cfg);
+        let report;
+        (report, queue) = FleetSim::run_with_queue(cfg, queue);
         if arms.is_empty() {
             arms = report.arms.iter().map(|a| ArmSummary::new(a.name)).collect();
         }

@@ -60,17 +60,62 @@ impl ArmSummary {
 
     /// Folds one replicate's report into the summary.
     pub fn add(&mut self, report: &ArmReport) {
-        self.uptime.add(report.uptime());
-        self.data_yield.add(report.data_yield());
-        self.device_failures.add(report.device_failures as f64);
-        self.gateway_repairs.add(report.gateway_repairs as f64);
-        self.spend_dollars.add(report.spend.dollars_f64());
-        self.labor_hours.add(report.labor.hours());
+        self.add_row(&ArmRow::of(report));
+    }
+
+    /// Folds one replicate's pre-extracted scalars into the summary.
+    /// `add(report)` ≡ `add_row(&ArmRow::of(report))`; push order decides
+    /// the stored sample order, so fold rows in seed order to match the
+    /// serial harness bit-for-bit.
+    pub fn add_row(&mut self, row: &ArmRow) {
+        self.uptime.add(row.uptime);
+        self.data_yield.add(row.data_yield);
+        self.device_failures.add(row.device_failures);
+        self.gateway_repairs.add(row.gateway_repairs);
+        self.spend_dollars.add(row.spend_dollars);
+        self.labor_hours.add(row.labor_hours);
     }
 
     /// Number of replicates folded in.
     pub fn replicates(&self) -> usize {
         self.uptime.len()
+    }
+}
+
+/// One replicate's contribution to an [`ArmSummary`], reduced to the six
+/// aggregated scalars. Lets parallel workers ship a few floats per seed
+/// instead of keeping whole `FleetReport`s alive until the aggregation
+/// barrier.
+#[derive(Clone, Copy, Debug)]
+pub struct ArmRow {
+    /// Arm display name (summary construction key).
+    pub name: &'static str,
+    /// Weekly end-to-end uptime fraction.
+    pub uptime: f64,
+    /// Delivered/expected readings fraction.
+    pub data_yield: f64,
+    /// Device failures (as f64 for quantile math).
+    pub device_failures: f64,
+    /// Gateway repairs.
+    pub gateway_repairs: f64,
+    /// Total spend in dollars.
+    pub spend_dollars: f64,
+    /// Total labor hours.
+    pub labor_hours: f64,
+}
+
+impl ArmRow {
+    /// Extracts the aggregated scalars from one arm report.
+    pub fn of(report: &ArmReport) -> Self {
+        ArmRow {
+            name: report.name,
+            uptime: report.uptime(),
+            data_yield: report.data_yield(),
+            device_failures: report.device_failures as f64,
+            gateway_repairs: report.gateway_repairs as f64,
+            spend_dollars: report.spend.dollars_f64(),
+            labor_hours: report.labor.hours(),
+        }
     }
 }
 

@@ -52,21 +52,30 @@ pub trait World {
     }
 }
 
+/// Every how many dispatches the engine wraps `World::handle` in an
+/// `Instant::now()` pair. Power of two so the hot-loop check is one mask.
+const PROFILE_SAMPLE_EVERY: u64 = 1024;
+
 /// Per-run profiling collected by the engine: where the simulated
 /// half-century went.
 ///
 /// Dispatch counts and the queue high-water mark are deterministic for a
-/// deterministic world. `handler_nanos` and `run_nanos` are wall-clock
-/// and vary run to run — they are **excluded from run digests** by
-/// contract (DESIGN.md §6).
+/// deterministic world. [`handler_nanos`](Self::handler_nanos) and
+/// `run_nanos` are wall-clock and vary run to run — they are **excluded
+/// from run digests** by contract (DESIGN.md §6). Handler time is
+/// *sampled* (every [`PROFILE_SAMPLE_EVERY`]th dispatch) so profiling
+/// costs two clock reads per ~thousand events instead of per event; see
+/// DESIGN.md §7 for the contract.
 #[derive(Clone, Debug, Default)]
 pub struct EngineProfile {
     /// Dispatch counts per event kind, in first-dispatch order.
     kinds: Vec<(&'static str, u64)>,
     /// Highest pending-event count observed at a dispatch point.
     pub queue_high_water: usize,
-    /// Wall-clock nanoseconds spent inside `World::handle`.
-    pub handler_nanos: u64,
+    /// Wall-clock nanoseconds measured across sampled handler dispatches.
+    handler_sampled_nanos: u64,
+    /// Number of dispatches that were timed.
+    handler_samples: u64,
     /// Wall-clock nanoseconds spent inside engine run calls (handlers,
     /// hooks, and queue operations together).
     pub run_nanos: u64,
@@ -88,6 +97,26 @@ impl EngineProfile {
     /// Total events dispatched across all kinds.
     pub fn total_dispatched(&self) -> u64 {
         self.kinds.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Estimated wall-clock nanoseconds spent inside `World::handle`,
+    /// scaled up from the sampled dispatches
+    /// (`sampled_nanos × dispatched ⁄ samples`). Zero when nothing has
+    /// been sampled yet. An estimate — it can legitimately exceed
+    /// `run_nanos` when the sampled dispatches were unrepresentative.
+    pub fn handler_nanos(&self) -> u64 {
+        if self.handler_samples == 0 {
+            return 0;
+        }
+        let scaled = self.handler_sampled_nanos as u128 * self.total_dispatched() as u128
+            / self.handler_samples as u128;
+        u64::try_from(scaled).unwrap_or(u64::MAX)
+    }
+
+    /// Number of dispatches whose handler time was measured (one per
+    /// [`PROFILE_SAMPLE_EVERY`] dispatches, starting with the first).
+    pub fn handler_samples(&self) -> u64 {
+        self.handler_samples
     }
 
     #[inline]
@@ -304,9 +333,25 @@ pub struct Engine<W: World> {
 impl<W: World> Engine<W> {
     /// Creates an engine at time zero wrapping `world`.
     pub fn new(world: W) -> Self {
+        Self::new_with_queue(world, EventQueue::new())
+    }
+
+    /// Creates an engine at time zero with queue capacity for `capacity`
+    /// pending events, avoiding queue reallocation below that mark.
+    pub fn with_event_capacity(world: W, capacity: usize) -> Self {
+        Self::new_with_queue(world, EventQueue::with_capacity(capacity))
+    }
+
+    /// Creates an engine at time zero reusing `queue`'s allocations — the
+    /// replicate-worker fast path, which recycles one queue across seeds
+    /// instead of reallocating per run. The queue is [`reset`]
+    /// (`EventQueue::reset`), so any event ids issued before the handoff
+    /// are invalidated and must be dropped.
+    pub fn new_with_queue(world: W, mut queue: EventQueue<W::Event>) -> Self {
+        queue.reset();
         Engine {
             world,
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             stop: false,
             processed: 0,
@@ -322,6 +367,25 @@ impl<W: World> Engine<W> {
     pub fn schedule_at(&mut self, at: SimTime, event: W::Event) -> EventId {
         assert!(at >= self.now, "cannot schedule into the past");
         self.queue.schedule(at, event)
+    }
+
+    /// Batch version of [`Engine::schedule_at`]: reserves queue space up
+    /// front and appends the handles to `ids` in schedule order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event time is before the current clock.
+    pub fn schedule_many<I>(&mut self, events: I, ids: &mut Vec<EventId>)
+    where
+        I: IntoIterator<Item = (SimTime, W::Event)>,
+    {
+        let now = self.now;
+        self.queue.schedule_many(
+            events.into_iter().inspect(move |&(at, _)| {
+                assert!(at >= now, "cannot schedule into the past");
+            }),
+            ids,
+        );
     }
 
     /// Fallible version of [`Engine::schedule_at`]: returns
@@ -474,6 +538,11 @@ impl<W: World> Engine<W> {
             }
             let (at, event) = self.queue.pop().expect("peeked event exists");
             self.now = at;
+            // Sample handler wall-clock on the first dispatch and every
+            // PROFILE_SAMPLE_EVERY-th after; `handler_nanos()` scales the
+            // samples back up. Keeps the two clock reads per event off
+            // the hot path (DESIGN.md §7).
+            let sampled = self.processed & (PROFILE_SAMPLE_EVERY - 1) == 0;
             self.processed += 1;
             self.profile.record(W::event_kind(&event));
             let mut ctx = Ctx {
@@ -481,9 +550,15 @@ impl<W: World> Engine<W> {
                 queue: &mut self.queue,
                 stop: &mut self.stop,
             };
-            let handler_started = std::time::Instant::now();
-            self.world.handle(&mut ctx, event);
-            self.profile.handler_nanos += handler_started.elapsed().as_nanos() as u64;
+            if sampled {
+                let handler_started = std::time::Instant::now();
+                self.world.handle(&mut ctx, event);
+                self.profile.handler_sampled_nanos +=
+                    handler_started.elapsed().as_nanos() as u64;
+                self.profile.handler_samples += 1;
+            } else {
+                self.world.handle(&mut ctx, event);
+            }
         }
     }
 
@@ -520,6 +595,13 @@ impl<W: World> Engine<W> {
     /// Consumes the engine, returning the world.
     pub fn into_world(self) -> W {
         self.world
+    }
+
+    /// Consumes the engine, returning the world and the queue so a
+    /// follow-up run (next replicate seed) can reuse its allocations via
+    /// [`Engine::new_with_queue`].
+    pub fn into_parts(self) -> (W, EventQueue<W::Event>) {
+        (self.world, self.queue)
     }
 }
 
@@ -807,7 +889,64 @@ mod tests {
         let p = e.profile();
         assert_eq!(p.hook_fires, 3, "faults at 10, 20, 30");
         assert!(p.run_nanos > 0, "run wall-clock must accumulate");
-        assert!(p.run_nanos >= p.handler_nanos);
+        // The first dispatch is always sampled, so short runs still get a
+        // handler-time estimate.
+        assert!(p.handler_samples() >= 1);
+    }
+
+    #[test]
+    fn handler_time_is_sampled_every_1024th_dispatch() {
+        let mut e = Engine::new(SecondTicker);
+        e.schedule_at(SimTime::ZERO, ());
+        // Events fire at t = 0..=2999 (3000 dispatches), so dispatches
+        // 0, 1024, and 2048 are sampled.
+        e.run_until(SimTime::from_secs(3_000));
+        let p = e.profile();
+        assert_eq!(e.events_processed(), 3_000);
+        assert_eq!(p.handler_samples(), 3);
+        // The scaled estimate covers all dispatches, not just samples.
+        assert!(p.handler_nanos() >= p.handler_samples());
+    }
+
+    #[test]
+    fn empty_profile_reports_zero_handler_time() {
+        let p = EngineProfile::default();
+        assert_eq!(p.handler_samples(), 0);
+        assert_eq!(p.handler_nanos(), 0);
+    }
+
+    #[test]
+    fn recycled_queue_behaves_like_fresh_engine() {
+        let mut e = Engine::with_event_capacity(Recorder::default(), 32);
+        let mut ids = Vec::new();
+        e.schedule_many((0..10u64).map(|i| (SimTime::from_secs(i + 1), i as u32)), &mut ids);
+        assert_eq!(ids.len(), 10);
+        assert!(e.world_mut().seen.is_empty());
+        e.run_until(SimTime::from_secs(100));
+        let (world, queue) = e.into_parts();
+        assert_eq!(world.seen.len(), 10);
+        let cap = queue.capacity();
+        assert!(cap >= 10);
+
+        // Second life: same allocations, clean slate.
+        let mut e = Engine::new_with_queue(Recorder::default(), queue);
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.events_processed(), 0);
+        e.schedule_at(SimTime::from_secs(3), 7);
+        e.run_until(SimTime::from_secs(10));
+        assert_eq!(e.world().seen, vec![(3, 7)]);
+        let (_, queue) = e.into_parts();
+        assert_eq!(queue.capacity(), cap, "recycling must not reallocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn schedule_many_rejects_past_events() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(10), 1);
+        e.run_until(SimTime::from_secs(100));
+        let mut ids = Vec::new();
+        e.schedule_many([(SimTime::from_secs(5), 2)], &mut ids);
     }
 
     #[test]

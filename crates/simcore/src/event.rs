@@ -1,57 +1,136 @@
-//! Time-ordered event queue with stable FIFO tie-breaking and cancellation.
+//! Time-ordered event queue: a hierarchical timing wheel with stable FIFO
+//! tie-breaking and O(1) cancellation.
 //!
 //! The queue is the heart of the discrete-event engine. Two properties are
 //! load-bearing for reproducibility:
 //!
 //! 1. **Deterministic ordering** — events at equal timestamps pop in the
 //!    order they were scheduled (FIFO), enforced with a monotonically
-//!    increasing sequence number, so iteration order never depends on heap
-//!    internals.
-//! 2. **O(log n) cancellation** — cancelled events are tombstoned and
-//!    skipped on pop, which keeps cancellation cheap for the common pattern
-//!    of "schedule a failure, then supersede it after maintenance".
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+//!    increasing sequence number, so iteration order never depends on
+//!    container internals.
+//! 2. **O(1) cancellation** — cancelling unlinks the entry from its bucket
+//!    immediately. Nothing is tombstoned in the wheel, so pop cost stays
+//!    flat even after mass cancellation ("schedule a failure, then
+//!    supersede it after maintenance" at fleet scale).
+//!
+//! # Layout
+//!
+//! Entries live in a slab (`Vec<Slot<E>>` plus an intrusive free list);
+//! handles are generation-stamped `{index, generation}` pairs so stale ids
+//! can never cancel a recycled slot. Pending events hang off a hashed
+//! hierarchical timing wheel: [`LEVELS`] levels of [`SLOTS`] buckets, each
+//! level covering [`SLOT_BITS`] bits of the 64-bit second timestamp
+//! (level 0 buckets are 1 s wide — exactly one timestamp per bucket; the
+//! top level spans the entire remaining range, so "decades out" and even
+//! `SimTime::MAX` need no special overflow path). An event's level is the
+//! highest bit in which its time differs from the wheel cursor
+//! (`drained_until`); popping drains the earliest occupied bucket,
+//! cascading multi-timestamp buckets down one or more levels until a
+//! level-0 bucket empties into the `ready` staging vector. Cascades visit
+//! each event at most [`LEVELS`]&nbsp;−&nbsp;1 times over its whole life, so
+//! amortised cost per event is O(1) with tiny constants (one 64-bit
+//! occupancy scan per level, no hashing, no comparisons against a heap).
+//!
+//! Events scheduled at or before the cursor (a handler scheduling "now",
+//! or callers rewinding behind the last pop) insert into `ready` by binary
+//! search on `(time, seq)`, which preserves the exact global order a
+//! binary heap with FIFO tie-break would produce. `tests/queue_model.rs`
+//! pins that equivalence with a differential test against a reference
+//! heap model.
 
 use crate::time::SimTime;
 
-/// Opaque handle identifying a scheduled event, used for cancellation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+/// Number of wheel levels; `LEVELS * SLOT_BITS >= 64` covers all of `u64`.
+const LEVELS: usize = 11;
+/// Bits of the timestamp consumed per level.
+const SLOT_BITS: u32 = 6;
+/// Buckets per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Sentinel slab index ("null pointer") for list links and the free list.
+const NONE: u32 = u32::MAX;
 
-struct Entry<E> {
+/// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Generation-stamped: the handle stores the slab slot it was issued from
+/// plus that slot's generation at issue time. Once the event fires or is
+/// cancelled the generation advances, so a stale handle can never cancel
+/// an unrelated event that later reuses the slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId {
+    index: u32,
+    generation: u32,
+}
+
+/// Lifecycle of a slab slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// On the free list.
+    Free,
+    /// Linked into a wheel bucket.
+    Linked,
+    /// Staged in the `ready` vector, not yet popped.
+    Ready,
+    /// Cancelled while staged in `ready`; swept (and freed) on the next
+    /// pass over its position. Bounded: each dead entry is visited once.
+    Dead,
+}
+
+struct Slot<E> {
     at: SimTime,
     seq: u64,
-    id: EventId,
-    payload: E,
+    /// Bucket neighbours when `Linked` (circular list, `head.prev` is the
+    /// tail); free-list successor when `Free`.
+    prev: u32,
+    next: u32,
+    generation: u32,
+    /// Wheel position when `Linked` (needed for O(1) unlink).
+    level: u8,
+    bucket: u8,
+    state: State,
+    payload: Option<E>,
 }
 
-// `BinaryHeap` is a max-heap; invert the ordering to pop earliest first,
-// breaking ties by ascending sequence number (FIFO).
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+#[derive(Clone, Copy)]
+struct Level {
+    /// Head slab index per bucket, `NONE` when empty.
+    heads: [u32; SLOTS],
+    /// Bit `b` set iff `heads[b] != NONE`. Next-occupied is one
+    /// `trailing_zeros` — no slot scan.
+    occupied: u64,
+}
+
+impl Level {
+    const EMPTY: Level = Level { heads: [NONE; SLOTS], occupied: 0 };
+}
+
+/// Level an event at `at` hangs from while the cursor sits at `current`:
+/// the highest 6-bit digit in which the two times differ.
+#[inline]
+fn level_for(current: u64, at: u64) -> usize {
+    let x = current ^ at;
+    if x == 0 {
+        0
+    } else {
+        ((63 - x.leading_zeros()) / SLOT_BITS) as usize
     }
 }
 
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Bucket index of `at` within `level`.
+#[inline]
+fn slot_of(at: u64, level: usize) -> usize {
+    ((at >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Earliest timestamp covered by `(level, slot)` given the cursor `d`.
+/// Well-defined because every occupied bucket sits inside the cursor's
+/// current window at the parent level (see `advance_wheel`).
+#[inline]
+fn bucket_start(d: u64, level: usize, slot: usize) -> u64 {
+    let low = SLOT_BITS as usize * level;
+    let high = low + SLOT_BITS as usize;
+    let base = if high >= 64 { 0 } else { (d >> high) << high };
+    base | ((slot as u64) << low)
 }
-
-impl<E> Eq for Entry<E> {}
 
 /// A priority queue of `(SimTime, payload)` events.
 ///
@@ -64,13 +143,23 @@ impl<E> Eq for Entry<E> {}
 /// let mut q = EventQueue::new();
 /// q.schedule(SimTime::from_secs(10), "late");
 /// q.schedule(SimTime::from_secs(5), "early");
-/// let (t, e) = q.pop().unwrap();
+/// let (t, e) = q.pop().expect("two events pending");
 /// assert_eq!((t.as_secs(), e), (5, "early"));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Ids scheduled but not yet fired or cancelled.
-    pending: HashSet<EventId>,
+    slab: Vec<Slot<E>>,
+    /// Head of the intrusive free list threaded through `Slot::next`.
+    free_head: u32,
+    levels: Box<[Level; LEVELS]>,
+    /// Staging area for the bucket currently being drained, in pop order.
+    /// Indices before `ready_pos` have already been consumed.
+    ready: Vec<u32>,
+    ready_pos: usize,
+    /// Wheel cursor: every event in the wheel has `at >= drained_until`;
+    /// later arrivals behind the cursor go straight into `ready`.
+    drained_until: u64,
+    /// Live (non-cancelled, not yet fired) event count.
+    live: usize,
     next_seq: u64,
 }
 
@@ -83,62 +172,355 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with slab capacity for `capacity` events,
+    /// avoiding reallocation while the pending count stays below it.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            slab: Vec::with_capacity(capacity),
+            free_head: NONE,
+            levels: Box::new([Level::EMPTY; LEVELS]),
+            ready: Vec::new(),
+            ready_pos: 0,
+            drained_until: 0,
+            live: 0,
             next_seq: 0,
         }
+    }
+
+    /// Reserves slab capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slab.reserve(additional);
+    }
+
+    /// Clears the queue for reuse, keeping allocated capacity (slab and
+    /// staging vectors). Sequence numbers and the wheel cursor restart
+    /// from zero, so a reset queue is indistinguishable from a fresh one —
+    /// replicate workers lean on this to reuse allocations across seeds.
+    ///
+    /// All previously issued [`EventId`]s are invalidated and must be
+    /// dropped: generation stamps restart too, so a stale handle held
+    /// across `reset` could alias a new event.
+    pub fn reset(&mut self) {
+        self.slab.clear();
+        self.free_head = NONE;
+        for level in self.levels.iter_mut() {
+            *level = Level::EMPTY;
+        }
+        self.ready.clear();
+        self.ready_pos = 0;
+        self.drained_until = 0;
+        self.live = 0;
+        self.next_seq = 0;
     }
 
     /// Schedules `payload` to fire at `at`, returning a cancellation handle.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let id = EventId(seq);
-        self.heap.push(Entry { at, seq, id, payload });
-        self.pending.insert(id);
-        id
+        let index = self.alloc(at, seq, payload);
+        let generation = self.slab[index as usize].generation;
+        self.live += 1;
+        self.place(index);
+        EventId { index, generation }
+    }
+
+    /// Schedules a batch, reserving slab space up front and appending the
+    /// handles to `ids` in schedule order. Equivalent to calling
+    /// [`schedule`](Self::schedule) per event.
+    pub fn schedule_many<I>(&mut self, events: I, ids: &mut Vec<EventId>)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.slab.reserve(lower);
+        ids.reserve(lower);
+        for (at, payload) in events {
+            ids.push(self.schedule(at, payload));
+        }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was pending (it will now never fire);
-    /// `false` if it already fired or was already cancelled.
+    /// `false` if it already fired or was already cancelled. O(1): the
+    /// entry is unlinked from its bucket immediately, leaving no
+    /// tombstone for pop to skip.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
+        let Some(slot) = self.slab.get(id.index as usize) else {
+            return false;
+        };
+        if slot.generation != id.generation {
+            return false;
+        }
+        match slot.state {
+            State::Linked => {
+                self.unlink(id.index);
+                self.free_slot(id.index);
+                self.live -= 1;
+                true
+            }
+            State::Ready => {
+                // Mid-`ready` removal would shift the staging vector;
+                // mark dead instead and let the sweep free it.
+                let slot = &mut self.slab[id.index as usize];
+                slot.state = State::Dead;
+                slot.payload = None;
+                slot.generation = slot.generation.wrapping_add(1);
+                self.live -= 1;
+                true
+            }
+            State::Free | State::Dead => false,
+        }
     }
 
-    /// Removes and returns the earliest live event, skipping tombstones left
-    /// by cancellation.
+    /// Removes and returns the earliest live event. Ties on time pop in
+    /// schedule (FIFO) order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.id) {
-                return Some((entry.at, entry.payload));
-            }
+        if !self.fill_ready() {
+            return None;
         }
-        None
+        let index = self.ready[self.ready_pos];
+        self.ready_pos += 1;
+        self.live -= 1;
+        let slot = &mut self.slab[index as usize];
+        let at = slot.at;
+        let payload = slot.payload.take().expect("ready slot holds a payload");
+        self.free_slot(index);
+        Some((at, payload))
     }
 
     /// Returns the timestamp of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain tombstones off the top so the peeked entry is live.
-        while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.id) {
-                return Some(entry.at);
-            }
-            self.heap.pop();
+        if !self.fill_ready() {
+            return None;
         }
-        None
+        Some(self.slab[self.ready[self.ready_pos] as usize].at)
     }
 
     /// Number of live (non-cancelled, not yet fired) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Returns true if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
+    }
+
+    /// Number of occupied wheel buckets — a diagnostic for tests asserting
+    /// that cancellation physically shrinks the wheel rather than leaving
+    /// tombstones behind.
+    pub fn occupied_buckets(&self) -> usize {
+        self.levels.iter().map(|l| l.occupied.count_ones() as usize).sum()
+    }
+
+    /// Slab capacity in events, for tests asserting allocation reuse.
+    pub fn capacity(&self) -> usize {
+        self.slab.capacity()
+    }
+
+    /// Takes a slot off the free list (or grows the slab) and stamps it
+    /// with the event data. State/links are set by `place`.
+    fn alloc(&mut self, at: SimTime, seq: u64, payload: E) -> u32 {
+        if self.free_head != NONE {
+            let index = self.free_head;
+            let slot = &mut self.slab[index as usize];
+            self.free_head = slot.next;
+            slot.at = at;
+            slot.seq = seq;
+            slot.payload = Some(payload);
+            index
+        } else {
+            let index = self.slab.len();
+            assert!(index < NONE as usize, "event queue slab exhausted u32 index space");
+            self.slab.push(Slot {
+                at,
+                seq,
+                prev: NONE,
+                next: NONE,
+                generation: 0,
+                level: 0,
+                bucket: 0,
+                state: State::Free,
+                payload: Some(payload),
+            });
+            index as u32
+        }
+    }
+
+    /// Routes an allocated slot to the wheel, or to the `ready` staging
+    /// vector (sorted by `(time, seq)`) when it lands behind the cursor.
+    fn place(&mut self, index: u32) {
+        let (at, seq) = {
+            let slot = &self.slab[index as usize];
+            (slot.at, slot.seq)
+        };
+        let t = at.as_secs();
+        if t < self.drained_until {
+            self.slab[index as usize].state = State::Ready;
+            let slab = &self.slab;
+            let pos = self.ready[self.ready_pos..].partition_point(|&i| {
+                let s = &slab[i as usize];
+                (s.at, s.seq) < (at, seq)
+            });
+            self.ready.insert(self.ready_pos + pos, index);
+        } else {
+            let level = level_for(self.drained_until, t);
+            let bucket = slot_of(t, level);
+            {
+                let slot = &mut self.slab[index as usize];
+                slot.state = State::Linked;
+                slot.level = level as u8;
+                slot.bucket = bucket as u8;
+            }
+            self.link_tail(index, level, bucket);
+        }
+    }
+
+    /// Appends `index` at the tail of bucket `(level, bucket)`.
+    fn link_tail(&mut self, index: u32, level: usize, bucket: usize) {
+        let head = self.levels[level].heads[bucket];
+        if head == NONE {
+            self.levels[level].heads[bucket] = index;
+            self.levels[level].occupied |= 1u64 << bucket;
+            let slot = &mut self.slab[index as usize];
+            slot.prev = index;
+            slot.next = index;
+        } else {
+            let tail = self.slab[head as usize].prev;
+            {
+                let slot = &mut self.slab[index as usize];
+                slot.prev = tail;
+                slot.next = head;
+            }
+            self.slab[tail as usize].next = index;
+            self.slab[head as usize].prev = index;
+        }
+    }
+
+    /// Unlinks a `Linked` slot from its bucket, clearing the occupancy bit
+    /// when the bucket empties.
+    fn unlink(&mut self, index: u32) {
+        let (level, bucket, prev, next) = {
+            let slot = &self.slab[index as usize];
+            (slot.level as usize, slot.bucket as usize, slot.prev, slot.next)
+        };
+        if next == index {
+            self.levels[level].heads[bucket] = NONE;
+            self.levels[level].occupied &= !(1u64 << bucket);
+        } else {
+            self.slab[prev as usize].next = next;
+            self.slab[next as usize].prev = prev;
+            if self.levels[level].heads[bucket] == index {
+                self.levels[level].heads[bucket] = next;
+            }
+        }
+    }
+
+    /// Returns the slot to the free list and advances its generation so
+    /// outstanding handles for it go stale.
+    fn free_slot(&mut self, index: u32) {
+        let slot = &mut self.slab[index as usize];
+        slot.state = State::Free;
+        slot.payload = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.prev = NONE;
+        slot.next = self.free_head;
+        self.free_head = index;
+    }
+
+    /// Ensures `ready[ready_pos]` is a live entry, sweeping dead ones and
+    /// advancing the wheel as needed. Returns false when the queue is empty.
+    fn fill_ready(&mut self) -> bool {
+        loop {
+            while self.ready_pos < self.ready.len() {
+                let index = self.ready[self.ready_pos];
+                match self.slab[index as usize].state {
+                    State::Ready => return true,
+                    _ => {
+                        debug_assert_eq!(self.slab[index as usize].state, State::Dead);
+                        self.free_slot(index);
+                        self.ready_pos += 1;
+                    }
+                }
+            }
+            self.ready.clear();
+            self.ready_pos = 0;
+            if self.live == 0 {
+                return false;
+            }
+            self.advance_wheel();
+        }
+    }
+
+    /// Drains the earliest occupied bucket: a level-0 bucket (exactly one
+    /// timestamp, list order = seq order) empties into `ready`; a
+    /// higher-level bucket cascades its entries down — each lands at a
+    /// strictly lower level, so the loop in `fill_ready` terminates.
+    ///
+    /// Invariant relied on throughout: an occupied bucket always lies
+    /// inside the cursor's current window at the parent level, and at or
+    /// after the cursor. (Insertion guarantees the former by construction;
+    /// the latter holds because the cursor only ever advances to the
+    /// minimum occupied bucket chosen here.) Hence `trailing_zeros` finds
+    /// the earliest bucket per level with no rotation wrap-around, and
+    /// `bucket_start` can rebuild high timestamp bits from the cursor.
+    fn advance_wheel(&mut self) {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (level, lv) in self.levels.iter().enumerate() {
+            if lv.occupied == 0 {
+                continue;
+            }
+            let slot = lv.occupied.trailing_zeros() as usize;
+            let start = bucket_start(self.drained_until, level, slot);
+            match best {
+                Some((earliest, _, _)) if earliest <= start => {}
+                _ => best = Some((start, level, slot)),
+            }
+        }
+        let Some((start, level, slot)) = best else {
+            debug_assert_eq!(self.live, 0, "live events but empty wheel and ready");
+            return;
+        };
+        debug_assert!(
+            start >= self.drained_until,
+            "wheel invariant violated: occupied bucket behind the cursor"
+        );
+        let head = self.levels[level].heads[slot];
+        self.levels[level].heads[slot] = NONE;
+        self.levels[level].occupied &= !(1u64 << slot);
+        if level == 0 {
+            // One timestamp per level-0 bucket; `ready` receives it in
+            // list order, which is FIFO sequence order.
+            self.drained_until = start.saturating_add(1);
+            let mut cur = head;
+            loop {
+                let next = self.slab[cur as usize].next;
+                debug_assert_eq!(self.slab[cur as usize].at.as_secs(), start);
+                self.slab[cur as usize].state = State::Ready;
+                self.ready.push(cur);
+                if next == head {
+                    break;
+                }
+                cur = next;
+            }
+        } else {
+            self.drained_until = start;
+            let mut cur = head;
+            loop {
+                let next = self.slab[cur as usize].next;
+                self.place(cur);
+                debug_assert!((self.slab[cur as usize].level as usize) < level);
+                if next == head {
+                    break;
+                }
+                cur = next;
+            }
+        }
     }
 }
 
@@ -201,9 +583,25 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_false() {
+    fn cancel_foreign_id_is_false() {
+        // Handles are only meaningful in the queue that issued them; a
+        // foreign id must not alias a slot here (empty slab: index out of
+        // range).
+        let mut other = EventQueue::new();
+        let foreign = other.schedule(t(1), ());
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(999)));
+        assert!(!q.cancel(foreign));
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        // Reuses slot 0 with a bumped generation.
+        let _b = q.schedule(t(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((t(2), "b")));
     }
 
     #[test]
@@ -220,7 +618,7 @@ mod tests {
     }
 
     #[test]
-    fn peek_skips_tombstones() {
+    fn peek_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1), "a");
         q.schedule(t(5), "b");
@@ -241,5 +639,96 @@ mod tests {
         q.schedule(t(6), 4);
         assert_eq!(q.pop(), Some((t(6), 4)));
         assert_eq!(q.pop(), Some((t(7), 3)));
+    }
+
+    #[test]
+    fn cancel_event_already_staged_for_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "a");
+        let b = q.schedule(t(5), "b");
+        q.schedule(t(9), "c");
+        // Popping "a" drains the whole t=5 bucket into the staging area,
+        // so "b" is cancelled in the Ready state (dead-sweep path).
+        assert_eq!(q.pop(), Some((t(5), "a")));
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b));
+        assert_eq!(q.pop(), Some((t(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_events_cascade_correctly() {
+        let mut q = EventQueue::new();
+        let century = SimTime::from_secs(100 * 31_536_000);
+        q.schedule(SimTime::from_secs(u64::MAX), "eon");
+        q.schedule(t(1), "soon");
+        q.schedule(century, "century");
+        assert_eq!(q.pop(), Some((t(1), "soon")));
+        assert_eq!(q.pop(), Some((century, "century")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(u64::MAX), "eon")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_preserved_across_cascade() {
+        let mut q = EventQueue::new();
+        // Both land in the same level-1 bucket while the cursor is at 0.
+        q.schedule(t(100), 1);
+        q.schedule(t(64), 0);
+        assert_eq!(q.pop(), Some((t(64), 0)));
+        // t=100 has cascaded down to level 0; a same-time arrival must
+        // append after it despite taking the direct insertion path.
+        q.schedule(t(100), 2);
+        assert_eq!(q.pop(), Some((t(100), 1)));
+        assert_eq!(q.pop(), Some((t(100), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn schedule_many_matches_serial_schedules() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        q.schedule_many([(t(3), "c"), (t(1), "a"), (t(3), "d"), (t(2), "b")], &mut ids);
+        assert_eq!(ids.len(), 4);
+        assert!(q.cancel(ids[3]));
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "c")));
+        assert_eq!(q.pop(), Some((t(3), "d")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_restarts_clean() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        for i in 0..50 {
+            q.schedule(t(i), i);
+        }
+        for _ in 0..20 {
+            q.pop();
+        }
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.occupied_buckets(), 0);
+        assert_eq!(q.capacity(), cap);
+        // Behaves exactly like a fresh queue.
+        q.schedule(t(2), 20);
+        q.schedule(t(1), 10);
+        assert_eq!(q.pop(), Some((t(1), 10)));
+        assert_eq!(q.pop(), Some((t(2), 20)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancellation_shrinks_the_wheel() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..256).map(|i| q.schedule(t(1_000 + i), i)).collect();
+        let before = q.occupied_buckets();
+        assert!(before > 1);
+        for id in ids {
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.occupied_buckets(), 0);
+        assert_eq!(q.pop(), None);
     }
 }

@@ -1,0 +1,230 @@
+//! Differential tests: the timing-wheel [`EventQueue`] against a
+//! reference binary-heap model.
+//!
+//! The wheel replaced a `BinaryHeap + HashSet` queue for throughput; its
+//! one non-negotiable obligation is producing the **exact same pop
+//! sequence** — earliest time first, FIFO on ties — under every
+//! interleaving of schedule/cancel/pop, because run digests (and
+//! therefore the golden suite) hang off that order. The reference model
+//! here *is* the old implementation, and randomized interleavings
+//! (equal-timestamp bursts, far-future times, behind-the-cursor
+//! schedules, cancellations of live/fired/stale ids) must agree
+//! operation by operation.
+//!
+//! Always on — no proptest feature gate — seeded through `simcore::rng`
+//! so failures reproduce exactly.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use simcore::event::EventQueue;
+use simcore::rng::Rng;
+use simcore::time::SimTime;
+
+/// The pre-wheel queue, verbatim: max-heap inverted on `(at, seq)` with a
+/// pending-set for tombstone cancellation.
+struct RefEntry {
+    at: SimTime,
+    seq: u64,
+    payload: u64,
+}
+
+impl Ord for RefEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for RefEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for RefEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for RefEntry {}
+
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<RefEntry>,
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl RefQueue {
+    fn schedule(&mut self, at: SimTime, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(RefEntry { at, seq, payload });
+        self.pending.insert(seq);
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        self.pending.remove(&seq)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.at, entry.payload));
+            }
+        }
+        None
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Drives both queues through `ops` random operations and asserts they
+/// agree on every observable: pop results, cancel outcomes, peeked
+/// times, and live counts.
+fn differential_run(seed: u64, ops: usize) {
+    let mut rng = Rng::seed_from(seed);
+    let mut wheel = EventQueue::new();
+    let mut model = RefQueue::default();
+    // Parallel handle lists: entry i holds both queues' ids for the i-th
+    // scheduled event, so a random cancel targets the same event in both.
+    let mut ids = Vec::new();
+    let mut model_ids = Vec::new();
+    let mut now = 0u64; // Time of the last popped event.
+    let mut last_scheduled = 0u64;
+    let mut payload = 0u64;
+
+    for step in 0..ops {
+        match rng.next_below(10) {
+            // Schedule (6/10), across four time profiles.
+            0..=5 => {
+                let at = match rng.next_below(10) {
+                    // Near future: dense, lots of FIFO collisions.
+                    0..=4 => now + rng.next_below(64),
+                    // Equal-timestamp burst: repeat the previous time.
+                    5 | 6 => last_scheduled,
+                    // Behind the cursor (allowed on the raw queue).
+                    7 => now.saturating_sub(rng.next_below(100)),
+                    // Far future: decades out, up to the top wheel level.
+                    _ => now.saturating_add(1 + rng.next_below(u64::MAX / 2)),
+                };
+                last_scheduled = at;
+                payload += 1;
+                ids.push(wheel.schedule(SimTime::from_secs(at), payload));
+                model_ids.push(model.schedule(SimTime::from_secs(at), payload));
+            }
+            // Cancel a random id, live or not (5% of those stale).
+            6 | 7 => {
+                if !ids.is_empty() {
+                    let pick = rng.next_below(ids.len() as u64) as usize;
+                    assert_eq!(
+                        wheel.cancel(ids[pick]),
+                        model.cancel(model_ids[pick]),
+                        "cancel divergence at step {step} (seed {seed})"
+                    );
+                }
+            }
+            // Pop.
+            8 | 9 => {
+                let got = wheel.pop();
+                let want = model.pop();
+                assert_eq!(got, want, "pop divergence at step {step} (seed {seed})");
+                if let Some((at, _)) = got {
+                    now = at.as_secs();
+                }
+            }
+            _ => unreachable!("next_below(10)"),
+        }
+        if step % 64 == 0 {
+            assert_eq!(wheel.peek_time(), model.peek_time(), "peek divergence at step {step}");
+        }
+        assert_eq!(wheel.len(), model.len(), "len divergence at step {step} (seed {seed})");
+    }
+
+    // Drain both to the end: the full residual sequence must match.
+    loop {
+        let got = wheel.pop();
+        let want = model.pop();
+        assert_eq!(got, want, "drain divergence (seed {seed})");
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn wheel_matches_heap_model_across_seeds() {
+    for seed in [1, 2, 3, 42, 1001] {
+        differential_run(seed, 20_000);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_model_under_heavy_cancellation() {
+    // A cancel-heavy profile: schedule, then cancel most before popping —
+    // the regime where the old queue accumulated tombstones.
+    let mut rng = Rng::seed_from(7);
+    let mut wheel = EventQueue::new();
+    let mut model = RefQueue::default();
+    let mut handles = Vec::new();
+    for round in 0..50u64 {
+        for i in 0..200 {
+            let at = SimTime::from_secs(round * 1_000 + rng.next_below(5_000));
+            let p = round * 1_000 + i;
+            handles.push((wheel.schedule(at, p), model.schedule(at, p)));
+        }
+        // Cancel ~90% of everything ever scheduled (mostly stale later).
+        for &(w, m) in &handles {
+            if rng.chance(0.9) {
+                assert_eq!(wheel.cancel(w), model.cancel(m));
+            }
+        }
+        for _ in 0..20 {
+            assert_eq!(wheel.pop(), model.pop());
+        }
+    }
+    loop {
+        let got = wheel.pop();
+        assert_eq!(got, model.pop());
+        if got.is_none() {
+            break;
+        }
+    }
+}
+
+/// The regression the slab design exists for: cancelling 100k events must
+/// physically shrink the wheel (no tombstones), leaving the next pop as
+/// cheap as on a near-empty queue.
+#[test]
+fn mass_cancellation_keeps_pop_cheap() {
+    let mut q = EventQueue::with_capacity(100_001);
+    let ids: Vec<_> =
+        (0..100_000u64).map(|i| q.schedule(SimTime::from_secs(1_000 + i % 4_096), i)).collect();
+    let _sentinel = q.schedule(SimTime::from_secs(5), u64::MAX);
+    let buckets_before = q.occupied_buckets();
+    assert!(buckets_before > 16, "spread across many buckets: {buckets_before}");
+    for id in ids {
+        assert!(q.cancel(id));
+    }
+    // The wheel shrank with the cancellations: only the sentinel's bucket
+    // remains occupied, so pop walks zero tombstones.
+    assert_eq!(q.len(), 1);
+    assert_eq!(q.occupied_buckets(), 1);
+    assert_eq!(q.pop(), Some((SimTime::from_secs(5), u64::MAX)));
+    assert_eq!(q.pop(), None);
+    assert_eq!(q.occupied_buckets(), 0);
+}

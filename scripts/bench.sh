@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Reproducible throughput bench: fixed seeds, best-of-N passes, JSON out.
+#
+# Writes BENCH_sim_throughput.json at the repo root with serial and
+# parallel events/sec for the paper experiment, compared against the
+# pinned pre-calendar-queue baseline (rev 7a8213d, same machine class,
+# same methodology: best-of-N wall clock over 64 replicates).
+#
+# The binary exits nonzero if the serial and parallel digest XORs
+# diverge — a perf regression harness must never paper over a
+# correctness break.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPLICATES="${REPLICATES:-64}"
+PASSES="${PASSES:-5}"
+THREADS="${THREADS:-$(nproc)}"
+OUT="${OUT:-BENCH_sim_throughput.json}"
+
+echo "== build (release) =="
+cargo build --release -p bench --bin throughput
+
+echo "== throughput (${REPLICATES} replicates, ${THREADS} threads, best of ${PASSES}) =="
+./target/release/throughput \
+  --replicates "${REPLICATES}" \
+  --threads "${THREADS}" \
+  --passes "${PASSES}" \
+  --base-seed 0 \
+  --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  --baseline-rev 7a8213d \
+  --baseline-serial-eps 293370 \
+  --baseline-serial-wall-ms 618.410 \
+  --baseline-parallel-eps 279149 \
+  --baseline-parallel-wall-ms 650.0 \
+  --out "${OUT}"
+
+echo "bench: wrote ${OUT}"

@@ -11,6 +11,9 @@ echo "== tests =="
 cargo test -q --workspace
 
 echo "== golden digests (regression; drift fails, bless via scripts/bless.sh) =="
+# CI note: in a perf-only PR a digest change here is a CORRECTNESS failure,
+# not a baseline to re-bless — the scheduler/profiling contract is that
+# optimizations never reorder events or touch digested state.
 cargo test -q --release --test golden_digests
 
 echo "== example smoke pass =="
@@ -18,5 +21,9 @@ cargo run -q --release --example quickstart > /dev/null
 
 echo "== lint gate (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== bench smoke (1 replicate; also asserts serial == parallel digests) =="
+./target/release/throughput --replicates 1 --threads 1 --passes 1 \
+  --out target/bench_smoke.json > /dev/null
 
 echo "verify: OK"
