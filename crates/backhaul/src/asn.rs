@@ -33,7 +33,13 @@ pub struct AsPopulation {
 impl AsPopulation {
     /// Synthesizes `gateways` gateways over `ases` ASes with Zipf exponent
     /// `s`, by sampling each gateway's AS independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ases` is zero or `s` is not positive and finite.
+    #[allow(clippy::expect_used)]
     pub fn synthesize(gateways: u64, ases: usize, s: f64, rng: &mut Rng) -> Self {
+        // simlint: allow(P001, documented panicking constructor; see # Panics)
         let zipf = Zipf::new(ases, s).expect("valid Zipf parameters");
         let mut counts = vec![0u64; ases];
         for _ in 0..gateways {

@@ -15,7 +15,8 @@
 //! * [`asn`] — the paper's AS-diversity measurement, synthesized and
 //!   analyzed (top-10 ASes ≈ 50 % of 12,400 gateways, ~200-AS tail).
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod asn;
 pub mod helium;

@@ -84,8 +84,15 @@ impl Provider {
     }
 
     /// Samples the year (from epoch) at which this provider exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_exit_years` is not positive and finite (every
+    /// built-in provider constructor sets a positive mean).
+    #[allow(clippy::expect_used)]
     pub fn sample_exit_years(&self, rng: &mut Rng) -> f64 {
         Exponential::with_mean(self.mean_exit_years)
+            // simlint: allow(P001, documented panic; provider constructors set positive means)
             .expect("mean_exit_years is positive")
             .sample(rng)
     }

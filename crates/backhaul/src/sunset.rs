@@ -37,7 +37,7 @@ impl Default for SunsetSchedule {
             .into_iter()
             .map(|g| (g, g.window_years().1))
             .collect();
-        sunsets.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("years are finite"));
+        sunsets.sort_by(|a, b| a.1.total_cmp(&b.1));
         SunsetSchedule { sunsets }
     }
 }

@@ -32,6 +32,8 @@ fn rng_throughput(c: &mut Criterion) {
     });
     g.bench_function("weibull_sample_x1000", |b| {
         let mut rng = Rng::seed_from(2);
+        #[allow(clippy::expect_used)]
+        // simlint: allow(P001, constant parameters; infallible by construction)
         let w = Weibull::new(3.0, 15.0).expect("valid");
         b.iter(|| {
             let mut acc = 0.0;
@@ -105,6 +107,8 @@ fn coverage_resolve(c: &mut Criterion) {
 
 fn kaplan_meier_fit(c: &mut Criterion) {
     let mut rng = Rng::seed_from(4);
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, constant parameters; infallible by construction)
     let w = Weibull::new(2.0, 10.0).expect("valid");
     let obs: Vec<Observation> = (0..10_000)
         .map(|i| {

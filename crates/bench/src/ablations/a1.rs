@@ -8,7 +8,7 @@
 //! sessions are lost; connectionless devices just re-home).
 
 use century::report::{f, n, Table};
-use fleet::commissioning::{Registry, Session};
+use fleet::commissioning::{ProtocolError, Registry, Session};
 use fleet::gateway::GatewayMode;
 
 /// Computed results.
@@ -27,39 +27,54 @@ pub struct A1 {
 }
 
 /// Runs the ablation for a 100-device gateway.
+/// Commissions one gateway with `devices` sessions and kills it without a
+/// handoff, returning the orphan count.
+fn orphans_after_disorderly_failure(
+    devices: u32,
+    session: Session,
+) -> Result<usize, ProtocolError> {
+    let mut reg = Registry::new();
+    reg.add_factory(0);
+    reg.commission(0)?;
+    for d in 0..devices {
+        reg.attach(0, d, session)?;
+    }
+    reg.fail_without_handoff(0)
+}
+
+/// Commissions one gateway with keyed sessions and retires it through the
+/// orderly migration protocol, returning the migrated-device count.
+fn survivors_after_orderly_migration(devices: u32) -> Result<usize, ProtocolError> {
+    let mut reg = Registry::new();
+    reg.add_factory(0);
+    reg.commission(0)?;
+    for d in 0..devices {
+        reg.attach(0, d, Session::Keyed { epoch: 0 })?;
+    }
+    reg.add_factory(1);
+    reg.begin_migration(0, 1)?;
+    reg.complete_migration(0)
+}
+
+/// Computes the ablation: upkeep pricing plus the three protocol runs.
+#[allow(clippy::expect_used)]
 pub fn compute() -> A1 {
     let devices = 100u32;
     let upkeep_uni_h = GatewayMode::UnidirectionalFirewalled.yearly_upkeep_hours() * 50.0;
     let upkeep_bi_h = GatewayMode::Bidirectional.yearly_upkeep_hours() * 50.0;
 
-    // Disorderly failure, connectionless posture.
-    let mut fwd = Registry::new();
-    fwd.add_factory(0);
-    fwd.commission(0).expect("commission");
-    for d in 0..devices {
-        fwd.attach(0, d, Session::Forwarding).expect("attach");
-    }
-    let orphans_forwarding = fwd.fail_without_handoff(0).expect("fail");
-
-    // Disorderly failure, keyed posture.
-    let mut keyed = Registry::new();
-    keyed.add_factory(0);
-    keyed.commission(0).expect("commission");
-    for d in 0..devices {
-        keyed.attach(0, d, Session::Keyed { epoch: 0 }).expect("attach");
-    }
-    let orphans_keyed = keyed.fail_without_handoff(0).expect("fail");
-
-    // Orderly migration preserves everything in either posture.
-    let mut orderly = Registry::new();
-    orderly.add_factory(0);
-    orderly.commission(0).expect("commission");
-    for d in 0..devices {
-        orderly.attach(0, d, Session::Keyed { epoch: 0 }).expect("attach");
-    }
-    orderly.add_factory(1);
-    orderly.begin_migration(0, 1).expect("begin");
-    let migrated = orderly.complete_migration(0).expect("complete");
+    // Each protocol run follows the documented commission → attach →
+    // retire state machine exactly, so the Results are infallible here.
+    let orphans_forwarding = orphans_after_disorderly_failure(devices, Session::Forwarding)
+        // simlint: allow(P001, scripted protocol run; every transition is legal)
+        .expect("scripted protocol run");
+    let orphans_keyed =
+        orphans_after_disorderly_failure(devices, Session::Keyed { epoch: 0 })
+            // simlint: allow(P001, scripted protocol run; every transition is legal)
+            .expect("scripted protocol run");
+    let migrated = survivors_after_orderly_migration(devices)
+        // simlint: allow(P001, scripted protocol run; every transition is legal)
+        .expect("scripted protocol run");
 
     A1 { upkeep_uni_h, upkeep_bi_h, orphans_forwarding, orphans_keyed, migrated }
 }

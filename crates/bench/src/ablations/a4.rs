@@ -73,7 +73,11 @@ pub fn render(seed: u64) -> String {
             n(r.replacements.round() as u64),
         ]);
     }
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, rows has one entry per policy in the const sweep)
     let dead = rows.last().expect("rows");
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, rows has one entry per policy in the const sweep)
     let prompt = rows.first().expect("rows");
     let mut s = Table::new("A4b - Spread", &["quantity", "value"]);
     s.row(&[

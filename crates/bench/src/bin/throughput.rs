@@ -22,6 +22,8 @@
 //!     --replicates 64 --threads 8 --out BENCH_sim_throughput.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use bench::parallel::run_reports;
@@ -65,7 +67,9 @@ fn measure_serial(base_seed: u64, replicates: usize) -> Pass {
 
 fn measure_parallel(base_seed: u64, replicates: usize, threads: usize) -> Pass {
     let t0 = Instant::now();
+    #[allow(clippy::expect_used)]
     let reports = run_reports(&FleetConfig::paper_experiment, base_seed, replicates, threads)
+        // simlint: allow(P001, replicates and threads are validated nonzero in main)
         .expect("replicates and threads are validated nonzero in main");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let events: u64 = reports.iter().map(|r| r.events_processed).sum();

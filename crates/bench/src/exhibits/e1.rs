@@ -44,8 +44,11 @@ pub fn compute(seed: u64, draws: usize) -> E1 {
     let mut bat = MissionReport::estimate(&bom::battery_node(&env), &mut rng, draws);
     let mut har = MissionReport::estimate(&bom::harvesting_node(&env), &mut rng, draws);
 
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, callers pass a nonzero draw count; one sample per draw)
+    let consumer_median_months = consumer_ages.median().expect("draws > 0");
     E1 {
-        consumer_median_months: consumer_ages.median().expect("draws > 0"),
+        consumer_median_months,
         battery_median_years: bat.median_life(),
         harvesting_median_years: har.median_life(),
         paper_gap: paper::lifetime_gap(),

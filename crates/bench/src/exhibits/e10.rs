@@ -10,7 +10,7 @@ use century::report::{f, pct, Table};
 use reliability::mission::MissionReport;
 use reliability::system::{bom, Block};
 use simcore::rng::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Computed results for one BOM.
 pub struct BomResult {
@@ -30,7 +30,7 @@ pub struct BomResult {
 
 fn analyze(name: &'static str, block: &Block, rng: &mut Rng, draws: usize) -> BomResult {
     let mut rep = MissionReport::estimate(block, rng, draws);
-    let mut counts: HashMap<&'static str, usize> = HashMap::new();
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
     for _ in 0..draws {
         let (_, who) = block.sample_ttf_attributed(rng);
         *counts.entry(who).or_insert(0) += 1;
@@ -39,7 +39,7 @@ fn analyze(name: &'static str, block: &Block, rng: &mut Rng, draws: usize) -> Bo
         .into_iter()
         .map(|(k, v)| (k, v as f64 / draws as f64))
         .collect();
-    attribution.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    attribution.sort_by(|a, b| b.1.total_cmp(&a.1));
     BomResult {
         name,
         median: rep.median_life(),

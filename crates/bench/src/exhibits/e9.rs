@@ -13,6 +13,7 @@ use century::report::{f, n, pct, Table};
 use simcore::trace::Severity;
 
 /// Runs the replicated experiment (in parallel when replicates warrant).
+#[allow(clippy::expect_used)]
 pub fn compute(base_seed: u64, replicates: usize) -> ExperimentOutcome {
     if replicates >= 4 {
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -22,6 +23,7 @@ pub fn compute(base_seed: u64, replicates: usize) -> ExperimentOutcome {
             replicates,
             threads,
         )
+        // simlint: allow(P001, replicates >= 4 and threads >= 1 are checked on this path)
         .expect("replicates >= 4 and threads >= 1")
     } else {
         paper_experiment(base_seed, replicates)

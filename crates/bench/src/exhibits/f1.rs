@@ -90,7 +90,7 @@ pub fn compute(seed: u64) -> F1 {
     let env = bom::Environment::default();
     let median = |block: &dyn Hazard, rng: &mut Rng| {
         let mut v: Vec<f64> = (0..2_000).map(|_| block.sample_ttf(rng)).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(f64::total_cmp);
         v[v.len() / 2]
     };
     let device_med = median(&bom::harvesting_node(&env), &mut rng);

@@ -5,7 +5,8 @@
 //! under `benches/` time both the exhibit computations and the substrate
 //! kernels they stand on.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ablations;
 pub mod exhibits;

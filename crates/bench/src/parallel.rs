@@ -139,7 +139,11 @@ pub fn run_replicated_parallel(
             summary.add(arm);
         }
     }
-    let exemplar = reports.into_iter().next().expect("replicates checked nonzero above");
+    // `replicates` is checked nonzero on entry, so a report always exists;
+    // re-surface the same error rather than panic if that ever changes.
+    let Some(exemplar) = reports.into_iter().next() else {
+        return Err(ParallelError::ZeroReplicates);
+    };
     Ok(ExperimentOutcome { arms, exemplar, replicates })
 }
 

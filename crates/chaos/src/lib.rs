@@ -22,7 +22,8 @@
 //!   counterpart of [`FleetSim::run`]. With an empty plan the output is
 //!   byte-identical to the fault-free run.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use fleet::sim::{ArmKind, Ev, FleetConfig, FleetReport, FleetSim};
 use simcore::engine::{Ctx, FaultHook};

@@ -60,11 +60,10 @@ pub fn run_replicated(
             exemplar = Some(report);
         }
     }
-    ExperimentOutcome {
-        arms,
-        exemplar: exemplar.expect("at least one replicate"),
-        replicates,
-    }
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, guarded by the replicates > 0 assert at entry)
+    let exemplar = exemplar.expect("at least one replicate");
+    ExperimentOutcome { arms, exemplar, replicates }
 }
 
 /// The paper's experiment, replicated.

@@ -38,7 +38,8 @@
 //! The substrates live in their own crates: `simcore` (engine),
 //! `energy`, `reliability`, `net`, `backhaul`, `fleet`, `econ`.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod compare;
 pub mod experiment;

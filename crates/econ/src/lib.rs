@@ -16,7 +16,8 @@
 //!   estimate.
 //! * [`tipping`] — when owning infrastructure beats renting it.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cost;
 pub mod credits;

@@ -16,7 +16,8 @@
 //! * [`intermittent`] — checkpointed intermittent-computing runtime costs.
 //! * [`scheduler`] — fixed vs energy-aware reporting policies, measured.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod budget;
 pub mod env;

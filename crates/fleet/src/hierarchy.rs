@@ -10,7 +10,7 @@
 //! [`Hierarchy`] holds the reliance edges between the four tiers and
 //! computes the fan-out and blast-radius statistics exhibit F1 reports.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The four tiers of Figure 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,11 +39,11 @@ pub type NodeId = u32;
 #[derive(Clone, Debug, Default)]
 pub struct Hierarchy {
     /// device -> gateways it can reach.
-    pub device_gateways: HashMap<NodeId, Vec<NodeId>>,
+    pub device_gateways: BTreeMap<NodeId, Vec<NodeId>>,
     /// gateway -> backhauls it is attached to.
-    pub gateway_backhauls: HashMap<NodeId, Vec<NodeId>>,
+    pub gateway_backhauls: BTreeMap<NodeId, Vec<NodeId>>,
     /// backhaul -> clouds it can deliver to.
-    pub backhaul_clouds: HashMap<NodeId, Vec<NodeId>>,
+    pub backhaul_clouds: BTreeMap<NodeId, Vec<NodeId>>,
 }
 
 /// Fan-out statistics for one reliance layer.
@@ -60,14 +60,14 @@ pub struct FanOut {
     pub orphans: usize,
 }
 
-fn layer_stats(edges: &HashMap<NodeId, Vec<NodeId>>) -> FanOut {
+fn layer_stats(edges: &BTreeMap<NodeId, Vec<NodeId>>) -> FanOut {
     if edges.is_empty() {
         return FanOut { mean_upstream: 0.0, single_homed: 0.0, max_downstream: 0, orphans: 0 };
     }
     let mut up_total = 0usize;
     let mut single = 0usize;
     let mut orphans = 0usize;
-    let mut downstream: HashMap<NodeId, usize> = HashMap::new();
+    let mut downstream: BTreeMap<NodeId, usize> = BTreeMap::new();
     for ups in edges.values() {
         up_total += ups.len();
         match ups.len() {

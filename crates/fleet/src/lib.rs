@@ -21,7 +21,8 @@
 //! * [`workforce`] — crew-capacity backlog dynamics: what replacement waves
 //!   cost in dark device-years when the crew is finite.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cloud;
 pub mod commissioning;

@@ -59,10 +59,12 @@ impl ServiceTimes {
     /// The paper's nominal figures: 20 minutes total per device for a
     /// reactive roll. We split that into 12 min travel + 8 min on-site
     /// (mean), with a 2-minute intra-batch hop.
+    #[allow(clippy::expect_used)]
     pub fn paper_nominal() -> Self {
         ServiceTimes {
             travel: SimDuration::from_mins(12),
             intra_batch_hop: SimDuration::from_mins(2),
+            // simlint: allow(P001, constant parameters; infallible by construction)
             on_site: LogNormal::from_mean_cv(8.0, 0.4).expect("valid parameters"),
         }
     }

@@ -69,8 +69,11 @@ impl ObsolescenceRates {
             (self.style, Obsolescence::Style),
             (self.planned, Obsolescence::Planned),
         ] {
-            if rate > 0.0 {
-                let t = Exponential::new(rate).expect("rate > 0").sample(rng);
+            // A non-positive (or non-finite) rate means "this channel is
+            // off"; Exponential::new enforces the same bound, so the two
+            // checks collapse into one panic-free gate.
+            if let Ok(dist) = Exponential::new(rate) {
+                let t = dist.sample(rng);
                 if best.is_none_or(|(bt, _)| t < bt) {
                     best = Some((t, cause));
                 }

@@ -152,7 +152,7 @@ pub fn fleet_age_at_horizon<H: Hazard + ?Sized>(
         }
         ages.push((years - installed).max(0.0));
     }
-    ages.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ages.sort_by(f64::total_cmp);
     let mean = ages.iter().sum::<f64>() / ages.len() as f64;
     let idx = ((ages.len() as f64 * 0.9) as usize).min(ages.len() - 1);
     let p90 = ages[idx];

@@ -420,7 +420,11 @@ impl FleetSim {
         // Chaos counters are pre-registered (at zero) in *every* run, so a
         // zero-fault chaos run snapshots — and therefore digests —
         // identically to a plain run.
+        #[allow(clippy::expect_used)]
+        // simlint: allow(P001, fresh registry; fixed names cannot collide)
         let chaos_applied = metrics.counter("chaos.applied").expect("fresh registry");
+        #[allow(clippy::expect_used)]
+        // simlint: allow(P001, fresh registry; fixed names cannot collide)
         let chaos_skipped = metrics.counter("chaos.skipped").expect("fresh registry");
 
         for (ai, arm_cfg) in cfg.arms.iter().enumerate() {
@@ -512,15 +516,21 @@ impl FleetSim {
             );
             // Per-arm metric handles; the index prefix makes names unique
             // even if two arms share a display name.
+            #[allow(clippy::expect_used)]
             let delivered = metrics
                 .counter(&format!("fleet.arm{ai}.{}.readings_delivered", arm_cfg.name))
+                // simlint: allow(P001, the arm-index prefix makes the name unique)
                 .expect("index-prefixed names are unique");
+            #[allow(clippy::expect_used)]
+            // simlint: allow(P001, constant bucket layout; infallible by construction)
             let weekly_buckets = Buckets::linear(0.0, 24.0, 7).expect("static bucket layout");
+            #[allow(clippy::expect_used)]
             let weekly_hist = metrics
                 .histogram(
                     &format!("fleet.arm{ai}.{}.weekly_deliveries", arm_cfg.name),
                     weekly_buckets.clone(),
                 )
+                // simlint: allow(P001, the arm-index prefix makes the name unique)
                 .expect("index-prefixed names are unique");
             let weekly_acc = LocalHistogram::new(weekly_buckets);
             arms.push(ArmState {

@@ -62,7 +62,7 @@ pub fn resolve(
                 usable.push((link.margin().0, gi));
             }
         }
-        usable.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("margins are finite"));
+        usable.sort_by(|a, b| b.0.total_cmp(&a.0));
         for &(_, gi) in &usable {
             gateway_load[gi] += 1;
         }

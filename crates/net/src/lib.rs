@@ -23,7 +23,8 @@
 //! * [`coverage`] — who-hears-whom resolution and Figure-1 reliance
 //!   statistics.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aloha;
 pub mod coverage;

@@ -89,7 +89,7 @@ pub fn resolve_mesh(
     for di in 0..n {
         if let Some(&(gi, _)) = gw_links[di]
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
         {
             hops[di] = Some(1);
             parent[di] = Some(Parent::Gateway(gi));

@@ -66,7 +66,13 @@ pub fn poisson_scatter(per_km2: f64, w: f64, h: f64, rng: &mut Rng) -> Vec<Point
     if mean <= 0.0 {
         return Vec::new();
     }
-    let n = Poisson::new(mean).expect("mean > 0").sample(rng) as usize;
+    // `mean` is positive and finite here (asserted intensity, finite
+    // area), so the constructor cannot fail; degrade to an empty scatter
+    // rather than panic if that ever changes.
+    let n = match Poisson::new(mean) {
+        Ok(p) => p.sample(rng) as usize,
+        Err(_) => return Vec::new(),
+    };
     uniform_scatter(n, w, h, rng)
 }
 

@@ -88,8 +88,10 @@ impl ExponentialHazard {
     /// # Panics
     ///
     /// Panics if `mttf_years` is not positive and finite.
+    #[allow(clippy::expect_used)]
     pub fn with_mttf(mttf_years: f64) -> Self {
         ExponentialHazard {
+            // simlint: allow(P001, documented panicking constructor; see # Panics)
             dist: dist::Exponential::with_mean(mttf_years).expect("MTTF must be positive"),
         }
     }
@@ -131,8 +133,10 @@ impl WeibullHazard {
     /// # Panics
     ///
     /// Panics unless both parameters are positive and finite.
+    #[allow(clippy::expect_used)]
     pub fn new(shape: f64, scale_years: f64) -> Self {
         WeibullHazard {
+            // simlint: allow(P001, documented panicking constructor; see # Panics)
             dist: dist::Weibull::new(shape, scale_years).expect("Weibull parameters invalid"),
         }
     }
@@ -254,9 +258,11 @@ impl LogNormalHazard {
     /// # Panics
     ///
     /// Panics on invalid parameters.
+    #[allow(clippy::expect_used)]
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(sigma > 0.0, "sigma must be positive");
         LogNormalHazard {
+            // simlint: allow(P001, documented panicking constructor; sigma validated above)
             dist: dist::LogNormal::new(mu, sigma).expect("validated above"),
             mu,
             sigma,

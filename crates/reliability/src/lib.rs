@@ -21,7 +21,8 @@
 //!   for analyzing simulated (or real) deployment diaries.
 //! * [`burnin`] — burn-in screening and its warranty arithmetic.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arrhenius;
 pub mod burnin;

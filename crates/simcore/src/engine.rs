@@ -449,6 +449,7 @@ impl<W: World> Engine<W> {
         hook: &mut dyn FaultHook<W>,
         watchdog: Option<&Watchdog>,
     ) -> Result<RunOutcome, SimError> {
+        // simlint: allow(D002, EngineProfile run wall-clock; excluded from digests per DESIGN.md §6)
         let run_started = std::time::Instant::now();
         let result = self.run_supervised_inner(horizon, hook, watchdog);
         self.profile.run_nanos += run_started.elapsed().as_nanos() as u64;
@@ -536,7 +537,12 @@ impl<W: World> Engine<W> {
             if pending > self.profile.queue_high_water {
                 self.profile.queue_high_water = pending;
             }
-            let (at, event) = self.queue.pop().expect("peeked event exists");
+            // The peek above guarantees a pending event; stay panic-free
+            // anyway (an empty pop here would mean queue corruption, which
+            // the golden digests would surface immediately).
+            let Some((at, event)) = self.queue.pop() else {
+                return Ok(RunOutcome::QueueEmpty);
+            };
             self.now = at;
             // Sample handler wall-clock on the first dispatch and every
             // PROFILE_SAMPLE_EVERY-th after; `handler_nanos()` scales the
@@ -551,6 +557,7 @@ impl<W: World> Engine<W> {
                 stop: &mut self.stop,
             };
             if sampled {
+                // simlint: allow(D002, EngineProfile sampled handler timing; excluded from digests per DESIGN.md §6)
                 let handler_started = std::time::Instant::now();
                 self.world.handle(&mut ctx, event);
                 self.profile.handler_sampled_nanos +=

@@ -288,7 +288,14 @@ impl<E> EventQueue<E> {
         self.live -= 1;
         let slot = &mut self.slab[index as usize];
         let at = slot.at;
-        let payload = slot.payload.take().expect("ready slot holds a payload");
+        // The ready list only ever holds occupied slots (differential-
+        // tested against the heap model in tests/queue_model.rs); stay
+        // panic-free in release if that invariant is ever broken.
+        let Some(payload) = slot.payload.take() else {
+            debug_assert!(false, "ready slot holds a payload");
+            self.free_slot(index);
+            return None;
+        };
         self.free_slot(index);
         Some((at, payload))
     }

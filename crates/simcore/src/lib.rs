@@ -60,7 +60,8 @@
 //! assert!(engine.world().failures > 5);
 //! ```
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dist;
 pub mod engine;

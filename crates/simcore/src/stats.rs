@@ -235,7 +235,7 @@ impl Samples {
         }
         let q = q.clamp(0.0, 1.0);
         if !self.sorted {
-            self.xs.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.xs.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let pos = q * (self.xs.len() - 1) as f64;
@@ -305,11 +305,11 @@ impl TimeWeighted {
     /// The time-weighted mean over `[t0, t]`, closing the open segment at
     /// `t`. If the span is zero, returns the current value.
     pub fn mean_until(&self, t: SimTime) -> f64 {
-        let span = t.since(self.t0).as_secs() as f64;
-        if span == 0.0 {
+        let span_secs = t.since(self.t0).as_secs();
+        if span_secs == 0 {
             self.last_v
         } else {
-            self.integral_until(t) / span
+            self.integral_until(t) / span_secs as f64
         }
     }
 

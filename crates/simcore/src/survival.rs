@@ -82,8 +82,7 @@ impl KaplanMeier {
             .collect();
         obs.sort_by(|a, b| {
             a.time
-                .partial_cmp(&b.time)
-                .expect("times are finite")
+                .total_cmp(&b.time)
                 // Failures before censorings at equal time.
                 .then_with(|| b.event.cmp(&a.event))
         });

@@ -1,0 +1,532 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! `simlint` deliberately does not use `syn` or any other parser crate:
+//! the workspace must build offline, and the rules we enforce (see
+//! [`crate::rules`]) only need token-level context — "is this identifier a
+//! method call?", "is this literal a float?", "is this line inside a
+//! `#[cfg(test)]` item?". A hand-rolled lexer that is *correct about what
+//! is not code* (string literals, char literals, comments) is enough, and
+//! it is small enough to audit in one sitting — which matters for a tool
+//! whose whole job is to be trusted for decades (DESIGN.md §8).
+//!
+//! The lexer produces:
+//!
+//! * a flat token stream ([`Token`]) with line numbers, and
+//! * the line comments ([`LineComment`]), which carry `simlint:` pragmas.
+//!
+//! It understands the parts of the language that would otherwise cause
+//! false positives: escaped strings, raw strings (`r#"…"#`), byte strings,
+//! char literals vs. lifetimes (`'a'` vs. `'a`), nested block comments,
+//! numeric literals with exponents/suffixes, and range punctuation
+//! (`0..10` is two ints, not a float).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#raw`).
+    Ident,
+    /// An integer literal (`42`, `0xff_u32`).
+    Int,
+    /// A float literal (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// A string, byte-string, or raw-string literal. Contents are opaque.
+    Str,
+    /// A char or byte-char literal. Contents are opaque.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, one or two characters (`.`, `::`, `==`, `{`).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The token text. Literal contents are *not* stored (rules never look
+    /// inside literals); `Str`/`Char` tokens carry an empty string.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A `//` comment, kept separately from the token stream so pragma
+/// handling (and only pragma handling) can see it.
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment text including the leading slashes.
+    pub text: String,
+    /// True if no token precedes the comment on its line (the comment is
+    /// the whole line). Standalone pragmas apply to the *next* code line;
+    /// trailing pragmas apply to their own line.
+    pub standalone: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Two-character punctuation we must lex greedily so single-char rules
+/// (`==` vs `=`, `..` vs `.`) see the right token.
+const TWO_CHAR_PUNCT: [&str; 18] = [
+    "==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||", "<<", ">>", "+=", "-=", "*=",
+    "/=", "%=", "^=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, returning the token stream and the line comments.
+///
+/// The lexer never fails: malformed input (an unterminated string, a stray
+/// byte) degrades to "consume one character and move on", which is the
+/// right bias for a linter — we would rather under-report on a file that
+/// does not even parse than crash the gate.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut last_token_line: u32 = 0;
+    let n = chars.len();
+
+    // Advances over `chars[i..]` while counting newlines.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.comments.push(LineComment {
+                line: start_line,
+                text,
+                standalone: last_token_line != start_line,
+            });
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            i += 2;
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+
+        // Raw identifiers and raw strings: r#ident, r"…", r#"…"#, plus the
+        // byte forms b"…", b'…', br"…", br#"…"#.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut saw_r = c == 'r';
+            if c == 'b' && j < n && chars[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            if saw_r {
+                // Count hashes after the (b)r prefix.
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let tok_line = line;
+                    // Count newlines we skip inside the literal.
+                    while i < j {
+                        bump!();
+                    }
+                    bump!(); // opening quote
+                    'raw: while i < n {
+                        if chars[i] == '"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while k < n && seen < hashes && chars[k] == '#' {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    last_token_line = tok_line;
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && j < n && is_ident_start(chars[j]) {
+                    // Raw identifier r#ident: lex as the identifier itself.
+                    let tok_line = line;
+                    i = j;
+                    let mut text = String::new();
+                    while i < n && is_ident_continue(chars[i]) {
+                        text.push(chars[i]);
+                        i += 1;
+                    }
+                    out.tokens.push(Token { kind: TokKind::Ident, text, line: tok_line });
+                    last_token_line = tok_line;
+                    continue;
+                }
+                // Not a raw form after all: fall through to plain ident.
+            }
+            if c == 'b' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+                // Byte string / byte char: skip the `b` and lex the literal.
+                i += 1;
+                // Fall through to the string/char lexers below via `c` reload.
+                let c2 = chars[i];
+                if c2 == '"' {
+                    let tok_line = line;
+                    lex_string(&chars, &mut i, &mut line, n);
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    last_token_line = tok_line;
+                } else {
+                    let tok_line = line;
+                    lex_char(&chars, &mut i, &mut line, n);
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    last_token_line = tok_line;
+                }
+                continue;
+            }
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let tok_line = line;
+            let mut text = String::new();
+            while i < n && is_ident_continue(chars[i]) {
+                text.push(chars[i]);
+                i += 1;
+            }
+            out.tokens.push(Token { kind: TokKind::Ident, text, line: tok_line });
+            last_token_line = tok_line;
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            lex_string(&chars, &mut i, &mut line, n);
+            out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line: tok_line });
+            last_token_line = tok_line;
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            // `'a` (lifetime) vs `'a'` (char): a quote followed by an ident
+            // that is NOT closed by another quote is a lifetime.
+            if i + 1 < n && is_ident_start(chars[i + 1]) && chars[i + 1] != '\\' {
+                let mut j = i + 1;
+                let mut text = String::from("'");
+                while j < n && is_ident_continue(chars[j]) {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' {
+                    // Single-ident-char literal like 'a' — treat as char.
+                    lex_char(&chars, &mut i, &mut line, n);
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                } else {
+                    i = j;
+                    out.tokens.push(Token { kind: TokKind::Lifetime, text, line: tok_line });
+                }
+                last_token_line = tok_line;
+                continue;
+            }
+            lex_char(&chars, &mut i, &mut line, n);
+            out.tokens.push(Token { kind: TokKind::Char, text: String::new(), line: tok_line });
+            last_token_line = tok_line;
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            let mut is_float = false;
+            if c == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'X' | 'b' | 'B' | 'o' | 'O')
+            {
+                // Radix literal: 0x1f, 0b1010, 0o755 (never a float).
+                i += 2;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part — but not `..` (range) and not `.method()`.
+                if i < n && chars[i] == '.' {
+                    let next = chars.get(i + 1).copied();
+                    let next_is_range = next == Some('.');
+                    let next_is_method = next.map(is_ident_start).unwrap_or(false);
+                    if !next_is_range && !next_is_method {
+                        is_float = true;
+                        i += 1;
+                        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if i < n && matches!(chars[i], 'e' | 'E') {
+                    let mut j = i + 1;
+                    if j < n && matches!(chars[j], '+' | '-') {
+                        j += 1;
+                    }
+                    if j < n && chars[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix: f32/f64 force float; u8/i64/usize stay int.
+                if i < n && chars[i] == 'f' {
+                    is_float = true;
+                }
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text: String::new(),
+                line: tok_line,
+            });
+            last_token_line = tok_line;
+            continue;
+        }
+
+        // Punctuation: greedy two-char, else one char.
+        let tok_line = line;
+        if i + 1 < n {
+            let pair: String = [chars[i], chars[i + 1]].iter().collect();
+            if TWO_CHAR_PUNCT.contains(&pair.as_str()) {
+                i += 2;
+                out.tokens.push(Token { kind: TokKind::Punct, text: pair, line: tok_line });
+                last_token_line = tok_line;
+                continue;
+            }
+        }
+        out.tokens.push(Token { kind: TokKind::Punct, text: c.to_string(), line: tok_line });
+        last_token_line = tok_line;
+        bump!();
+    }
+
+    out
+}
+
+/// Consumes a `"…"` literal starting at the opening quote, handling
+/// escapes; leaves `*i` one past the closing quote.
+fn lex_string(chars: &[char], i: &mut usize, line: &mut u32, n: usize) {
+    *i += 1; // opening quote
+    while *i < n {
+        match chars[*i] {
+            '\\' => {
+                // Skip the escape introducer and the escaped char.
+                *i += 1;
+                if *i < n {
+                    if chars[*i] == '\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+            }
+            '"' => {
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Consumes a `'…'` literal starting at the opening quote, handling
+/// escapes (`'\n'`, `'\u{1F600}'`); leaves `*i` one past the closing quote.
+fn lex_char(chars: &[char], i: &mut usize, line: &mut u32, n: usize) {
+    *i += 1; // opening quote
+    while *i < n {
+        match chars[*i] {
+            '\\' => {
+                *i += 1;
+                if *i < n {
+                    *i += 1;
+                }
+            }
+            '\'' => {
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                // Unterminated char on this line; bail rather than eat the file.
+                *line += 1;
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_trigger_tokens() {
+        let src = r##"
+            // HashMap::new() in a comment
+            /* Instant::now() in /* a nested */ block comment */
+            let s = "HashMap::new() .unwrap()";
+            let r = r#"SystemTime "quoted" panic!()"#;
+            let ok = 1;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "HashMap" || t == "Instant" || t == "unwrap"));
+        assert!(ids.contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn floats_ints_and_ranges() {
+        let lexed = lex("let a = 1.0; let b = 0..10; let c = 1e-3; let d = 2f64; let e = 7.max(3); let f = 0xff;");
+        let floats = lexed.tokens.iter().filter(|t| t.kind == TokKind::Float).count();
+        let ints = lexed.tokens.iter().filter(|t| t.kind == TokKind::Int).count();
+        assert_eq!(floats, 3, "1.0, 1e-3, 2f64");
+        // 0, 10, 7, 3, 0xff
+        assert_eq!(ints, 5);
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn two_char_punct_is_greedy() {
+        let lexed = lex("a == b != c <= d => e :: f");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", "=>", "::"]);
+    }
+
+    #[test]
+    fn line_comments_report_standalone_correctly() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].standalone);
+        assert!(lexed.comments[1].standalone);
+    }
+
+    #[test]
+    fn multiline_and_raw_strings_track_lines() {
+        let src = "let a = \"one\ntwo\";\nlet b = r#\"three\nfour\"#;\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed.tokens.iter().find(|t| t.is_ident("after"));
+        assert_eq!(after.map(|t| t.line), Some(5));
+    }
+
+    #[test]
+    fn byte_strings_are_opaque() {
+        let ids = idents("let a = b\"unwrap()\"; let c = br#\"panic!\"#; let d = b'x';");
+        assert!(!ids.iter().any(|t| t == "unwrap" || t == "panic"));
+    }
+}

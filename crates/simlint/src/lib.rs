@@ -1,0 +1,229 @@
+//! `simlint` — a dependency-free determinism & panic-safety linter.
+//!
+//! The century workspace's correctness contract is *the digest*: a run is
+//! correct iff its FNV-1a digest matches the golden trace, and serial ==
+//! parallel (DESIGN.md §6). Golden tests enforce that contract after the
+//! fact; `simlint` enforces it at the source level, before any simulation
+//! runs, by rejecting the classic sources of silent nondeterminism and
+//! the panics the core has been free of since PR 1. See [`rules`] for the
+//! rule catalogue (D001–D003, P001, F001) and DESIGN.md §8 for the
+//! policy discussion.
+//!
+//! The crate is self-contained on purpose: no `syn`, no `walkdir`, no
+//! `serde` — it builds offline like the rest of the workspace and its
+//! lexer ([`lexer`]) is small enough to audit. Run it with:
+//!
+//! ```text
+//! cargo run -p simlint -- --workspace          # human output, exit 1 on findings
+//! cargo run -p simlint -- --workspace --json   # machine-readable CI output
+//! cargo run -p simlint -- path/to/file.rs …    # lint specific files
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{check_file, FileReport, Finding};
+use std::path::{Path, PathBuf};
+
+/// Aggregate result of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Would-be findings waived by valid pragmas (the auditable ledger).
+    pub allowed: usize,
+}
+
+impl RunReport {
+    fn absorb(&mut self, file: FileReport) {
+        self.findings.extend(file.findings);
+        self.allowed += file.allowed;
+        self.files_scanned += 1;
+    }
+
+    /// Renders findings for humans, one per line, plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "simlint: {} finding(s), {} pragma-allowed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.allowed,
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Renders the report as a single JSON object (hand-rolled — no serde;
+    /// the schema is `{files_scanned, allowed, findings: [{file, line,
+    /// rule, message}]}`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"files_scanned\":{},\"allowed\":{},\"findings\":[",
+            self.files_scanned, self.allowed
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Path prefixes (workspace-relative, `/`-separated) excluded from the
+/// workspace walk:
+///
+/// * `vendor/` — third-party shims (criterion legitimately reads the wall
+///   clock); they are not our code and not digest-feeding.
+/// * `target/` — build output.
+/// * `crates/simlint/tests/fixtures/` — the fixture corpus *deliberately*
+///   contains one of every violation.
+const EXCLUDED_PREFIXES: [&str; 3] = ["vendor/", "target/", "crates/simlint/tests/fixtures/"];
+
+/// Classifies a workspace-relative path into (crate name, is_test_file).
+///
+/// `crates/<name>/…` belongs to `<name>`; everything else (`src/`,
+/// `tests/`, `examples/` at the root) belongs to the root `workspace`
+/// package. Files under any `tests/` directory compile with `cfg(test)`
+/// and are test code wholesale.
+fn classify(rel: &str) -> (String, bool) {
+    let mut parts = rel.split('/');
+    let crate_name = if rel.starts_with("crates/") {
+        parts.nth(1).unwrap_or("workspace").to_string()
+    } else {
+        "workspace".to_string()
+    };
+    let is_test = rel.split('/').any(|p| p == "tests");
+    (crate_name, is_test)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// output, skipping hidden directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every workspace `.rs` file under `root` (excluding
+/// [`EXCLUDED_PREFIXES`]). Returns an error only on I/O failure; findings
+/// are data, not errors.
+pub fn lint_workspace(root: &Path) -> std::io::Result<RunReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut report = RunReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if EXCLUDED_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        report.absorb(lint_path_as(&path, &rel)?);
+    }
+    report.findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    Ok(report)
+}
+
+/// Lints a single file, reporting it under the name `rel`.
+pub fn lint_path_as(path: &Path, rel: &str) -> std::io::Result<FileReport> {
+    let src = std::fs::read_to_string(path)?;
+    let (crate_name, is_test) = classify(rel);
+    Ok(check_file(rel, &crate_name, &src, is_test))
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_crates_and_root() {
+        assert_eq!(classify("crates/simcore/src/rng.rs"), ("simcore".to_string(), false));
+        assert_eq!(classify("crates/fleet/tests/x.rs"), ("fleet".to_string(), true));
+        assert_eq!(classify("src/lib.rs"), ("workspace".to_string(), false));
+        assert_eq!(classify("tests/golden_digests.rs"), ("workspace".to_string(), true));
+        assert_eq!(classify("examples/quickstart.rs"), ("workspace".to_string(), false));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_output_is_well_formed_without_findings() {
+        let r = RunReport { findings: vec![], files_scanned: 3, allowed: 1 };
+        assert_eq!(r.render_json(), "{\"files_scanned\":3,\"allowed\":1,\"findings\":[]}");
+    }
+}

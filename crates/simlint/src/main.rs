@@ -1,0 +1,102 @@
+//! `simlint` CLI — the verify-gate entry point.
+//!
+//! ```text
+//! simlint --workspace [--json] [--root DIR]   # lint the whole workspace
+//! simlint FILE.rs …  [--json]                 # lint specific files
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. The
+//! binary is panic-free (it must pass its own P001 rule).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { workspace: false, json: false, root: None, paths: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                return Err("usage: simlint (--workspace [--root DIR] | FILE.rs ...) [--json]"
+                    .to_string())
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` (try --help)"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err("nothing to lint: pass --workspace or one or more .rs files".to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<simlint::RunReport, String> {
+    if args.workspace {
+        let root = match &args.root {
+            Some(r) => r.clone(),
+            None => {
+                let cwd = std::env::current_dir()
+                    .map_err(|e| format!("cannot read current dir: {e}"))?;
+                simlint::find_workspace_root(&cwd)
+                    .ok_or("no [workspace] Cargo.toml above the current directory")?
+            }
+        };
+        return simlint::lint_workspace(&root).map_err(|e| format!("scan failed: {e}"));
+    }
+    let mut report = simlint::RunReport::default();
+    for path in &args.paths {
+        let rel = path.to_string_lossy().replace('\\', "/");
+        let file = simlint::lint_path_as(path, &rel)
+            .map_err(|e| format!("cannot lint {}: {e}", path.display()))?;
+        report.findings.extend(file.findings);
+        report.allowed += file.allowed;
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            if args.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

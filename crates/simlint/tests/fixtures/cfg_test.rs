@@ -1,0 +1,24 @@
+//! Test code is exempt from every rule.
+pub fn prod(o: Option<u32>) -> u32 {
+    o.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn unwrap_everywhere() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        let _ = Instant::now();
+        assert_eq!(*m.get(&1).unwrap(), 2);
+        assert!(1.0 == 1.0);
+    }
+}
+
+#[test]
+fn free_test_fn(o: Option<u32>) {
+    o.unwrap();
+}

@@ -1,0 +1,12 @@
+//! D001 positive: HashMap/HashSet in a digest-feeding crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

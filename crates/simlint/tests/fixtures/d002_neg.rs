@@ -1,0 +1,4 @@
+//! D002 negative: simulation time, not wall time.
+pub fn advance(now: u64, dt: u64) -> u64 {
+    now + dt
+}

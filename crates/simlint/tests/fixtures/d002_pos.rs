@@ -1,0 +1,8 @@
+//! D002 positive: wall-clock reads outside the profiling allowlist.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,4 @@
+//! D003 negative: all entropy flows from the seeded simcore Rng.
+pub fn roll(rng: &mut simcore::Rng) -> f64 {
+    rng.next_f64()
+}

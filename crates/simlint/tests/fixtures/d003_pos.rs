@@ -1,0 +1,9 @@
+//! D003 positive: ambient randomness.
+pub fn roll() -> f64 {
+    let mut r = rand::thread_rng();
+    r.gen()
+}
+
+pub fn seed_state() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

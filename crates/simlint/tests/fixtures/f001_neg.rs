@@ -1,0 +1,5 @@
+//! F001 negative: total_cmp and integer/tolerance comparisons.
+pub fn good(xs: &mut [f64], y: f64, n: u32) -> bool {
+    xs.sort_by(f64::total_cmp);
+    (y - 0.5).abs() < 1e-9 && n == 10
+}

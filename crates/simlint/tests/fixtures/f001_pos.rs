@@ -1,0 +1,5 @@
+//! F001 positive: float-literal equality and partial_cmp chains.
+pub fn bad(xs: &mut [f64], y: f64) -> bool {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    y == 0.5 || y != 1.0
+}

@@ -1,0 +1,6 @@
+//! P001 negative: handled fallbacks never panic.
+pub fn good(o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap_or(0);
+    let b = r.unwrap_or_default();
+    o.map_or(a + b, |x| x + b)
+}

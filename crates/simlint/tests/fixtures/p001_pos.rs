@@ -1,0 +1,9 @@
+//! P001 positive: the four banned panic forms.
+pub fn bad(o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap();
+    let b = r.expect("fine");
+    if a + b > 100 {
+        panic!("too big");
+    }
+    todo!()
+}

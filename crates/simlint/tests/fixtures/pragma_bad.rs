@@ -1,0 +1,8 @@
+//! Malformed pragmas must themselves be findings (SL000).
+pub fn f(o: Option<u32>) -> u32 {
+    // simlint: allow(P001)
+    let a = o.unwrap();
+    // simlint: allow(NOPE, unknown rule id)
+    let b = o.unwrap_or(1);
+    a + b
+}

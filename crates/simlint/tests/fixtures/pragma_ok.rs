@@ -1,0 +1,13 @@
+//! Pragma handling: every violation below carries a reasoned allow.
+use std::time::Instant; // simlint: allow(D002, fixture demonstrates a trailing pragma)
+
+pub fn timed() -> u128 {
+    // simlint: allow(D002, fixture demonstrates a standalone pragma)
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn risky(o: Option<u32>) -> u32 {
+    // simlint: allow(P001, fixture demonstrates waiving a panic site)
+    o.unwrap()
+}

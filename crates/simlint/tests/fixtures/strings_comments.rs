@@ -1,0 +1,15 @@
+//! False-positive regression: trigger tokens inside strings, raw strings,
+//! chars, and comments must never fire.
+//!
+//! Mentions in docs: HashMap, Instant::now(), thread_rng, .unwrap(),
+//! partial_cmp, panic!().
+
+// HashMap::new() and SystemTime::now() in a line comment.
+/* .unwrap() and todo!() in a /* nested */ block comment. */
+
+pub fn quoted() -> (String, String, char) {
+    let s = "HashMap Instant::now() .unwrap() panic! thread_rng 1.0 == 2.0".to_string();
+    let r = r#"SystemTime "RandomState" .expect( partial_cmp"#.to_string();
+    let c = 'x';
+    (s, r, c)
+}

@@ -1,0 +1,263 @@
+//! Fixture-driven integration tests for the simlint rule set.
+//!
+//! Each rule has one positive fixture (must fire) and one negative
+//! fixture (must stay silent) under `tests/fixtures/`. Fixtures are
+//! linted via [`simlint::rules::check_file`] with an explicit crate name
+//! and `is_test_file = false`, because on disk they live under a
+//! `tests/` directory (which the workspace walk deliberately skips and
+//! the classifier would otherwise exempt).
+//!
+//! The tail of the suite drives the real binary via
+//! `CARGO_BIN_EXE_simlint`: a seeded violation must produce exit code 1
+//! and a `file:line: [RULE]` finding (the PR's acceptance criterion),
+//! and `--workspace` on the actual tree must exit 0.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
+
+use simlint::rules::{check_file, FileReport};
+use std::path::Path;
+use std::process::Command;
+
+/// Reads a fixture from `tests/fixtures/`.
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Lints a fixture as non-test code belonging to `crate_name`.
+fn lint_as(name: &str, crate_name: &str) -> FileReport {
+    check_file(name, crate_name, &fixture(name), false)
+}
+
+fn rules_fired(report: &FileReport) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+// ---- D001: no HashMap/HashSet in digest-feeding crates -----------------
+
+#[test]
+fn d001_fires_on_hash_containers_in_digest_crates() {
+    let r = lint_as("d001_pos.rs", "simcore");
+    assert!(
+        r.findings.iter().filter(|f| f.rule == "D001").count() >= 2,
+        "expected HashMap and HashSet findings, got {:?}",
+        r.findings
+    );
+    assert!(r.findings.iter().all(|f| f.rule == "D001"));
+}
+
+#[test]
+fn d001_scopes_to_digest_feeding_crates() {
+    // simlint itself never touches simulation state and is out of scope.
+    let r = lint_as("d001_pos.rs", "simlint");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+#[test]
+fn d001_silent_on_ordered_containers() {
+    let r = lint_as("d001_neg.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+// ---- D002: no wall-clock reads outside the profiling allowlist ---------
+
+#[test]
+fn d002_fires_on_wall_clock_in_sim_crates() {
+    let r = lint_as("d002_pos.rs", "simcore");
+    let fired = rules_fired(&r);
+    assert!(fired.iter().filter(|&&x| x == "D002").count() >= 2, "got {:?}", r.findings);
+}
+
+#[test]
+fn d002_allows_the_bench_crate() {
+    let r = lint_as("d002_pos.rs", "bench");
+    assert!(r.findings.iter().all(|f| f.rule != "D002"), "got {:?}", r.findings);
+}
+
+#[test]
+fn d002_silent_on_sim_time() {
+    let r = lint_as("d002_neg.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+// ---- D003: no OS entropy / ambient RNG ---------------------------------
+
+#[test]
+fn d003_fires_on_ambient_randomness() {
+    let r = lint_as("d003_pos.rs", "simcore");
+    let d003 = r.findings.iter().filter(|f| f.rule == "D003").count();
+    // thread_rng, the rand:: path, and RandomState all fire.
+    assert!(d003 >= 3, "got {:?}", r.findings);
+}
+
+#[test]
+fn d003_silent_on_seeded_simcore_rng() {
+    let r = lint_as("d003_neg.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+// ---- P001: no unwrap/expect/panic!/todo! in non-test code --------------
+
+#[test]
+fn p001_fires_on_each_panic_form() {
+    let r = lint_as("p001_pos.rs", "simcore");
+    let p001 = r.findings.iter().filter(|f| f.rule == "P001").count();
+    // unwrap, expect, panic!, todo!
+    assert_eq!(p001, 4, "got {:?}", r.findings);
+}
+
+#[test]
+fn p001_silent_on_handled_fallbacks() {
+    let r = lint_as("p001_neg.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+// ---- F001: no float == / partial_cmp chains ----------------------------
+
+#[test]
+fn f001_fires_on_partial_cmp_and_float_equality() {
+    let r = lint_as("f001_pos.rs", "simcore");
+    let f001 = r.findings.iter().filter(|f| f.rule == "F001").count();
+    // partial_cmp, `== 0.5`, `!= 1.0`
+    assert_eq!(f001, 3, "got {:?}", r.findings);
+}
+
+#[test]
+fn f001_silent_on_total_cmp_and_integer_compares() {
+    let r = lint_as("f001_neg.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+// ---- Pragma handling ---------------------------------------------------
+
+#[test]
+fn valid_pragmas_waive_and_are_counted() {
+    let r = lint_as("pragma_ok.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+    // Two D002 waivers (trailing + standalone) and one P001 waiver.
+    assert_eq!(r.allowed, 3, "got allowed = {}", r.allowed);
+}
+
+#[test]
+fn malformed_pragmas_are_sl000_and_do_not_waive() {
+    let r = lint_as("pragma_bad.rs", "simcore");
+    let fired = rules_fired(&r);
+    assert_eq!(fired.iter().filter(|&&x| x == "SL000").count(), 2, "got {:?}", r.findings);
+    // The broken pragma must not waive the unwrap underneath it.
+    assert!(fired.contains(&"P001"), "got {:?}", r.findings);
+    assert_eq!(r.allowed, 0);
+}
+
+// ---- False-positive regressions ----------------------------------------
+
+#[test]
+fn trigger_tokens_in_strings_and_comments_never_fire() {
+    let r = lint_as("strings_comments.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let r = lint_as("cfg_test.rs", "simcore");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+#[test]
+fn same_file_as_test_file_is_fully_exempt() {
+    // Whole-file exemption (files under tests/ compile with cfg(test)).
+    let r = check_file("p001_pos.rs", "simcore", &fixture("p001_pos.rs"), true);
+    assert!(r.findings.is_empty(), "got {:?}", r.findings);
+}
+
+// ---- Findings are ordered and rendered for the verify gate -------------
+
+#[test]
+fn findings_sort_by_line_and_render_with_location() {
+    let r = lint_as("p001_pos.rs", "simcore");
+    let lines: Vec<u32> = r.findings.iter().map(|f| f.line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+    let rendered = r.findings[0].render();
+    assert!(
+        rendered.starts_with("p001_pos.rs:") && rendered.contains("[P001]"),
+        "got {rendered}"
+    );
+}
+
+// ---- The real binary ---------------------------------------------------
+
+/// Copies a fixture into `CARGO_TARGET_TMPDIR` (whose path has no `tests`
+/// component, so the binary lints it as non-test code) and returns the
+/// new path.
+fn stage(fixture_name: &str, as_name: &str) -> std::path::PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("simlint_fixtures");
+    std::fs::create_dir_all(&dir).expect("create tmp fixture dir");
+    let dst = dir.join(as_name);
+    std::fs::write(&dst, fixture(fixture_name)).expect("stage fixture");
+    dst
+}
+
+#[test]
+fn binary_exits_nonzero_with_file_line_findings_on_violation() {
+    let staged = stage("p001_pos.rs", "p001_seeded.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg(&staged)
+        .output()
+        .expect("run simlint");
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p001_seeded.rs:"), "stdout: {stdout}");
+    assert!(stdout.contains("[P001]"), "stdout: {stdout}");
+    // file:LINE: — the location is machine-greppable.
+    assert!(stdout.lines().any(|l| l.contains(":4: [P001]")), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_emits_json_findings() {
+    let staged = stage("f001_pos.rs", "f001_seeded.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--json")
+        .arg(&staged)
+        .output()
+        .expect("run simlint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\":["), "stdout: {stdout}");
+    assert!(stdout.contains("\"rule\":\"F001\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"files_scanned\":1"), "stdout: {stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_file() {
+    let staged = stage("p001_neg.rs", "clean.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg(&staged)
+        .output()
+        .expect("run simlint");
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn binary_exits_two_on_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint")).output().expect("run simlint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nothing to lint"));
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    // The acceptance criterion: the shipped tree has zero unpragma'd
+    // findings. `--root` points two levels up from this crate.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--workspace")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run simlint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "findings:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "stdout: {stdout}");
+}

@@ -29,7 +29,8 @@
 //! Wall-clock figures are **excluded** from digests by contract; see
 //! DESIGN.md §6 for exactly what the hash covers.
 
-#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod digest;
 pub mod jsonl;

@@ -317,6 +317,9 @@ impl LocalHistogram {
         }
         target.0.count.fetch_add(self.count, Ordering::Relaxed);
         let add = self.sum;
+        // Exact-zero fast path: skip the CAS loop when there is nothing to
+        // add. This is an identity check, not a numeric comparison.
+        // simlint: allow(F001, exact-zero fast path; adding 0.0 is a no-op)
         if add != 0.0 {
             let mut cur = target.0.sum_bits.load(Ordering::Relaxed);
             loop {

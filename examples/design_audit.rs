@@ -39,6 +39,8 @@ fn main() {
     // What vendor lock-in costs in expected device lifetime: device would
     // live 20 years, vendor exits with mean 8.
     let mut rng = Rng::seed_from(3);
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, demo binary with constant parameters)
     let vendor_exit = Exponential::with_mean(8.0).expect("mean > 0");
     let n = 50_000;
     let (mut locked_sum, mut open_sum) = (0.0, 0.0);

@@ -27,8 +27,10 @@ fn main() {
 
     let mut last: Option<Vec<f64>> = None;
     for intensity in intensities {
+        #[allow(clippy::expect_used)]
         let plan = builder
             .build(&cfg, intensity)
+            // simlint: allow(P001, demo binary; intensities are in [0,1] by construction)
             .expect("intensities are in [0,1] by construction");
         let n_faults = plan.len();
         let report = chaos::run_with_plan(cfg.clone(), plan);
@@ -56,6 +58,8 @@ fn main() {
     }
 
     // Show what a storm actually looks like in the §4.5 diary.
+    #[allow(clippy::expect_used)]
+    // simlint: allow(P001, demo binary; 1.0 is a valid intensity)
     let plan = builder.build(&cfg, 1.0).expect("valid intensity");
     let report = chaos::run_with_plan(cfg, plan);
     println!("first chaos entries of the full-intensity diary:");

@@ -5,7 +5,7 @@
 //! cargo run --release --example telemetry_overhead
 //! ```
 
-use std::time::Instant;
+use std::time::Instant; // simlint: allow(D002, this example *measures* wall-clock overhead)
 
 use fleet::sim::{FleetConfig, FleetSim};
 
@@ -13,14 +13,14 @@ fn main() {
     const REPS: u64 = 200;
     // Warm-up.
     let _ = FleetSim::run(FleetConfig::paper_experiment(0));
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // simlint: allow(D002, wall-clock is the measurement itself)
     let mut events = 0u64;
     // Per-run wall times. On a shared core the *minimum* is the robust
     // before/after statistic: preemption only ever slows a run down, so
     // the fastest of 200 approaches the true cost floor.
     let mut per_run = Vec::with_capacity(REPS as usize);
     for seed in 0..REPS {
-        let r0 = Instant::now();
+        let r0 = Instant::now(); // simlint: allow(D002, wall-clock is the measurement itself)
         let report = FleetSim::run(FleetConfig::paper_experiment(seed));
         per_run.push(r0.elapsed().as_secs_f64() * 1e3);
         events += report.events_processed;

@@ -22,6 +22,12 @@ cargo run -q --release --example quickstart > /dev/null
 echo "== lint gate (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== simlint (determinism & panic-safety rules, DESIGN.md §8) =="
+# Any unpragma'd finding exits 1 and fails verify. The JSON smoke both
+# exercises the machine-readable path and leaves target/simlint.json for CI.
+cargo run -q --release -p simlint -- --workspace
+cargo run -q --release -p simlint -- --workspace --json > target/simlint.json
+
 echo "== bench smoke (1 replicate; also asserts serial == parallel digests) =="
 ./target/release/throughput --replicates 1 --threads 1 --passes 1 \
   --out target/bench_smoke.json > /dev/null

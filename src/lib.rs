@@ -4,6 +4,8 @@
 //! (`examples/`) and the cross-crate integration tests (`tests/`). The
 //! library surface simply re-exports the member crates for convenience.
 
+#![forbid(unsafe_code)]
+
 pub use backhaul;
 pub use century;
 pub use econ;

@@ -12,7 +12,7 @@
 //! 3. **Zero intensity is a no-op** — a zero-intensity plan produces a
 //!    diary byte-identical to running without any plan at all.
 
-#![allow(clippy::unwrap_used)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use chaos::{FaultPlan, FaultPlanBuilder, run_with_plan};
 use fleet::sim::{FleetConfig, FleetSim};

@@ -1,5 +1,7 @@
 //! End-to-end integration: the whole stack, seed to report.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
+
 use century::scenario::{Scenario, ScenarioBuilder};
 use fleet::sim::{ArmConfig, FleetConfig, FleetSim};
 use simcore::time::SimDuration;

@@ -1,6 +1,8 @@
 //! Integration tests over the exhibit suite: every table/figure renders
 //! and reproduces its claimed shape at the default seed.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
+
 #[test]
 fn every_exhibit_renders_nonempty() {
     for id in bench::exhibits::ALL {

@@ -12,6 +12,8 @@
 //! `scripts/bless.sh` (or `GOLDEN_BLESS=1 cargo test --test
 //! golden_digests`) and review the diff before committing.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
+
 use chaos::FaultPlanBuilder;
 use fleet::sim::{FleetConfig, FleetSim};
 

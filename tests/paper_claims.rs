@@ -4,6 +4,8 @@
 //! "EXPERIMENTS.md contract": if a model change breaks one of these, the
 //! reproduction has drifted from the paper.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
+
 use century::presets::CityCensus;
 use econ::credits::{credits_for_schedule, Wallet};
 use econ::labor::recovery_effort_paper;

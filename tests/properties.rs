@@ -1,6 +1,6 @@
 //! Cross-crate property-based tests (proptest) on the toolkit's invariants.
 
-#![allow(clippy::unwrap_used)] // Test-only target, gated behind `--features proptest`.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target, gated behind `--features proptest`.
 
 use proptest::prelude::*;
 

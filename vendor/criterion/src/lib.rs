@@ -6,6 +6,7 @@
 //! prints the mean wall-clock time per iteration. No statistics, plots, or
 //! baselines — swap the real crate back in when the registry is reachable.
 
+#![forbid(unsafe_code)]
 use std::time::Instant;
 
 /// Throughput annotation attached to a benchmark group.

@@ -10,6 +10,7 @@
 //! registry access the real crate can be swapped back in without touching
 //! the tests.
 
+#![forbid(unsafe_code)]
 use core::ops::Range;
 
 /// Deterministic RNG used to drive generated cases (splitmix64 stream).
