@@ -8,6 +8,13 @@
 //! * **parallel**: the same seeds through [`bench::parallel::run_reports`]
 //!   across worker threads.
 //!
+//! With `--scale-devices N[,N...]` it additionally measures **intra-run
+//! sharding** ([`fleet::sim::FleetSim::run_sharded`]) on synthetic
+//! many-arm fleets of those device counts — serial vs `--shards K` on the
+//! *same single run* — gating each pair on digest equality exactly like
+//! the serial/parallel check. This is the ROADMAP's million-device axis:
+//! one big run made faster, not many small runs packed onto cores.
+//!
 //! Seeds are fixed (`base_seed..base_seed + replicates`), so the event
 //! count and the per-seed run digests are deterministic; the binary folds
 //! the digests and **fails** if the serial and parallel digest sets
@@ -27,7 +34,8 @@
 use std::time::Instant;
 
 use bench::parallel::run_reports;
-use fleet::sim::{FleetConfig, FleetSim};
+use fleet::sim::{ArmConfig, FleetConfig, FleetSim};
+use simcore::time::SimDuration;
 
 /// One measured pass: wall-clock plus the determinism checksum.
 struct Pass {
@@ -77,6 +85,62 @@ fn measure_parallel(base_seed: u64, replicates: usize, threads: usize) -> Pass {
     Pass { wall_ms, events, events_per_sec: events as f64 / (wall_ms / 1e3), digest_xor }
 }
 
+/// Arm count for the synthetic scale fleets: divisible by 2, 4 and 8 so
+/// the LPT plan balances perfectly at the usual shard counts.
+const SCALE_ARMS: usize = 16;
+
+/// Horizon for a scale point, sized so the sweep finishes in bench time:
+/// bigger fleets get shorter (but still multi-year) horizons.
+fn scale_horizon_years(devices: usize) -> u64 {
+    if devices >= 1_000_000 {
+        1
+    } else if devices >= 100_000 {
+        5
+    } else {
+        10
+    }
+}
+
+/// A synthetic `devices`-device fleet: [`SCALE_ARMS`] owned arms of
+/// `devices / SCALE_ARMS` sensors with 2 gateways each, sharing the paper
+/// environment. Many equal arms make the shard plan balanced, so the
+/// measurement isolates engine scaling rather than partition skew.
+fn scaled_config(seed: u64, devices: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::paper_experiment(seed);
+    cfg.horizon = SimDuration::from_years(scale_horizon_years(devices));
+    cfg.arms = (0..SCALE_ARMS)
+        .map(|_| ArmConfig::paper_owned_154((devices / SCALE_ARMS).max(1), 2))
+        .collect();
+    cfg
+}
+
+fn measure_scale_serial(cfg: &FleetConfig) -> Pass {
+    let t0 = Instant::now();
+    let report = FleetSim::run(cfg.clone());
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Pass {
+        wall_ms,
+        events: report.events_processed,
+        events_per_sec: report.events_processed as f64 / (wall_ms / 1e3),
+        digest_xor: report.digest(),
+    }
+}
+
+fn measure_scale_sharded(cfg: &FleetConfig, shards: usize) -> Pass {
+    let t0 = Instant::now();
+    #[allow(clippy::expect_used)]
+    let report = FleetSim::run_sharded(cfg.clone(), shards)
+        // simlint: allow(P001, shards is validated nonzero in main)
+        .expect("shards is validated nonzero in main");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Pass {
+        wall_ms,
+        events: report.events_processed,
+        events_per_sec: report.events_processed as f64 / (wall_ms / 1e3),
+        digest_xor: report.digest(),
+    }
+}
+
 fn pass_json(p: &Pass) -> String {
     format!(
         "{{\"wall_ms\":{:.3},\"events\":{},\"events_per_sec\":{:.0},\"digest_xor\":\"{:016x}\"}}",
@@ -100,6 +164,10 @@ struct Args {
     threads: usize,
     base_seed: u64,
     passes: usize,
+    /// Shard count for the `--scale-devices` sweep.
+    shards: usize,
+    /// Device counts for the intra-run sharding sweep (empty = skip).
+    scale_devices: Vec<usize>,
     out: Option<String>,
     git_rev: String,
     baseline: Option<Baseline>,
@@ -111,6 +179,8 @@ fn parse_args() -> Result<Args, String> {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         base_seed: 0,
         passes: 3,
+        shards: 8,
+        scale_devices: Vec::new(),
         out: None,
         git_rev: "unknown".to_string(),
         baseline: None,
@@ -127,6 +197,13 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => args.threads = parse(&value(&flag)?)?,
             "--base-seed" => args.base_seed = parse(&value(&flag)?)?,
             "--passes" => args.passes = parse(&value(&flag)?)?,
+            "--shards" => args.shards = parse(&value(&flag)?)?,
+            "--scale-devices" => {
+                args.scale_devices = value(&flag)?
+                    .split(',')
+                    .map(parse)
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
             "--out" => args.out = Some(value(&flag)?),
             "--git-rev" => args.git_rev = value(&flag)?,
             "--baseline-rev" => {
@@ -152,8 +229,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if args.replicates == 0 || args.threads == 0 || args.passes == 0 {
-        return Err("--replicates, --threads and --passes must be nonzero".to_string());
+    if args.replicates == 0 || args.threads == 0 || args.passes == 0 || args.shards == 0 {
+        return Err("--replicates, --threads, --passes and --shards must be nonzero".to_string());
+    }
+    if args.scale_devices.contains(&0) {
+        return Err("--scale-devices entries must be nonzero".to_string());
     }
     if have_baseline {
         args.baseline = Some(baseline);
@@ -197,12 +277,47 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Intra-run sharding sweep: one big run serial vs sharded, digest-gated.
+    let mut scale_rows: Vec<String> = Vec::new();
+    for &devices in &args.scale_devices {
+        let cfg = scaled_config(args.base_seed, devices);
+        let scale_serial = best_of(args.passes, || measure_scale_serial(&cfg));
+        let scale_sharded =
+            best_of(args.passes, || measure_scale_sharded(&cfg, args.shards));
+        if scale_serial.digest_xor != scale_sharded.digest_xor {
+            eprintln!(
+                "throughput: serial/sharded digest mismatch at {devices} devices \
+                 ({:016x} vs {:016x}) — sharded execution drifted; this is a \
+                 correctness failure",
+                scale_serial.digest_xor, scale_sharded.digest_xor
+            );
+            std::process::exit(1);
+        }
+        scale_rows.push(format!(
+            "{{\"devices\":{},\"arms\":{},\"horizon_years\":{},\"shards\":{},\
+             \"serial\":{},\"sharded\":{},\"sharded_speedup\":{:.3}}}",
+            devices,
+            SCALE_ARMS,
+            scale_horizon_years(devices),
+            args.shards,
+            pass_json(&scale_serial),
+            pass_json(&scale_sharded),
+            scale_sharded.events_per_sec / scale_serial.events_per_sec
+        ));
+    }
+
     let mut json = String::from("{\"bench\":\"sim_throughput\",");
     json.push_str("\"experiment\":\"paper_experiment_50y\",");
     json.push_str(&format!("\"git_rev\":\"{}\",", args.git_rev));
     json.push_str(&format!(
         "\"replicates\":{},\"threads\":{},\"base_seed\":{},\"passes\":{},",
         args.replicates, args.threads, args.base_seed, args.passes
+    ));
+    // Thread-scaling numbers are only meaningful relative to the cores the
+    // host actually grants; a 1-core container cannot beat serial.
+    json.push_str(&format!(
+        "\"host_parallelism\":{},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     if let Some(b) = &args.baseline {
         json.push_str(&format!(
@@ -217,6 +332,12 @@ fn main() {
     }
     json.push_str(&format!("\"serial\":{},", pass_json(&serial)));
     json.push_str(&format!("\"parallel\":{}", pass_json(&parallel)));
+    if !scale_rows.is_empty() {
+        json.push_str(&format!(
+            ",\"sharded_scale\":[{}]",
+            scale_rows.join(",")
+        ));
+    }
     if let Some(b) = &args.baseline {
         if b.serial_events_per_sec > 0.0 {
             json.push_str(&format!(

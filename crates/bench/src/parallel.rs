@@ -8,9 +8,13 @@
 //! golden-digest suite pins this with [`FleetReport::digest`] equality.
 //!
 //! Each worker accumulates its results locally and hands them back
-//! through its join handle; a panicking worker's payload is re-raised
-//! intact with [`std::panic::resume_unwind`] rather than surfacing as a
-//! second panic about a poisoned lock.
+//! through its join handle. A panic inside one replicate is caught at
+//! the replicate boundary and surfaced as
+//! [`ParallelError::ReplicatePanicked`] **with the failing seed** — a
+//! 64-seed batch that dies on seed 41 tells you so, instead of handing
+//! back a bare payload that leaves you bisecting. When several
+//! replicates panic, the smallest seed wins deterministically,
+//! independent of thread scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -19,13 +23,23 @@ use century::metrics::{ArmRow, ArmSummary};
 use fleet::sim::{FleetConfig, FleetReport, FleetSim};
 use simcore::event::EventQueue;
 
-/// Precondition failures of the parallel runners.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Failures of the parallel runners: bad preconditions, or a replicate
+/// that panicked mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParallelError {
     /// `replicates` was zero: there would be no reports to aggregate.
     ZeroReplicates,
     /// `threads` was zero: no worker could claim a seed.
     ZeroThreads,
+    /// One replicate's config construction or simulation run panicked.
+    /// When several do, the smallest seed is reported, deterministically.
+    ReplicatePanicked {
+        /// The seed whose replicate died (`base_seed + index`).
+        seed: u64,
+        /// The panic payload, stringified (`<non-string panic payload>`
+        /// when the payload was neither `String` nor `&str`).
+        message: String,
+    },
 }
 
 impl core::fmt::Display for ParallelError {
@@ -33,23 +47,32 @@ impl core::fmt::Display for ParallelError {
         match self {
             ParallelError::ZeroReplicates => f.write_str("need at least one replicate"),
             ParallelError::ZeroThreads => f.write_str("need at least one thread"),
+            ParallelError::ReplicatePanicked { seed, message } => {
+                write!(f, "replicate seed {seed} panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ParallelError {}
 
+/// Renders a caught panic payload for [`ParallelError::ReplicatePanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
 /// Runs `replicates` seeds (`base_seed..base_seed+replicates`) across
 /// `threads` workers, returning reports in seed order.
 ///
 /// # Errors
 ///
-/// [`ParallelError`] if `replicates` or `threads` is zero.
-///
-/// # Panics
-///
-/// Re-raises (with its original payload) any panic that escapes a
-/// worker's `make_config` or simulation run.
+/// [`ParallelError`] if `replicates` or `threads` is zero, or
+/// [`ParallelError::ReplicatePanicked`] (naming the smallest failing
+/// seed) if any replicate panics.
 pub fn run_reports(
     make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
     base_seed: u64,
@@ -62,7 +85,7 @@ pub fn run_reports(
     if threads == 0 {
         return Err(ParallelError::ZeroThreads);
     }
-    let mut indexed = run_indexed(make_config, base_seed, replicates, threads, |_, report| report);
+    let mut indexed = run_indexed(make_config, base_seed, replicates, threads, |_, report| report)?;
     indexed.sort_by_key(|&(i, _)| i);
     Ok(indexed.into_iter().map(|(_, r)| r).collect())
 }
@@ -73,17 +96,25 @@ pub fn run_reports(
 /// maps each finished report through `extract` so callers choose how much
 /// of it outlives the run. Results are unordered; callers sort by index.
 ///
+/// Panics are caught at the replicate boundary
+/// (`catch_unwind(AssertUnwindSafe(..))` — safe because the replicate's
+/// world, queue and report are abandoned on failure, never reused) and
+/// the worker stops claiming seeds. The collector still joins every
+/// worker, then reports the panicking replicate with the **smallest
+/// seed**, so the error is independent of which worker happened to claim
+/// what.
+///
 /// # Panics
 ///
-/// Re-raises (with its original payload) any panic that escapes a
-/// worker's `make_config` or simulation run.
+/// Re-raises a panic only if it somehow escapes the per-replicate guard
+/// (e.g. from a `Drop` impl during unwinding).
 fn run_indexed<T: Send>(
     make_config: &(dyn Fn(u64) -> FleetConfig + Sync),
     base_seed: u64,
     replicates: usize,
     threads: usize,
     extract: impl Fn(usize, FleetReport) -> T + Sync,
-) -> Vec<(usize, T)> {
+) -> Result<Vec<(usize, T)>, ParallelError> {
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.min(replicates))
@@ -96,23 +127,54 @@ fn run_indexed<T: Send>(
                         if i >= replicates {
                             break;
                         }
-                        let report;
-                        (report, queue) =
-                            FleetSim::run_with_queue(make_config(base_seed + i as u64), queue);
-                        local.push((i, extract(i, report)));
+                        let seed = base_seed + i as u64;
+                        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || {
+                                let (report, queue) =
+                                    FleetSim::run_with_queue(make_config(seed), queue);
+                                ((i, extract(i, report)), queue)
+                            },
+                        ));
+                        match attempt {
+                            Ok((item, recycled)) => {
+                                queue = recycled;
+                                local.push(item);
+                            }
+                            Err(payload) => {
+                                return (
+                                    local,
+                                    Some((seed, panic_message(payload.as_ref()))),
+                                );
+                            }
+                        }
                     }
-                    local
+                    (local, None)
                 })
             })
             .collect();
         let mut all = Vec::with_capacity(replicates);
+        let mut first_panic: Option<(u64, String)> = None;
         for handle in handles {
             match handle.join() {
-                Ok(local) => all.extend(local),
+                Ok((local, failure)) => {
+                    all.extend(local);
+                    if let Some((seed, message)) = failure {
+                        let beats = match &first_panic {
+                            None => true,
+                            Some((earliest, _)) => seed < *earliest,
+                        };
+                        if beats {
+                            first_panic = Some((seed, message));
+                        }
+                    }
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        all
+        match first_panic {
+            Some((seed, message)) => Err(ParallelError::ReplicatePanicked { seed, message }),
+            None => Ok(all),
+        }
     })
 }
 
@@ -172,7 +234,7 @@ pub fn run_replicated_parallel_summaries(
     }
     let mut indexed = run_indexed(make_config, base_seed, replicates, threads, |_, report| {
         report.arms.iter().map(ArmRow::of).collect::<Vec<ArmRow>>()
-    });
+    })?;
     indexed.sort_by_key(|&(i, _)| i);
     let mut arms: Vec<ArmSummary> = indexed[0].1.iter().map(|r| ArmSummary::new(r.name)).collect();
     for (_, rows) in &indexed {
@@ -288,18 +350,51 @@ mod tests {
     }
 
     #[test]
-    fn worker_panics_propagate_with_their_payload() {
+    fn replicate_panic_reports_the_failing_seed() {
+        // Regression: the panic message itself does NOT name the seed —
+        // the runner must thread it through the typed error.
         let boom = |seed: u64| -> FleetConfig {
-            assert!(seed != 3, "boom at seed 3");
+            assert!(seed != 103, "config rejected");
             FleetConfig::paper_experiment(seed)
         };
-        let result = std::panic::catch_unwind(|| run_reports(&boom, 0, 6, 2));
-        let payload = result.expect_err("the worker panic must propagate to the caller");
-        let msg = payload
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-            .unwrap_or_default();
-        assert!(msg.contains("boom at seed 3"), "original payload must survive: {msg:?}");
+        let err = run_reports(&boom, 100, 6, 2).unwrap_err();
+        match &err {
+            ParallelError::ReplicatePanicked { seed, message } => {
+                assert_eq!(*seed, 103, "the failing replicate's seed");
+                assert!(message.contains("config rejected"), "payload survives: {message:?}");
+            }
+            other => panic!("expected ReplicatePanicked, got {other:?}"),
+        }
+        let shown = err.to_string();
+        assert!(shown.contains("seed 103"), "Display names the seed: {shown}");
+        assert!(shown.contains("config rejected"), "Display keeps the payload: {shown}");
+    }
+
+    #[test]
+    fn multiple_panics_report_the_smallest_seed_deterministically() {
+        let boom = |seed: u64| -> FleetConfig {
+            assert!(seed != 2 && seed != 4, "boom");
+            FleetConfig::paper_experiment(seed)
+        };
+        // Max parallelism so both failing seeds are usually claimed by
+        // different workers; the collector must still pick seed 2.
+        for _ in 0..4 {
+            match run_reports(&boom, 0, 6, 6).unwrap_err() {
+                ParallelError::ReplicatePanicked { seed, .. } => assert_eq!(seed, 2),
+                other => panic!("expected ReplicatePanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn summaries_fast_path_reports_panics_too() {
+        let boom = |seed: u64| -> FleetConfig {
+            assert!(seed != 1, "boom");
+            FleetConfig::paper_experiment(seed)
+        };
+        match run_replicated_parallel_summaries(&boom, 0, 3, 2).unwrap_err() {
+            ParallelError::ReplicatePanicked { seed, .. } => assert_eq!(seed, 1),
+            other => panic!("expected ReplicatePanicked, got {other:?}"),
+        }
     }
 }

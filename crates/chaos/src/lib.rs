@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+use fleet::shard::{run_sharded_hooked, ShardError};
 use fleet::sim::{ArmKind, Ev, FleetConfig, FleetReport, FleetSim};
 use simcore::engine::{Ctx, FaultHook};
 use simcore::error::ModelError;
@@ -90,6 +91,24 @@ pub enum FaultKind {
         /// Garbage interval.
         duration: SimDuration,
     },
+}
+
+impl FaultKind {
+    /// The global arm index this fault targets. Possibly out of range —
+    /// plans can aim at arms a configuration lacks; those faults inject
+    /// as skips. The sharded runner routes such strays to shard 0, whose
+    /// injector skips them exactly as the serial injector would.
+    pub fn arm(&self) -> usize {
+        match *self {
+            FaultKind::RegionalOutage { arm, .. }
+            | FaultKind::BackhaulFlap { arm, .. }
+            | FaultKind::ProviderSunset { arm }
+            | FaultKind::HotspotCollapse { arm, .. }
+            | FaultKind::WalletFailure { arm, .. }
+            | FaultKind::DeviceStuck { arm, .. }
+            | FaultKind::DeviceByzantine { arm, .. } => arm,
+        }
+    }
 }
 
 /// One scheduled fault.
@@ -417,6 +436,38 @@ pub fn run_with_plan(cfg: FleetConfig, plan: FaultPlan) -> FleetReport {
     let mut injector = FleetInjector::new(plan);
     engine.run_until_hooked(horizon, &mut injector);
     FleetSim::into_report(engine, horizon)
+}
+
+/// [`run_with_plan`] split across `shards` worker threads — bit-identical
+/// digest, same skip accounting.
+///
+/// Each fault is routed to the shard owning its target arm
+/// ([`fleet::shard::ShardPlan::owner_of`]); faults aimed at arms the
+/// configuration lacks go to shard 0, whose injector records the skip
+/// just like the serial injector. Because the per-arm interleaving of
+/// faults and simulation events is preserved within each shard (hooks
+/// fire before tied events there too), the merged report digests
+/// identically to the serial injected run for every plan and shard count.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_sharded_with_plan(
+    cfg: FleetConfig,
+    plan: FaultPlan,
+    shards: usize,
+) -> Result<FleetReport, ShardError> {
+    run_sharded_hooked(cfg, shards, |si, splan| {
+        let mine: Vec<Fault> = plan
+            .faults()
+            .iter()
+            .copied()
+            .filter(|f| splan.owner_of(f.kind.arm()).unwrap_or(0) == si)
+            .collect();
+        // `from_faults` sorts stably by time; the filtered subsequence is
+        // already time-ordered, so replay order is the serial plan's.
+        FleetInjector::new(FaultPlan::from_faults(mine))
+    })
 }
 
 /// Convenience: the paper experiment under a storm-heavy plan at the

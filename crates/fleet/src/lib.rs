@@ -16,6 +16,8 @@
 //! * [`pipeline`] — Ship-of-Theseus cohort pipelining.
 //! * [`sim`] — the discrete-event fleet simulation running §4's 50-year
 //!   experiment.
+//! * [`shard`] — deterministic intra-run sharding: the same simulation
+//!   split across worker threads with a bit-identical run digest.
 //! * [`upgrade`] — gateway technology-generation planning: upgrade policies
 //!   vs heterogeneity and out-of-support exposure.
 //! * [`workforce`] — crew-capacity backlog dynamics: what replacement waves
@@ -32,6 +34,7 @@ pub mod hierarchy;
 pub mod maintenance;
 pub mod obsolescence;
 pub mod pipeline;
+pub mod shard;
 pub mod sim;
 pub mod upgrade;
 pub mod workforce;
@@ -39,4 +42,5 @@ pub mod workforce;
 pub use device::{DeviceSpec, DeviceState, EnergySystem};
 pub use gateway::{GatewaySpec, GatewayState};
 pub use hierarchy::Hierarchy;
+pub use shard::{ShardError, ShardPlan};
 pub use sim::{ArmConfig, ArmReport, FleetConfig, FleetReport, FleetSim};

@@ -1,0 +1,308 @@
+//! Deterministic intra-run sharding: one `FleetSim` run split across
+//! worker threads, bit-identical to the serial run.
+//!
+//! The conservative-synchronization insight (classic PDES, cf. the survey
+//! papers in PAPERS.md) is that the fleet's arms are *causally
+//! independent* between weekly evaluations: a device failure in one arm
+//! never schedules an event in another arm, and the only fleet-wide
+//! coupling — the weekly uptime evaluation and the yearly upkeep tick —
+//! is a broadcast, not an interaction. That makes the arm the natural
+//! shard granule (device-level splits are impossible without perturbing
+//! the common-random-numbers discipline: `weekly_eval` consumes exactly
+//! one normal draw per alive device, in device order, from the *arm's*
+//! stream).
+//!
+//! The protocol, in full (DESIGN.md §11):
+//!
+//! 1. **Plan** ([`ShardPlan`]): a stable, seed-independent partition of
+//!    global arm ids into `k` groups, balanced by per-arm device count
+//!    (LPT greedy). Pure function of `(weights, k)` — no RNG, no clock.
+//! 2. **Split** (`FleetSim::split_for_shards`): build the serial engine,
+//!    then move each arm — with its private rng, diary and span log —
+//!    into its owner shard, and route the primed event queue by owner in
+//!    serial (time, FIFO) order. Tick-chain events are replicated into
+//!    every shard.
+//! 3. **Run**: each shard advances its own `Engine` on a scoped worker
+//!    thread to the shared horizon. The weekly tick is the epoch barrier
+//!    of the literature, but because no cross-shard messages exist the
+//!    shards never have to wait for each other — each replays the
+//!    broadcast locally.
+//! 4. **Merge** (`FleetSim::merge_shards` → `FleetSim::finalize`): arms
+//!    are regrouped in ascending global-id order and the *same* finalize
+//!    path as a serial run performs the canonical diary/span merge and
+//!    ledger collection; profiles fold with the replayed tick chains
+//!    deduplicated so `events_processed` matches serial exactly.
+//!
+//! Bit-identity is structural, not coincidental: every number that feeds
+//! the run digest is produced per-arm by per-arm state (rng, ledger,
+//! diary, spans, deferred metric settlements), and both execution modes
+//! funnel through one finalize path whose output is a pure function of
+//! those per-arm streams. The differential harness
+//! (`tests/shard_differential.rs`) and the golden pins keep it that way.
+
+use core::fmt;
+
+use simcore::engine::{Ctx, Engine, FaultHook};
+use simcore::time::SimTime;
+
+use crate::sim::{Ev, FleetConfig, FleetReport, FleetSim};
+
+/// Ways a sharded run request can be invalid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// Zero shards were requested; at least one is required.
+    ZeroShards,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "cannot run a fleet across zero shards"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// A stable, seed-independent partition of global arm ids into shards.
+///
+/// Built by longest-processing-time greedy: arms are taken in descending
+/// weight order (ties broken by ascending arm id) and each is assigned to
+/// the currently least-loaded shard (ties broken by lowest shard index).
+/// The plan is a pure function of the weight list and the shard count —
+/// it never consults the seed, the clock, or an RNG — so every replicate
+/// of an experiment shards identically.
+///
+/// Invariants (property-tested in `tests/properties.rs`):
+///
+/// * every arm appears in exactly one group;
+/// * group membership is ascending by arm id within each group;
+/// * empty groups only ever appear as a suffix (so filtering them off
+///   preserves the shard indices of the non-empty ones);
+/// * with more shards than arms, each arm gets its own shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `groups[si]` = ascending global arm ids owned by shard `si`.
+    groups: Vec<Vec<usize>>,
+    /// `owner[ai]` = shard index owning global arm `ai`.
+    owner: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Balances `weights.len()` arms (weight = device count; zero-weight
+    /// arms are costed as 1 so they still occupy a slot) across `shards`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+    pub fn balance(weights: &[u64], shards: usize) -> Result<ShardPlan, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::ZeroShards);
+        }
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| weights[b].max(1).cmp(&weights[a].max(1)).then(a.cmp(&b)));
+        let mut loads = vec![0u64; shards];
+        let mut groups: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        for &ai in &order {
+            let mut best = 0;
+            for (si, &load) in loads.iter().enumerate().skip(1) {
+                if load < loads[best] {
+                    best = si;
+                }
+            }
+            loads[best] += weights[ai].max(1);
+            groups[best].push(ai);
+        }
+        for group in &mut groups {
+            group.sort_unstable();
+        }
+        let mut owner = vec![0usize; weights.len()];
+        for (si, group) in groups.iter().enumerate() {
+            for &ai in group {
+                owner[ai] = si;
+            }
+        }
+        Ok(ShardPlan { groups, owner })
+    }
+
+    /// The plan for a fleet configuration: arms weighted by device count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+    pub fn for_fleet(cfg: &FleetConfig, shards: usize) -> Result<ShardPlan, ShardError> {
+        let weights: Vec<u64> = cfg.arms.iter().map(|a| a.devices as u64).collect();
+        Self::balance(&weights, shards)
+    }
+
+    /// The shard owning global arm `ai`, or `None` for an out-of-range id
+    /// (chaos plans can target arms a configuration doesn't have; the
+    /// runner routes those to shard 0, whose injector skips them exactly
+    /// like the serial injector does).
+    pub fn owner_of(&self, ai: usize) -> Option<usize> {
+        self.owner.get(ai).copied()
+    }
+
+    /// The groups, `groups()[si]` being the ascending global arm ids of
+    /// shard `si`. Trailing groups may be empty; non-empty groups form a
+    /// prefix.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of shard slots (including empty trailing ones).
+    pub fn shards(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// The no-op hook behind the plain [`run_sharded`] entry point.
+struct NoFaults;
+
+impl FaultHook<FleetSim> for NoFaults {
+    fn next_fault_at(&self) -> Option<SimTime> {
+        None
+    }
+    fn fire(&mut self, _now: SimTime, _world: &mut FleetSim, _ctx: &mut Ctx<'_, Ev>) {}
+}
+
+/// Runs `cfg` split across `shards` worker threads.
+///
+/// The returned report is bit-identical — same digest — to
+/// [`FleetSim::run`] for every seed and every shard count. `shards`
+/// larger than the arm count degrades gracefully (one arm per shard,
+/// surplus shards idle); `shards == 1` takes the serial path outright.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_sharded(cfg: FleetConfig, shards: usize) -> Result<FleetReport, ShardError> {
+    run_sharded_hooked(cfg, shards, |_si, _plan| NoFaults)
+}
+
+/// [`run_sharded`] with a per-shard [`FaultHook`] — the chaos crate's
+/// entry point. `make_hook(si, plan)` builds shard `si`'s hook; hooks for
+/// the serial fallback (one or zero non-empty shards) are built as shard
+/// 0's. Hooks fire before tied world events *within their shard*, which
+/// is the same per-arm interleaving the serial engine produces.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+///
+/// # Panics
+///
+/// Re-raises (via [`std::panic::resume_unwind`]) any panic raised on a
+/// shard worker thread, after every worker has been joined.
+pub fn run_sharded_hooked<H, F>(
+    cfg: FleetConfig,
+    shards: usize,
+    make_hook: F,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
+    let plan = ShardPlan::for_fleet(&cfg, shards)?;
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let groups: Vec<Vec<usize>> =
+        plan.groups().iter().filter(|g| !g.is_empty()).cloned().collect();
+    let mut engine = FleetSim::build(cfg);
+    if groups.len() <= 1 {
+        // One shard of work (or an arm-less config): the split would be
+        // the identity, so run serial under shard 0's hook.
+        let mut hook = make_hook(0, &plan);
+        engine.run_until_hooked(horizon, &mut hook);
+        return Ok(FleetSim::into_report(engine, horizon));
+    }
+    let engines = FleetSim::split_for_shards(engine, &groups);
+    let joined: Vec<std::thread::Result<Engine<FleetSim>>> = std::thread::scope(|scope| {
+        let plan = &plan;
+        let make_hook = &make_hook;
+        let handles: Vec<_> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(si, mut engine)| {
+                scope.spawn(move || {
+                    let mut hook = make_hook(si, plan);
+                    engine.run_until_hooked(horizon, &mut hook);
+                    engine
+                })
+            })
+            .collect();
+        handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect()
+    });
+    let mut finished = Vec::with_capacity(joined.len());
+    for result in joined {
+        match result {
+            Ok(engine) => finished.push(engine),
+            // A worker died: every sibling has been joined above, so
+            // re-raising the first payload loses nothing.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    FleetSim::merge_shards(finished, horizon).ok_or(ShardError::ZeroShards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_is_an_error() {
+        assert_eq!(ShardPlan::balance(&[1, 2, 3], 0), Err(ShardError::ZeroShards));
+        let err = run_sharded(FleetConfig::paper_experiment(1), 0).unwrap_err();
+        assert_eq!(err, ShardError::ZeroShards);
+        assert!(err.to_string().contains("zero shards"));
+    }
+
+    #[test]
+    fn every_arm_lands_in_exactly_one_group() {
+        let plan = ShardPlan::balance(&[10, 10, 3, 0, 7], 3).unwrap();
+        let mut seen = vec![0u32; 5];
+        for group in plan.groups() {
+            for &ai in group {
+                seen[ai] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "memberships {seen:?}");
+        for (ai, &n) in seen.iter().enumerate() {
+            assert_eq!(n, 1);
+            assert_eq!(plan.owner_of(ai), plan.groups().iter().position(|g| g.contains(&ai)));
+        }
+        assert_eq!(plan.owner_of(5), None);
+    }
+
+    #[test]
+    fn lpt_balances_heavy_and_light_arms() {
+        // One heavy arm, three light: LPT isolates the heavy one.
+        let plan = ShardPlan::balance(&[100, 5, 5, 5], 2).unwrap();
+        assert_eq!(plan.groups()[0], vec![0]);
+        assert_eq!(plan.groups()[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn more_shards_than_arms_degrades_to_singletons() {
+        let plan = ShardPlan::balance(&[4, 4], 8).unwrap();
+        assert_eq!(plan.shards(), 8);
+        let nonempty: Vec<_> = plan.groups().iter().filter(|g| !g.is_empty()).collect();
+        assert_eq!(nonempty.len(), 2, "one arm per shard");
+        // Empty groups are a strict suffix.
+        let first_empty = plan.groups().iter().position(Vec::is_empty).unwrap();
+        assert!(plan.groups()[first_empty..].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn plan_is_seed_independent() {
+        let a = ShardPlan::for_fleet(&FleetConfig::paper_experiment(1), 2).unwrap();
+        let b = ShardPlan::for_fleet(&FleetConfig::paper_experiment(999), 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_matches_serial_smoke() {
+        let serial = FleetSim::run(FleetConfig::paper_experiment(5));
+        let sharded = FleetSim::run_sharded(FleetConfig::paper_experiment(5), 2).unwrap();
+        assert_eq!(serial.digest(), sharded.digest());
+    }
+}

@@ -25,6 +25,8 @@
 //! availability factor computed by the `energy` crate offline (E12 covers
 //! the fine-grained energy dynamics).
 
+use std::sync::Arc;
+
 use backhaul::helium::HotspotPopulation;
 use econ::credits::Wallet;
 use econ::labor::PersonHours;
@@ -217,6 +219,25 @@ pub enum Ev {
     BackhaulMigrated(usize),
 }
 
+impl Ev {
+    /// The global arm index this event is scoped to, or `None` for the
+    /// fleet-wide tick chains ([`Ev::WeeklyCheck`], [`Ev::YearlyTick`])
+    /// that every shard replays locally. The shard router
+    /// ([`FleetSim::split_for_shards`]) uses this to deliver each primed
+    /// event to the one shard that owns its arm.
+    pub(crate) fn arm(&self) -> Option<usize> {
+        match *self {
+            Ev::WeeklyCheck | Ev::YearlyTick => None,
+            Ev::DeviceFail(ai, _)
+            | Ev::DeviceReplace(ai, _)
+            | Ev::GatewayFail(ai, _)
+            | Ev::GatewayRepair(ai, _)
+            | Ev::ProviderExit(ai)
+            | Ev::BackhaulMigrated(ai) => Some(ai),
+        }
+    }
+}
+
 /// Live infrastructure state of an arm.
 enum ArmInfra {
     Owned {
@@ -361,7 +382,12 @@ impl FleetReport {
     }
 }
 
-struct ArmState {
+pub(crate) struct ArmState {
+    /// Global arm index — the arm's position in `FleetConfig::arms`. A
+    /// shard world owns an ascending *subset* of arms but keeps their
+    /// global ids, so events (which carry global indices) and rng-stream
+    /// derivations are identical to the serial run.
+    id: usize,
     cfg: ArmConfig,
     devices: Vec<DeviceState>,
     /// Owned arms: the gateway indices each device can reach (the
@@ -374,6 +400,15 @@ struct ArmState {
     /// arm to a configuration cannot perturb existing arms (the
     /// common-random-numbers property DESIGN.md calls out).
     rng: Rng,
+    /// The arm's private diary. Every diary line the simulation writes is
+    /// arm-scoped, so each arm logs into its own stream and finalize
+    /// performs one canonical merge: stable by time, ties in ascending
+    /// global-arm-id order. Serial and sharded runs share that merge, so
+    /// the merged diary — and therefore the run digest — is bit-identical
+    /// by construction, not by scheduling accident.
+    diary: Diary,
+    /// The arm's private span log (same ownership argument as `diary`).
+    spans: SpanLog,
     /// Telemetry: readings delivered end-to-end (mirrors the report field
     /// so the snapshot cross-checks the ledger). Settled once at finalize
     /// from the report ledger rather than bumped mid-run.
@@ -390,13 +425,16 @@ struct ArmState {
 }
 
 /// The simulation world.
+///
+/// A *serial* world owns every configured arm at its natural index. A
+/// *shard* world (see [`crate::shard`]) owns an ascending subset of the
+/// arms, shares the metric [`Registry`] with its sibling shards through
+/// the `Arc`, and is merged back into a single report at the horizon.
 pub struct FleetSim {
     cfg: FleetConfig,
     arms: Vec<ArmState>,
     cloud: CloudEndpoint,
-    diary: Diary,
-    metrics: Registry,
-    spans: SpanLog,
+    metrics: Arc<Registry>,
     chaos_applied: Counter,
     chaos_skipped: Counter,
 }
@@ -413,10 +451,9 @@ impl FleetSim {
     /// to a fresh build.
     pub fn build_with_queue(cfg: FleetConfig, queue: EventQueue<Ev>) -> Engine<FleetSim> {
         let root = Rng::seed_from(cfg.seed);
-        let mut diary = Diary::new();
         let mut arms = Vec::new();
         let mut initial_failures: Vec<(SimTime, Ev)> = Vec::new();
-        let metrics = Registry::new();
+        let metrics = Arc::new(Registry::new());
         // Chaos counters are pre-registered (at zero) in *every* run, so a
         // zero-fault chaos run snapshots — and therefore digests —
         // identically to a plain run.
@@ -508,7 +545,8 @@ impl FleetSim {
                     report.spend += *wallet_dollars * arm_cfg.devices as i64;
                 }
             }
-            diary.log(
+            let mut arm_diary = Diary::new();
+            arm_diary.log(
                 SimTime::ZERO,
                 Severity::Info,
                 Tier::System,
@@ -534,12 +572,15 @@ impl FleetSim {
                 .expect("index-prefixed names are unique");
             let weekly_acc = LocalHistogram::new(weekly_buckets);
             arms.push(ArmState {
+                id: ai,
                 cfg: arm_cfg.clone(),
                 devices,
                 homes,
                 infra,
                 report,
                 rng: arm_rng.split("runtime", 0),
+                diary: arm_diary,
+                spans: SpanLog::new(),
                 delivered,
                 weekly_hist,
                 weekly_acc,
@@ -550,8 +591,7 @@ impl FleetSim {
         let mut cloud_rng = root.split("cloud", 0);
         let cloud = CloudEndpoint::paper_default(cfg.horizon, &mut cloud_rng);
 
-        let world =
-            FleetSim { cfg, arms, cloud, diary, metrics, spans: SpanLog::new(), chaos_applied, chaos_skipped };
+        let world = FleetSim { cfg, arms, cloud, metrics, chaos_applied, chaos_skipped };
         let mut engine = Engine::new_with_queue(world, queue);
         // Batch-schedule the priming events in the exact order the serial
         // schedule_at calls used — FIFO sequence numbers are assigned in
@@ -606,9 +646,28 @@ impl FleetSim {
     ) -> (FleetReport, EventQueue<Ev>) {
         let events = engine.events_processed();
         let profile = engine.profile().clone();
-        let (mut world, queue) = engine.into_parts();
+        let (world, queue) = engine.into_parts();
+        (world.finalize(events, profile, horizon), queue)
+    }
+
+    /// The one finalize path every runner — serial, hooked, sharded —
+    /// funnels through: right-censors survivors, settles the deferred
+    /// per-arm metrics, and performs the canonical merge of the per-arm
+    /// diaries and span logs (stable by time, ties in ascending global
+    /// arm id). Because the merge order is a pure function of per-arm
+    /// streams, a sharded run that reproduced each arm's stream exactly
+    /// produces a bit-identical report here.
+    pub(crate) fn finalize(
+        mut self,
+        events: u64,
+        profile: EngineProfile,
+        horizon: SimTime,
+    ) -> FleetReport {
+        // Arms in ascending global id: the identity for serial worlds,
+        // and the merge order for arms regrouped from shards.
+        self.arms.sort_by_key(|a| a.id);
         // Right-censor the survivors at the horizon.
-        for arm in &mut world.arms {
+        for arm in &mut self.arms {
             for dev in &arm.devices {
                 if dev.alive_at(horizon) {
                     arm.report
@@ -622,21 +681,151 @@ impl FleetSim {
         // accumulator. Local f64 accumulation starting from 0.0 matches
         // the sequential atomic-add order bit-for-bit, so digests are
         // unchanged by the batching.
-        for arm in &mut world.arms {
+        for arm in &mut self.arms {
             arm.delivered.add(arm.report.readings_delivered);
             let flushed = arm.weekly_acc.flush_into(&arm.weekly_hist);
             debug_assert!(flushed, "accumulator layout matches by construction");
         }
-        let metrics = world.metrics.snapshot();
-        let report = FleetReport {
-            arms: world.arms.into_iter().map(|a| a.report).collect(),
-            diary: world.diary,
+        // Canonical merge. `Diary::extend` re-sorts stably by time, so
+        // same-second entries from different arms always come out in
+        // ascending arm order — regardless of which order the serial
+        // event loop (or which shard) happened to write them in.
+        let mut diary = Diary::new();
+        let mut spans: Vec<Span> = Vec::new();
+        for arm in &mut self.arms {
+            diary.extend(core::mem::take(&mut arm.diary));
+            spans.extend(arm.spans.spans().iter().cloned());
+        }
+        spans.sort_by_key(|s| s.start);
+        let metrics = self.metrics.snapshot();
+        FleetReport {
+            arms: self.arms.into_iter().map(|a| a.report).collect(),
+            diary,
             events_processed: events,
             profile,
             metrics,
-            spans: world.spans.spans().to_vec(),
-        };
-        (report, queue)
+            spans,
+        }
+    }
+
+    /// Event kinds every shard replays locally instead of owning: the
+    /// fleet-wide tick chains. [`merge_shards`](Self::merge_shards) must
+    /// not sum their dispatch counts across shards — shard 0's copy is the
+    /// canonical one — so the merged profile (and `events_processed`)
+    /// matches the serial run exactly.
+    pub(crate) const DUPLICATED_KINDS: &'static [&'static str] = &["weekly-check", "yearly-tick"];
+
+    /// Splits a freshly built (primed, not yet run) engine into one engine
+    /// per shard group.
+    ///
+    /// `groups[si]` lists the global arm ids shard `si` owns; every arm
+    /// must appear in exactly one group and groups must be non-empty. The
+    /// split preserves determinism in three ways:
+    ///
+    /// 1. **Arms** move whole (with their private rng/diary/spans) into
+    ///    their owner shard, keeping ascending-id order within the shard,
+    ///    so each arm's random stream is untouched.
+    /// 2. **Primed events** are drained from the serial queue in its
+    ///    (time, FIFO) pop order and re-scheduled into the owner shard's
+    ///    queue in that same order — relative order among a shard's events
+    ///    is exactly the serial order. Tick-chain events ([`Ev::arm`] =
+    ///    `None`) are cloned into every shard so each shard evaluates its
+    ///    own arms weekly.
+    /// 3. **Shared telemetry**: all shards keep handles to the same
+    ///    [`Registry`] through the `Arc`; counter increments are atomic
+    ///    adds, which commute, and histogram flushes happen per-arm at
+    ///    finalize — so the merged snapshot is order-independent.
+    pub(crate) fn split_for_shards(
+        engine: Engine<FleetSim>,
+        groups: &[Vec<usize>],
+    ) -> Vec<Engine<FleetSim>> {
+        let (world, mut queue) = engine.into_parts();
+        let FleetSim { cfg, arms, cloud, metrics, chaos_applied, chaos_skipped } = world;
+        // Owner map: global arm id -> shard slot.
+        let mut owner = vec![0usize; arms.len()];
+        for (si, group) in groups.iter().enumerate() {
+            for &ai in group {
+                owner[ai] = si;
+            }
+        }
+        // Partition arms, preserving ascending-id order within each shard.
+        let mut shard_arms: Vec<Vec<ArmState>> = (0..groups.len()).map(|_| Vec::new()).collect();
+        for arm in arms {
+            shard_arms[owner[arm.id]].push(arm);
+        }
+        // Route the primed events in serial (time, FIFO) pop order.
+        let mut shard_events: Vec<Vec<(SimTime, Ev)>> =
+            (0..groups.len()).map(|_| Vec::new()).collect();
+        while let Some((at, ev)) = queue.pop() {
+            match ev.arm() {
+                Some(ai) => shard_events[owner[ai]].push((at, ev)),
+                None => {
+                    for events in &mut shard_events {
+                        events.push((at, ev));
+                    }
+                }
+            }
+        }
+        let mut engines = Vec::with_capacity(groups.len());
+        let mut ids = Vec::new();
+        for (si, arms) in shard_arms.into_iter().enumerate() {
+            let world = FleetSim {
+                cfg: cfg.clone(),
+                arms,
+                cloud: cloud.clone(),
+                metrics: Arc::clone(&metrics),
+                chaos_applied: chaos_applied.clone(),
+                chaos_skipped: chaos_skipped.clone(),
+            };
+            let mut engine = Engine::new(world);
+            ids.clear();
+            engine.schedule_many(shard_events[si].drain(..), &mut ids);
+            engines.push(engine);
+        }
+        engines
+    }
+
+    /// Merges finished shard engines (in shard-index order) back into one
+    /// [`FleetReport`], bit-identical to the serial report.
+    ///
+    /// Arms are regrouped and [`finalize`](Self::finalize) re-sorts them
+    /// into ascending global-id order, so the canonical diary/span merge
+    /// and the per-arm ledgers come out exactly as a serial run's would.
+    /// Profiles fold via [`EngineProfile::absorb_shard`]: per-arm event
+    /// kinds sum (each is owned by one shard), the replayed tick chains
+    /// ([`DUPLICATED_KINDS`](Self::DUPLICATED_KINDS)) keep shard 0's
+    /// canonical count, and `events_processed` is recomputed from the
+    /// merged dispatch counts. Returns `None` only for an empty input.
+    pub(crate) fn merge_shards(
+        engines: Vec<Engine<FleetSim>>,
+        horizon: SimTime,
+    ) -> Option<FleetReport> {
+        let mut engines = engines.into_iter();
+        let first = engines.next()?;
+        let mut profile = first.profile().clone();
+        let (mut world, _queue) = first.into_parts();
+        for engine in engines {
+            profile.absorb_shard(engine.profile(), Self::DUPLICATED_KINDS);
+            let (shard_world, _queue) = engine.into_parts();
+            world.arms.extend(shard_world.arms);
+        }
+        let events = profile.total_dispatched();
+        Some(world.finalize(events, profile, horizon))
+    }
+
+    /// Runs the configured experiment split across `shards` worker
+    /// threads. The report — and therefore its run digest — is
+    /// bit-identical to [`run`](Self::run) for every seed and every shard
+    /// count; see [`crate::shard`] for the partitioner and the argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::shard::ShardError::ZeroShards`] when `shards == 0`.
+    pub fn run_sharded(
+        cfg: FleetConfig,
+        shards: usize,
+    ) -> Result<FleetReport, crate::shard::ShardError> {
+        crate::shard::run_sharded(cfg, shards)
     }
 
     /// Evaluates one week for one arm: delivers readings, burns credits,
@@ -648,9 +837,9 @@ impl FleetSim {
     /// only scales the per-packet probability the draw is applied to, so a
     /// fault schedule can never shift another entity's random stream — the
     /// property the metamorphic monotonicity tests depend on.
-    fn weekly_eval(&mut self, ai: usize, now: SimTime) {
+    fn weekly_eval(&mut self, li: usize, now: SimTime) {
         let cloud_up = self.cloud.up_at(now);
-        let arm = &mut self.arms[ai];
+        let arm = &mut self.arms[li];
         let reports = arm.cfg.device_spec.reports_per_week();
         arm.report.weeks_total += 1;
         arm.report.readings_expected += reports * arm.cfg.devices as u64;
@@ -719,7 +908,7 @@ impl FleetSim {
                         w.burn_packets(now, arm.cfg.device_spec.payload.len() as u32, delivered);
                     if w.exhausted_at() == Some(now) {
                         arm.report.wallets_exhausted += 1;
-                        self.diary.log(
+                        arm.diary.log(
                             now,
                             Severity::Incident,
                             Tier::Backhaul,
@@ -745,10 +934,28 @@ impl FleetSim {
         }
     }
 
-    /// Number of configured arms (fault planners size their targets by
-    /// this).
+    /// Number of arms this world owns (fault planners size their targets
+    /// by this; equal to the configured arm count for serial worlds).
     pub fn arm_count(&self) -> usize {
         self.arms.len()
+    }
+
+    /// Resolves a *global* arm index to this world's slot for it. Serial
+    /// worlds are identity-indexed (the fast path); shard worlds own an
+    /// ascending subset and fall back to a binary search on the stable
+    /// global id. `None` means another shard owns the arm — or it never
+    /// existed.
+    fn local_slot(&self, ai: usize) -> Option<usize> {
+        match self.arms.get(ai) {
+            Some(arm) if arm.id == ai => Some(ai),
+            _ => self.arms.binary_search_by_key(&ai, |a| a.id).ok(),
+        }
+    }
+
+    /// Mutable access to the arm with *global* index `ai`, if owned.
+    fn local_arm(&mut self, ai: usize) -> Option<&mut ArmState> {
+        let li = self.local_slot(ai)?;
+        self.arms.get_mut(li)
     }
 
     /// The run's live metric registry. Snapshot it (or finalize through
@@ -757,12 +964,7 @@ impl FleetSim {
     /// hot loop and only settle at finalize, so mid-run snapshots show
     /// them at zero; chaos counters are always live.
     pub fn metrics(&self) -> &Registry {
-        &self.metrics
-    }
-
-    /// The run's sim-time span log.
-    pub fn span_log(&self) -> &SpanLog {
-        &self.spans
+        self.metrics.as_ref()
     }
 
     /// Records a chaos fault whose target did not exist — the injector's
@@ -774,11 +976,10 @@ impl FleetSim {
     /// Records one applied chaos fault: diary line + per-arm counter.
     /// Every injection funnels through here so "chaos:" grep-counts the
     /// applied faults exactly.
-    fn chaos_log(&mut self, ai: usize, now: SimTime, tier: Tier, what: String) {
-        self.chaos_applied.inc();
-        let arm = &mut self.arms[ai];
+    fn chaos_log(applied: &Counter, arm: &mut ArmState, now: SimTime, tier: Tier, what: String) {
+        applied.inc();
         arm.report.faults_injected += 1;
-        self.diary.log(
+        arm.diary.log(
             now,
             Severity::Incident,
             tier,
@@ -795,7 +996,8 @@ impl FleetSim {
     /// end time, so fault schedules compose monotonically.
     pub fn inject_regional_outage(&mut self, ai: usize, now: SimTime, duration: SimDuration) -> bool {
         let until = now.saturating_add(duration);
-        let Some(arm) = self.arms.get_mut(ai) else { return false };
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
         match &mut arm.infra {
             ArmInfra::Owned { gateways, .. } => {
                 for gw in gateways.iter_mut() {
@@ -807,7 +1009,7 @@ impl FleetSim {
             }
         }
         let days = duration.as_secs() / 86_400;
-        self.chaos_log(ai, now, Tier::Gateway, format!("regional outage, {days} days"));
+        Self::chaos_log(&applied, arm, now, Tier::Gateway, format!("regional outage, {days} days"));
         true
     }
 
@@ -816,14 +1018,12 @@ impl FleetSim {
     /// to flap). Returns whether the fault applied.
     pub fn inject_backhaul_flap(&mut self, ai: usize, now: SimTime, duration: SimDuration) -> bool {
         let until = now.saturating_add(duration);
-        match self.arms.get_mut(ai).map(|a| &mut a.infra) {
-            Some(ArmInfra::Owned { flap_until, .. }) => {
-                *flap_until = (*flap_until).max(until);
-            }
-            _ => return false,
-        }
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        let ArmInfra::Owned { flap_until, .. } = &mut arm.infra else { return false };
+        *flap_until = (*flap_until).max(until);
         let hours = duration.as_secs() / 3_600;
-        self.chaos_log(ai, now, Tier::Backhaul, format!("backhaul flapping, {hours} h"));
+        Self::chaos_log(&applied, arm, now, Tier::Backhaul, format!("backhaul flapping, {hours} h"));
         true
     }
 
@@ -833,14 +1033,13 @@ impl FleetSim {
     /// arms only). Returns whether the fault applied.
     pub fn inject_provider_sunset(&mut self, ai: usize, now: SimTime) -> bool {
         let until = now.saturating_add(SimDuration::from_weeks(13));
-        match self.arms.get_mut(ai).map(|a| &mut a.infra) {
-            Some(ArmInfra::Owned { flap_until, .. }) => {
-                *flap_until = (*flap_until).max(until);
-            }
-            _ => return false,
-        }
-        self.chaos_log(
-            ai,
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        let ArmInfra::Owned { flap_until, .. } = &mut arm.infra else { return false };
+        *flap_until = (*flap_until).max(until);
+        Self::chaos_log(
+            &applied,
+            arm,
             now,
             Tier::Backhaul,
             "provider sunset without notice; emergency recommissioning".to_string(),
@@ -852,12 +1051,13 @@ impl FleetSim {
     /// arm's audible hotspots at once (federated arms only). Returns
     /// whether the fault applied.
     pub fn inject_hotspot_collapse(&mut self, ai: usize, now: SimTime, fraction: f64) -> bool {
-        let removed = match self.arms.get_mut(ai).map(|a| &mut a.infra) {
-            Some(ArmInfra::Federated { hotspots, .. }) => hotspots.collapse(fraction),
-            _ => return false,
-        };
-        self.chaos_log(
-            ai,
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        let ArmInfra::Federated { hotspots, .. } = &mut arm.infra else { return false };
+        let removed = hotspots.collapse(fraction);
+        Self::chaos_log(
+            &applied,
+            arm,
             now,
             Tier::Gateway,
             format!("hotspot population collapse, {removed} hotspots lost"),
@@ -868,17 +1068,14 @@ impl FleetSim {
     /// Chaos: a top-up/billing failure empties `device`'s prepaid wallet
     /// (federated arms only). Returns whether the fault applied.
     pub fn inject_wallet_failure(&mut self, ai: usize, now: SimTime, device: usize) -> bool {
-        match self.arms.get_mut(ai).map(|a| &mut a.infra) {
-            Some(ArmInfra::Federated { wallets, .. }) => match wallets.get_mut(device) {
-                Some(w) => {
-                    w.drain();
-                }
-                None => return false,
-            },
-            _ => return false,
-        }
-        self.chaos_log(
-            ai,
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        let ArmInfra::Federated { wallets, .. } = &mut arm.infra else { return false };
+        let Some(w) = wallets.get_mut(device) else { return false };
+        w.drain();
+        Self::chaos_log(
+            &applied,
+            arm,
             now,
             Tier::Backhaul,
             format!("device {device} top-up failed; wallet drained"),
@@ -896,12 +1093,18 @@ impl FleetSim {
         duration: SimDuration,
     ) -> bool {
         let until = now.saturating_add(duration);
-        match self.arms.get_mut(ai).and_then(|a| a.devices.get_mut(device)) {
-            Some(dev) => dev.stuck_until = dev.stuck_until.max(until),
-            None => return false,
-        }
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        let Some(dev) = arm.devices.get_mut(device) else { return false };
+        dev.stuck_until = dev.stuck_until.max(until);
         let weeks = duration.as_secs() / (7 * 86_400);
-        self.chaos_log(ai, now, Tier::Device, format!("device {device} firmware stuck, {weeks} weeks"));
+        Self::chaos_log(
+            &applied,
+            arm,
+            now,
+            Tier::Device,
+            format!("device {device} firmware stuck, {weeks} weeks"),
+        );
         true
     }
 
@@ -916,13 +1119,14 @@ impl FleetSim {
         duration: SimDuration,
     ) -> bool {
         let until = now.saturating_add(duration);
-        match self.arms.get_mut(ai).and_then(|a| a.devices.get_mut(device)) {
-            Some(dev) => dev.byzantine_until = dev.byzantine_until.max(until),
-            None => return false,
-        }
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        let Some(dev) = arm.devices.get_mut(device) else { return false };
+        dev.byzantine_until = dev.byzantine_until.max(until);
         let weeks = duration.as_secs() / (7 * 86_400);
-        self.chaos_log(
-            ai,
+        Self::chaos_log(
+            &applied,
+            arm,
             now,
             Tier::Device,
             format!("device {device} byzantine readings, {weeks} weeks"),
@@ -951,8 +1155,11 @@ impl World for FleetSim {
         let now = ctx.now();
         match ev {
             Ev::WeeklyCheck => {
-                for ai in 0..self.arms.len() {
-                    self.weekly_eval(ai, now);
+                // Walks the arms this world owns (all of them in a serial
+                // run, the shard's subset otherwise) in ascending global
+                // id — the same per-arm order either way.
+                for li in 0..self.arms.len() {
+                    self.weekly_eval(li, now);
                 }
                 ctx.schedule_in(SimDuration::from_secs(WEEK), Ev::WeeklyCheck);
             }
@@ -968,7 +1175,7 @@ impl World for FleetSim {
                         let mut hrng = arm.rng.split("hotspots", u64::from(hotspots.year()) + 1);
                         let after = hotspots.step_year(&mut hrng);
                         if before > 0 && after == 0 {
-                            self.diary.log(
+                            arm.diary.log(
                                 now,
                                 Severity::Incident,
                                 Tier::Gateway,
@@ -986,7 +1193,7 @@ impl World for FleetSim {
                                 .any(|g| !g.spec.backhaul.available(t_years))
                         {
                             *sunset_logged = true;
-                            self.diary.log(
+                            arm.diary.log(
                                 now,
                                 Severity::Incident,
                                 Tier::Backhaul,
@@ -1007,13 +1214,13 @@ impl World for FleetSim {
                 ctx.schedule_in(SimDuration::from_years(1), Ev::YearlyTick);
             }
             Ev::DeviceFail(ai, di) => {
-                let arm = &mut self.arms[ai];
+                let Some(arm) = self.local_arm(ai) else { return };
                 arm.devices[di].failed = true;
                 arm.report.device_failures += 1;
                 arm.report.lifetime_observations.push(Observation::failed(
                     arm.devices[di].age_at(now).as_years_f64(),
                 ));
-                self.diary.log(
+                arm.diary.log(
                     now,
                     Severity::Warning,
                     Tier::Device,
@@ -1026,7 +1233,7 @@ impl World for FleetSim {
             Ev::DeviceReplace(ai, di) => {
                 let env = self.cfg.env;
                 let horizon = self.cfg.horizon;
-                let arm = &mut self.arms[ai];
+                let Some(arm) = self.local_arm(ai) else { return };
                 let mut drng = arm
                     .rng
                     .split("replace", di as u64)
@@ -1044,7 +1251,7 @@ impl World for FleetSim {
                     wallets[di] = Wallet::provision_dollars(Usd::from_dollars(5));
                     arm.report.spend += Usd::from_dollars(5);
                 }
-                self.diary.log(
+                arm.diary.log(
                     now,
                     Severity::Incident,
                     Tier::Device,
@@ -1052,11 +1259,11 @@ impl World for FleetSim {
                 );
             }
             Ev::GatewayFail(ai, gi) => {
-                let arm = &mut self.arms[ai];
+                let Some(arm) = self.local_arm(ai) else { return };
                 if let ArmInfra::Owned { gateways, .. } = &mut arm.infra {
                     let done = gateways[gi].fail(now);
                     ctx.schedule_at(done, Ev::GatewayRepair(ai, gi));
-                    self.diary.log(
+                    arm.diary.log(
                         now,
                         Severity::Incident,
                         Tier::Gateway,
@@ -1067,7 +1274,7 @@ impl World for FleetSim {
             Ev::GatewayRepair(ai, gi) => {
                 let env = self.cfg.env;
                 let horizon = self.cfg.horizon;
-                let arm = &mut self.arms[ai];
+                let Some(arm) = self.local_arm(ai) else { return };
                 if let ArmInfra::Owned { gateways, .. } = &mut arm.infra {
                     let mut grng = arm
                         .rng
@@ -1080,7 +1287,7 @@ impl World for FleetSim {
                     arm.report.gateway_repairs += 1;
                     arm.report.labor = arm.report.labor.plus(PersonHours::from_hours(2.0));
                     arm.report.spend += Usd::from_dollars(150) + Usd::from_dollars(170);
-                    self.diary.log(
+                    arm.diary.log(
                         now,
                         Severity::Info,
                         Tier::Gateway,
@@ -1089,12 +1296,12 @@ impl World for FleetSim {
                 }
             }
             Ev::ProviderExit(ai) => {
-                let arm = &mut self.arms[ai];
+                let Some(arm) = self.local_arm(ai) else { return };
                 if let ArmInfra::Owned { backhaul_down, .. } = &mut arm.infra {
                     *backhaul_down = true;
-                    arm.outage_span =
-                        Some(self.spans.open(format!("{}: backhaul-outage", arm.cfg.name), now));
-                    self.diary.log(
+                    let sid = arm.spans.open(format!("{}: backhaul-outage", arm.cfg.name), now);
+                    arm.outage_span = Some(sid);
+                    arm.diary.log(
                         now,
                         Severity::Incident,
                         Tier::Backhaul,
@@ -1110,11 +1317,12 @@ impl World for FleetSim {
                 }
             }
             Ev::BackhaulMigrated(ai) => {
-                let arm = &mut self.arms[ai];
+                let horizon = self.cfg.horizon;
+                let Some(arm) = self.local_arm(ai) else { return };
                 if let ArmInfra::Owned { gateways, backhaul_down, .. } = &mut arm.infra {
                     *backhaul_down = false;
                     if let Some(id) = arm.outage_span.take() {
-                        self.spans.close(id, now);
+                        arm.spans.close(id, now);
                     }
                     arm.report.backhaul_migrations += 1;
                     let n_gw = gateways.len() as i64;
@@ -1129,11 +1337,11 @@ impl World for FleetSim {
                             spec.provider.sample_exit_years(&mut prng),
                         );
                         let at = now.saturating_add(exit);
-                        if at.as_secs() < self.cfg.horizon.as_secs() {
+                        if at.as_secs() < horizon.as_secs() {
                             ctx.schedule_at(at, Ev::ProviderExit(ai));
                         }
                     }
-                    self.diary.log(
+                    arm.diary.log(
                         now,
                         Severity::Info,
                         Tier::Backhaul,

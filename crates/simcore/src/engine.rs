@@ -131,6 +131,43 @@ impl EngineProfile {
         }
         self.kinds.push((kind, 1));
     }
+
+    fn record_n(&mut self, kind: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        for entry in &mut self.kinds {
+            if entry.0 == kind {
+                entry.1 += n;
+                return;
+            }
+        }
+        self.kinds.push((kind, n));
+    }
+
+    /// Folds a shard's profile into this one so the merged profile of a
+    /// sharded run matches the serial profile's dispatch counts.
+    ///
+    /// Kinds listed in `duplicated` are tick chains every shard replays
+    /// (e.g. the weekly evaluation barrier): a serial run dispatches each
+    /// once per tick, so they are *not* summed — this profile (shard 0's)
+    /// already carries the canonical count. Everything else is owned by
+    /// exactly one shard and sums. Wall-clock fields keep the maximum
+    /// (shards run concurrently) except handler sampling, which sums so
+    /// `handler_nanos` stays a cross-shard estimate.
+    pub fn absorb_shard(&mut self, other: &EngineProfile, duplicated: &[&str]) {
+        for &(kind, n) in &other.kinds {
+            if duplicated.contains(&kind) {
+                continue;
+            }
+            self.record_n(kind, n);
+        }
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+        self.handler_sampled_nanos += other.handler_sampled_nanos;
+        self.handler_samples += other.handler_samples;
+        self.run_nanos = self.run_nanos.max(other.run_nanos);
+        self.hook_fires += other.hook_fires;
+    }
 }
 
 /// Handler-side view of the engine: the clock and scheduling operations.

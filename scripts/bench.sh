@@ -4,27 +4,35 @@
 # Writes BENCH_sim_throughput.json at the repo root with serial and
 # parallel events/sec for the paper experiment, compared against the
 # pinned pre-calendar-queue baseline (rev 7a8213d, same machine class,
-# same methodology: best-of-N wall clock over 64 replicates).
+# same methodology: best-of-N wall clock over 64 replicates), plus the
+# intra-run sharding sweep (serial vs --shards on one 10k/100k/1M-device
+# run; see fleet::shard). Sharded speedup tracks the cores the host
+# grants — the JSON records host_parallelism so a 1-core container's
+# ~1.0x is read as a hardware ceiling, not a regression.
 #
 # The binary exits nonzero if the serial and parallel digest XORs
-# diverge — a perf regression harness must never paper over a
-# correctness break.
+# diverge, or if any serial/sharded digest pair does — a perf regression
+# harness must never paper over a correctness break.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPLICATES="${REPLICATES:-64}"
 PASSES="${PASSES:-5}"
 THREADS="${THREADS:-$(nproc)}"
+SHARDS="${SHARDS:-8}"
+SCALE_DEVICES="${SCALE_DEVICES:-10000,100000,1000000}"
 OUT="${OUT:-BENCH_sim_throughput.json}"
 
 echo "== build (release) =="
 cargo build --release -p bench --bin throughput
 
-echo "== throughput (${REPLICATES} replicates, ${THREADS} threads, best of ${PASSES}) =="
+echo "== throughput (${REPLICATES} replicates, ${THREADS} threads, best of ${PASSES}, shards ${SHARDS} @ ${SCALE_DEVICES} devices) =="
 ./target/release/throughput \
   --replicates "${REPLICATES}" \
   --threads "${THREADS}" \
   --passes "${PASSES}" \
+  --shards "${SHARDS}" \
+  --scale-devices "${SCALE_DEVICES}" \
   --base-seed 0 \
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
   --baseline-rev 7a8213d \

@@ -32,4 +32,9 @@ echo "== bench smoke (1 replicate; also asserts serial == parallel digests) =="
 ./target/release/throughput --replicates 1 --threads 1 --passes 1 \
   --out target/bench_smoke.json > /dev/null
 
+echo "== sharded smoke (one seed; binary exits 1 unless serial == sharded digest) =="
+./target/release/throughput --replicates 1 --threads 1 --passes 1 \
+  --shards 4 --scale-devices 2000 \
+  --out target/bench_sharded_smoke.json > /dev/null
+
 echo "verify: OK"

@@ -28,8 +28,18 @@ fn current_digests() -> Vec<(String, u64)> {
     }
     let cfg = FleetConfig::paper_experiment(42);
     let plan = FaultPlanBuilder::full(42).build(&cfg, 1.0).expect("intensity 1.0 is valid");
-    let report = chaos::run_with_plan(cfg, plan);
+    let report = chaos::run_with_plan(cfg, plan.clone());
     out.push(("paper_experiment/seed=42/chaos=full@1.0".to_string(), report.digest()));
+    // Sharded-execution pins (k=4): identical values to the serial pins
+    // above by the bit-identity contract, recorded separately so a drift
+    // confined to the sharded path cannot hide behind a healthy serial
+    // run.
+    let report = FleetSim::run_sharded(FleetConfig::paper_experiment(1), 4)
+        .expect("four shards is valid");
+    out.push(("paper_experiment/seed=1/shards=4".to_string(), report.digest()));
+    let report = chaos::run_sharded_with_plan(FleetConfig::paper_experiment(42), plan, 4)
+        .expect("four shards is valid");
+    out.push(("paper_experiment/seed=42/chaos=full@1.0/shards=4".to_string(), report.digest()));
     out
 }
 

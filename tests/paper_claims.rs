@@ -127,6 +127,36 @@ fn s4_experiment_sustains_weekly_uptime() {
     assert!(report.diary.count(simcore::trace::Severity::Incident) > 0);
 }
 
+/// §4 under sharded execution: splitting the experiment across worker
+/// threads (`run_sharded(4)`) must leave every paper number untouched —
+/// the E7 AS-diversity exhibit computes identically before and after a
+/// sharded run (no cross-thread perturbation of seeded streams), and the
+/// sharded experiment itself digests identically to the serial §4 run.
+#[test]
+fn s4_paper_numbers_unchanged_under_sharded_execution() {
+    let before = bench::exhibits::e7::compute(777);
+    let serial = fleet::sim::FleetSim::run(fleet::sim::FleetConfig::paper_experiment(12345));
+    let sharded =
+        fleet::sim::FleetSim::run_sharded(fleet::sim::FleetConfig::paper_experiment(12345), 4)
+            .expect("four shards is valid");
+    assert_eq!(serial.digest(), sharded.digest(), "sharded §4 run drifted from serial");
+    for (s, p) in serial.arms.iter().zip(&sharded.arms) {
+        assert_eq!(s.weeks_up, p.weeks_up);
+        assert_eq!(s.readings_delivered, p.readings_delivered);
+        assert_eq!(s.spend, p.spend);
+        assert!(p.uptime() > 0.95, "{} uptime {} under sharding", p.name, p.uptime());
+    }
+    let after = bench::exhibits::e7::compute(777);
+    assert_eq!(before.total, after.total);
+    assert_eq!(before.ases, after.ases);
+    assert_eq!(before.survivors_without_top10, after.survivors_without_top10);
+    assert!(before.top1.to_bits() == after.top1.to_bits());
+    assert!(before.top3.to_bits() == after.top3.to_bits());
+    assert!(before.top3_isp.to_bits() == after.top3_isp.to_bits());
+    assert!(before.top10.to_bits() == after.top10.to_bits());
+    assert!(before.hhi.to_bits() == after.hhi.to_bits());
+}
+
 /// §1 folklore band: the battery BOM's median life lands in roughly
 /// 10-15 years; the harvesting BOM clearly exceeds it.
 #[test]

@@ -284,6 +284,88 @@ proptest! {
         }
     }
 
+    /// Shard planner: every arm lands in exactly one shard, owner lookup
+    /// agrees with the groups, groups are ascending, and empty shards
+    /// only ever form a suffix.
+    #[test]
+    fn shard_plan_partitions_exactly(
+        weights in proptest::collection::vec(0u64..10_000, 0..40),
+        shards in 1usize..12,
+    ) {
+        use fleet::shard::ShardPlan;
+        let plan = ShardPlan::balance(&weights, shards).unwrap();
+        prop_assert_eq!(plan.shards(), shards);
+        let mut seen = vec![0u32; weights.len()];
+        for (si, group) in plan.groups().iter().enumerate() {
+            for w in group.windows(2) {
+                prop_assert!(w[0] < w[1], "group {} not ascending", si);
+            }
+            for &ai in group {
+                prop_assert!(ai < weights.len());
+                seen[ai] += 1;
+                prop_assert_eq!(plan.owner_of(ai), Some(si));
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1), "memberships {:?}", seen);
+        prop_assert_eq!(plan.owner_of(weights.len()), None);
+        if let Some(first_empty) = plan.groups().iter().position(Vec::is_empty) {
+            prop_assert!(
+                plan.groups()[first_empty..].iter().all(Vec::is_empty),
+                "empty shards must be a suffix"
+            );
+        }
+    }
+
+    /// Shard planner: the per-shard load multiset depends only on the
+    /// weight multiset — permuting the arm list cannot change how much
+    /// work each shard carries.
+    #[test]
+    fn shard_plan_loads_invariant_under_permutation(
+        weights in proptest::collection::vec(0u64..10_000, 1..30),
+        shards in 1usize..8,
+        rot in 0usize..30,
+    ) {
+        use fleet::shard::ShardPlan;
+        // A rotation is an arbitrary-feeling permutation that proptest can
+        // shrink; full permutations would need a vendored shuffle.
+        let mut rotated = weights.clone();
+        rotated.rotate_left(rot % weights.len());
+        let a = ShardPlan::balance(&weights, shards).unwrap();
+        let b = ShardPlan::balance(&rotated, shards).unwrap();
+        // Compare load multisets via the respective weight lists.
+        let mut la: Vec<u64> = a
+            .groups()
+            .iter()
+            .map(|g| g.iter().map(|&ai| weights[ai].max(1)).sum())
+            .collect();
+        let mut lb: Vec<u64> = b
+            .groups()
+            .iter()
+            .map(|g| g.iter().map(|&ai| rotated[ai].max(1)).sum())
+            .collect();
+        la.sort_unstable();
+        lb.sort_unstable();
+        prop_assert_eq!(la, lb, "load multiset changed under permutation");
+    }
+
+    /// Shard planner: more shards than arms degrades gracefully — each
+    /// arm gets its own shard and the surplus stays empty.
+    #[test]
+    fn shard_plan_oversharding_degrades_to_singletons(
+        weights in proptest::collection::vec(0u64..10_000, 1..10),
+        extra in 1usize..10,
+    ) {
+        use fleet::shard::ShardPlan;
+        let shards = weights.len() + extra;
+        let plan = ShardPlan::balance(&weights, shards).unwrap();
+        let nonempty: Vec<&Vec<usize>> =
+            plan.groups().iter().filter(|g| !g.is_empty()).collect();
+        prop_assert_eq!(nonempty.len(), weights.len(), "one arm per shard");
+        for group in nonempty {
+            prop_assert_eq!(group.len(), 1);
+        }
+    }
+
     /// Histogram bucketing is monotone in the observation, and each value
     /// lands in the first bucket whose upper bound is at or above it.
     #[test]
