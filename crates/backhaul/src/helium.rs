@@ -104,6 +104,14 @@ impl HotspotPopulation {
         self.count
     }
 
+    /// Overwrites the mutable census state — current count and years
+    /// stepped — from a checkpoint. The growth/churn parameters are
+    /// configuration and are rebuilt from it, not snapshotted.
+    pub fn restore_census(&mut self, count: u32, year: u32) {
+        self.count = count;
+        self.year = year;
+    }
+
     /// Chaos: an abrupt market collapse removes `fraction` of the current
     /// population at once (deterministic floor, no RNG draw so injection
     /// never perturbs the arm's random streams). Returns hotspots removed.

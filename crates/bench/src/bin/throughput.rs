@@ -24,9 +24,26 @@
 //! the pinned pre-optimisation baseline passed by `scripts/bench.sh` so
 //! every future PR has a trajectory to beat in one file.
 //!
+//! Two snapshot modes (mutually exclusive with the sweep, plain runs
+//! only — chaos resume lives in the `chaos` crate):
+//!
+//! * `--checkpoint-every <weeks> [--checkpoint-dir <dir>]`: runs the
+//!   `--base-seed` paper experiment once uninterrupted and once writing a
+//!   snapshot every N weeks, then resumes **every** snapshot to the
+//!   horizon and exits 1 unless each resumed digest equals the
+//!   uninterrupted one — the crash-recovery differential on real files,
+//!   with checkpoint write and resume costs measured.
+//! * `--resume <path>`: restores one snapshot (config = the
+//!   `--base-seed` paper experiment), runs it to the horizon and reports
+//!   the resumed digest and events/second.
+//!
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     --replicates 64 --threads 8 --out BENCH_sim_throughput.json
+//! cargo run --release -p bench --bin throughput -- \
+//!     --checkpoint-every 520 --checkpoint-dir /tmp/snaps
+//! cargo run --release -p bench --bin throughput -- \
+//!     --resume /tmp/snaps/seed0-week520.snap
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,7 +52,8 @@ use std::time::Instant;
 
 use bench::parallel::run_reports;
 use fleet::sim::{ArmConfig, FleetConfig, FleetSim};
-use simcore::time::SimDuration;
+use fleet::snapshot::{self, ChaosProgress};
+use simcore::time::{SimDuration, SimTime};
 
 /// One measured pass: wall-clock plus the determinism checksum.
 struct Pass {
@@ -168,6 +186,12 @@ struct Args {
     shards: usize,
     /// Device counts for the intra-run sharding sweep (empty = skip).
     scale_devices: Vec<usize>,
+    /// Checkpoint cadence in weeks; `Some` switches to checkpoint mode.
+    checkpoint_every: Option<u64>,
+    /// Directory checkpoint mode writes its snapshots into.
+    checkpoint_dir: String,
+    /// Snapshot path; `Some` switches to resume mode.
+    resume: Option<String>,
     out: Option<String>,
     git_rev: String,
     baseline: Option<Baseline>,
@@ -181,6 +205,9 @@ fn parse_args() -> Result<Args, String> {
         passes: 3,
         shards: 8,
         scale_devices: Vec::new(),
+        checkpoint_every: None,
+        checkpoint_dir: "snapshots".to_string(),
+        resume: None,
         out: None,
         git_rev: "unknown".to_string(),
         baseline: None,
@@ -204,6 +231,9 @@ fn parse_args() -> Result<Args, String> {
                     .map(parse)
                     .collect::<Result<Vec<usize>, String>>()?;
             }
+            "--checkpoint-every" => args.checkpoint_every = Some(parse(&value(&flag)?)?),
+            "--checkpoint-dir" => args.checkpoint_dir = value(&flag)?,
+            "--resume" => args.resume = Some(value(&flag)?),
             "--out" => args.out = Some(value(&flag)?),
             "--git-rev" => args.git_rev = value(&flag)?,
             "--baseline-rev" => {
@@ -235,6 +265,12 @@ fn parse_args() -> Result<Args, String> {
     if args.scale_devices.contains(&0) {
         return Err("--scale-devices entries must be nonzero".to_string());
     }
+    if args.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be nonzero".to_string());
+    }
+    if args.checkpoint_every.is_some() && args.resume.is_some() {
+        return Err("--checkpoint-every and --resume are mutually exclusive".to_string());
+    }
     if have_baseline {
         args.baseline = Some(baseline);
     }
@@ -248,6 +284,127 @@ where
     s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
 }
 
+/// `--checkpoint-every` mode: the crash-recovery differential on real
+/// files. One uninterrupted run is the oracle; a second run writes an
+/// atomic snapshot every `every_weeks` weeks on its way to the horizon
+/// (and must not be perturbed by doing so); then every snapshot is
+/// resumed cold and driven to the horizon. Any digest mismatch is a
+/// correctness failure, reported as `Err`.
+fn run_checkpoint_mode(args: &Args, every_weeks: u64) -> Result<String, String> {
+    let cfg = FleetConfig::paper_experiment(args.base_seed);
+    let horizon = SimTime::ZERO + cfg.horizon;
+    let horizon_weeks = cfg.horizon.as_secs() / SimDuration::from_weeks(1).as_secs();
+    let t0 = Instant::now();
+    let baseline = FleetSim::run(cfg.clone());
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    std::fs::create_dir_all(&args.checkpoint_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.checkpoint_dir))?;
+    let mut engine = FleetSim::build(cfg.clone());
+    let mut snaps: Vec<(u64, std::path::PathBuf, u64)> = Vec::new();
+    let mut write_ms = 0.0f64;
+    let mut w = every_weeks;
+    while w < horizon_weeks {
+        engine.run_until(SimTime::ZERO + SimDuration::from_weeks(w));
+        let path = std::path::Path::new(&args.checkpoint_dir)
+            .join(format!("seed{}-week{w}.snap", args.base_seed));
+        let t = Instant::now();
+        snapshot::write_checkpoint(&path, &mut engine, ChaosProgress::default())
+            .map_err(|e| format!("checkpoint at week {w}: {e}"))?;
+        write_ms += t.elapsed().as_secs_f64() * 1e3;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        snaps.push((w, path, bytes));
+        w += every_weeks;
+    }
+    engine.run_until(horizon);
+    let checkpointed = FleetSim::into_report(engine, horizon);
+    if checkpointed.digest() != baseline.digest() {
+        return Err(format!(
+            "checkpointing perturbed the run ({:016x} vs {:016x}) — \
+             snapshot capture must be observation-only",
+            checkpointed.digest(),
+            baseline.digest()
+        ));
+    }
+
+    let mut rows = Vec::new();
+    for (week, path, bytes) in &snaps {
+        let t = Instant::now();
+        let resumed = snapshot::resume_from(path, cfg.clone())
+            .map_err(|e| format!("resume of week-{week} snapshot: {e}"))?;
+        let report = resumed.run_to_horizon();
+        let resume_ms = t.elapsed().as_secs_f64() * 1e3;
+        if report.digest() != baseline.digest() {
+            return Err(format!(
+                "resumed run from week {week} drifted ({:016x} vs {:016x}) — \
+                 crash recovery is broken",
+                report.digest(),
+                baseline.digest()
+            ));
+        }
+        rows.push(format!(
+            "{{\"week\":{week},\"bytes\":{bytes},\"resume_wall_ms\":{resume_ms:.3}}}"
+        ));
+    }
+
+    Ok(format!(
+        "{{\"bench\":\"sim_throughput\",\"mode\":\"checkpoint\",\"git_rev\":\"{}\",\
+         \"base_seed\":{},\"checkpoint_every_weeks\":{every_weeks},\
+         \"uninterrupted_wall_ms\":{baseline_ms:.3},\"digest\":\"{:016x}\",\
+         \"checkpoints\":{},\"checkpoint_write_ms\":{write_ms:.3},\
+         \"resumes\":[{}],\"bit_identical\":true}}",
+        args.git_rev,
+        args.base_seed,
+        baseline.digest(),
+        snaps.len(),
+        rows.join(",")
+    ))
+}
+
+/// `--resume` mode: restore one snapshot and drive it to the horizon.
+fn run_resume_mode(args: &Args, path: &str) -> Result<String, String> {
+    let cfg = FleetConfig::paper_experiment(args.base_seed);
+    let t0 = Instant::now();
+    let resumed = snapshot::resume_from(std::path::Path::new(path), cfg)
+        .map_err(|e| format!("cannot resume {path}: {e}"))?;
+    let from = resumed.engine.now();
+    let report = resumed.run_to_horizon();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Ok(format!(
+        "{{\"bench\":\"sim_throughput\",\"mode\":\"resume\",\"git_rev\":\"{}\",\
+         \"base_seed\":{},\"snapshot\":\"{path}\",\"resumed_from_secs\":{},\
+         \"wall_ms\":{wall_ms:.3},\"events\":{},\"digest\":\"{:016x}\"}}",
+        args.git_rev,
+        args.base_seed,
+        from.as_secs(),
+        report.events_processed,
+        report.digest()
+    ))
+}
+
+/// Prints mode output (echoing to `--out` like the sweep) and exits:
+/// 0 on success, 1 on any digest or I/O failure.
+fn finish_mode(result: Result<String, String>, out: Option<&String>) -> ! {
+    match result {
+        Ok(json) => {
+            println!("{json}");
+            if let Some(path) = out {
+                let mut contents = json;
+                contents.push('\n');
+                if let Err(e) = std::fs::write(path, contents) {
+                    eprintln!("throughput: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -256,6 +413,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = args.resume.clone() {
+        finish_mode(run_resume_mode(&args, &path), args.out.as_ref());
+    }
+    if let Some(every) = args.checkpoint_every {
+        finish_mode(run_checkpoint_mode(&args, every), args.out.as_ref());
+    }
 
     // Warm-up run so the first measured replicate doesn't pay cold-cache
     // costs the rest don't.

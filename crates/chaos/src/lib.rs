@@ -31,6 +31,7 @@ use simcore::engine::{Ctx, FaultHook};
 use simcore::error::ModelError;
 use simcore::event::EventQueue;
 use simcore::rng::Rng;
+use simcore::snapshot::SnapshotError;
 use simcore::time::{SimDuration, SimTime};
 
 /// One kind of injected fault, with its target and magnitude.
@@ -377,6 +378,26 @@ impl FleetInjector {
         FleetInjector { plan, next: 0, applied: 0, skipped: 0 }
     }
 
+    /// Wraps a plan with replay already advanced to `progress` — the
+    /// snapshot-resume constructor. `progress.next` indexes into *this*
+    /// plan's fault order (a stored value beyond the plan clamps to its
+    /// end, leaving nothing to replay).
+    pub fn with_progress(plan: FaultPlan, progress: fleet::snapshot::ChaosProgress) -> Self {
+        let next = usize::try_from(progress.next).unwrap_or(plan.len()).min(plan.len());
+        FleetInjector { plan, next, applied: progress.applied, skipped: progress.skipped }
+    }
+
+    /// Replay progress in snapshot form: the next fault index and the
+    /// applied/skipped tallies. Stored by `fleet::snapshot` checkpoints
+    /// and fed back through [`FleetInjector::with_progress`] on resume.
+    pub fn progress(&self) -> fleet::snapshot::ChaosProgress {
+        fleet::snapshot::ChaosProgress {
+            next: self.next as u64,
+            applied: self.applied,
+            skipped: self.skipped,
+        }
+    }
+
     /// Faults successfully injected so far.
     pub fn applied(&self) -> u64 {
         self.applied
@@ -468,6 +489,182 @@ pub fn run_sharded_with_plan(
         // already time-ordered, so replay order is the serial plan's.
         FleetInjector::new(FaultPlan::from_faults(mine))
     })
+}
+
+/// [`run_sharded_with_plan`] without the small-fleet serial fallback
+/// (see [`fleet::shard::SERIAL_FALLBACK_DEVICES`]): always splits into
+/// the requested shard count. The differential suites use this so small
+/// test fleets still exercise the multi-shard fault routing.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_sharded_with_plan_forced(
+    cfg: FleetConfig,
+    plan: FaultPlan,
+    shards: usize,
+) -> Result<FleetReport, ShardError> {
+    fleet::shard::run_sharded_hooked_forced(cfg, shards, |si, splan| {
+        let mine: Vec<Fault> = plan
+            .faults()
+            .iter()
+            .copied()
+            .filter(|f| splan.owner_of(f.kind.arm()).unwrap_or(0) == si)
+            .collect();
+        FleetInjector::new(FaultPlan::from_faults(mine))
+    })
+}
+
+/// Why a chaos-run resume failed: the snapshot was unusable, or the
+/// shard request was invalid. Both are fail-closed — no partial world is
+/// ever returned.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The snapshot failed verification or decoding.
+    Snapshot(SnapshotError),
+    /// The sharded continuation request was invalid.
+    Shard(ShardError),
+}
+
+impl core::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ResumeError::Snapshot(e) => write!(f, "resume failed: {e}"),
+            ResumeError::Shard(e) => write!(f, "resume failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Snapshot(e) => Some(e),
+            ResumeError::Shard(e) => Some(e),
+        }
+    }
+}
+
+impl From<SnapshotError> for ResumeError {
+    fn from(e: SnapshotError) -> Self {
+        ResumeError::Snapshot(e)
+    }
+}
+
+impl From<ShardError> for ResumeError {
+    fn from(e: ShardError) -> Self {
+        ResumeError::Shard(e)
+    }
+}
+
+/// Runs `cfg` under `plan` to the checkpoint boundary `at` and writes an
+/// atomic snapshot (world state plus the injector's replay progress) to
+/// `path`. Returns the engine and injector still positioned at `at`, so
+/// the caller can keep running — checkpointing never perturbs the run.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure.
+pub fn checkpoint_with_plan(
+    cfg: FleetConfig,
+    plan: FaultPlan,
+    at: SimTime,
+    path: &std::path::Path,
+) -> Result<(simcore::engine::Engine<FleetSim>, FleetInjector), SnapshotError> {
+    let mut engine = FleetSim::build(cfg);
+    let mut injector = FleetInjector::new(plan);
+    engine.run_until_hooked(at, &mut injector);
+    fleet::snapshot::write_checkpoint(path, &mut engine, injector.progress())?;
+    Ok((engine, injector))
+}
+
+/// Resumes a chaos run from the snapshot at `path` and runs it serially
+/// to the horizon. `cfg` and `plan` must be the configuration and the
+/// *full serial* fault plan of the original run; replay continues from
+/// the stored progress, so already-injected faults never fire twice. The
+/// finished report digests bit-identically to the uninterrupted
+/// [`run_with_plan`].
+///
+/// # Errors
+///
+/// Fail-closed [`SnapshotError`] on any snapshot defect.
+pub fn resume_with_plan(
+    path: &std::path::Path,
+    cfg: FleetConfig,
+    plan: FaultPlan,
+) -> Result<FleetReport, SnapshotError> {
+    let resumed = fleet::snapshot::resume_from(path, cfg)?;
+    let mut injector = FleetInjector::with_progress(plan, resumed.chaos);
+    Ok(resumed.run_to_horizon_hooked(&mut injector))
+}
+
+/// [`resume_with_plan`] continued across `shards` worker threads —
+/// bit-identical digest to the uninterrupted serial run. Small fleets
+/// take the serial fallback; [`resume_sharded_with_plan_forced`]
+/// bypasses it.
+///
+/// # Errors
+///
+/// [`ResumeError`] wrapping the snapshot or shard failure.
+pub fn resume_sharded_with_plan(
+    path: &std::path::Path,
+    cfg: FleetConfig,
+    plan: FaultPlan,
+    shards: usize,
+) -> Result<FleetReport, ResumeError> {
+    resume_sharded_inner(path, cfg, plan, shards, false)
+}
+
+/// [`resume_sharded_with_plan`] without the small-fleet serial fallback.
+///
+/// # Errors
+///
+/// [`ResumeError`] wrapping the snapshot or shard failure.
+pub fn resume_sharded_with_plan_forced(
+    path: &std::path::Path,
+    cfg: FleetConfig,
+    plan: FaultPlan,
+    shards: usize,
+) -> Result<FleetReport, ResumeError> {
+    resume_sharded_inner(path, cfg, plan, shards, true)
+}
+
+fn resume_sharded_inner(
+    path: &std::path::Path,
+    cfg: FleetConfig,
+    plan: FaultPlan,
+    shards: usize,
+    force: bool,
+) -> Result<FleetReport, ResumeError> {
+    let resumed = fleet::snapshot::resume_from(path, cfg)?;
+    let serial_next = usize::try_from(resumed.chaos.next).unwrap_or(plan.len()).min(plan.len());
+    // Each shard replays the plan subsequence targeting its arms; its
+    // replay cursor starts past the prefix of that subsequence the serial
+    // run had already fired (faults with serial index < `next`). The
+    // shard tallies restart at zero — the cumulative pre-checkpoint
+    // applied/skipped counts live in the world's restored chaos counters,
+    // exactly as in an uninterrupted sharded run.
+    let make_hook = |si: usize, splan: &fleet::shard::ShardPlan| {
+        let mut mine = Vec::new();
+        let mut mine_next = 0usize;
+        for (idx, f) in plan.faults().iter().enumerate() {
+            if splan.owner_of(f.kind.arm()).unwrap_or(0) == si {
+                if idx < serial_next {
+                    mine_next += 1;
+                }
+                mine.push(*f);
+            }
+        }
+        FleetInjector::with_progress(
+            FaultPlan::from_faults(mine),
+            fleet::snapshot::ChaosProgress { next: mine_next as u64, applied: 0, skipped: 0 },
+        )
+    };
+    let report = if force {
+        fleet::shard::run_resumed_hooked_forced(resumed.engine, shards, make_hook)?
+    } else {
+        fleet::shard::run_resumed_hooked(resumed.engine, shards, make_hook)?
+    };
+    Ok(report)
 }
 
 /// Convenience: the paper experiment under a storm-heavy plan at the
@@ -654,5 +851,53 @@ mod tests {
         });
         assert_eq!(plan.faults()[0].at, SimTime::from_years(1));
         assert_eq!(plan.len(), 2);
+    }
+
+    fn temp_snapshot(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("chaos-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn injector_progress_roundtrip() {
+        let plan = FaultPlanBuilder::full(5).build(&cfg(5), 1.0).unwrap();
+        let mut a = FleetInjector::new(plan.clone());
+        a.next = 3;
+        a.applied = 2;
+        a.skipped = 1;
+        let b = FleetInjector::with_progress(plan.clone(), a.progress());
+        assert_eq!(b.progress(), a.progress());
+        // A stored cursor beyond the plan clamps to its end.
+        let over = fleet::snapshot::ChaosProgress { next: u64::MAX, applied: 0, skipped: 0 };
+        let clamped = FleetInjector::with_progress(plan.clone(), over);
+        assert_eq!(clamped.progress().next, plan.len() as u64);
+    }
+
+    #[test]
+    fn chaos_checkpoint_resume_matches_uninterrupted() {
+        let plan = FaultPlanBuilder::full(77).build(&cfg(77), 1.0).unwrap();
+        let baseline = run_with_plan(cfg(77), plan.clone());
+        let path = temp_snapshot("serial-resume.snap");
+        let at = SimTime::from_years(10);
+        let (engine, injector) = checkpoint_with_plan(cfg(77), plan.clone(), at, &path).unwrap();
+        assert!(injector.progress().next > 0, "a decade of full chaos fires faults");
+        drop(engine);
+        let report = resume_with_plan(&path, cfg(77), plan).unwrap();
+        assert_eq!(report.digest(), baseline.digest());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chaos_checkpoint_resume_sharded_matches_uninterrupted() {
+        let plan = FaultPlanBuilder::storm_heavy(78).build(&cfg(78), 1.0).unwrap();
+        let baseline = run_with_plan(cfg(78), plan.clone());
+        let path = temp_snapshot("sharded-resume.snap");
+        let at = SimTime::from_years(25);
+        let _ = checkpoint_with_plan(cfg(78), plan.clone(), at, &path).unwrap();
+        let report = resume_sharded_with_plan_forced(&path, cfg(78), plan, 2).unwrap();
+        assert_eq!(report.digest(), baseline.digest());
+        assert_eq!(report.events_processed, baseline.events_processed);
+        std::fs::remove_file(&path).unwrap();
     }
 }

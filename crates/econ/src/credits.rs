@@ -190,6 +190,23 @@ impl Wallet {
         std::mem::take(&mut self.balance)
     }
 
+    /// The wallet's full mutable state `(balance, burned, funded,
+    /// exhausted_at)`, for checkpointing. Round-trips exactly through
+    /// [`Wallet::from_raw_state`].
+    pub fn raw_state(&self) -> (u64, u64, Usd, Option<SimTime>) {
+        (self.balance, self.burned, self.funded, self.exhausted_at)
+    }
+
+    /// Rebuilds a wallet from state captured by [`Wallet::raw_state`].
+    pub fn from_raw_state(
+        balance: u64,
+        burned: u64,
+        funded: Usd,
+        exhausted_at: Option<SimTime>,
+    ) -> Self {
+        Wallet { balance, burned, funded, exhausted_at }
+    }
+
     /// How long the current balance lasts at one `payload_bytes` packet per
     /// `interval`. Returns [`SimDuration::MAX`] for a zero burn rate.
     pub fn runway(&self, payload_bytes: u32, interval: SimDuration) -> SimDuration {

@@ -18,6 +18,9 @@
 //!   experiment.
 //! * [`shard`] — deterministic intra-run sharding: the same simulation
 //!   split across worker threads with a bit-identical run digest.
+//! * [`snapshot`] — crash-recoverable mid-run checkpoints: run-to-week,
+//!   snapshot, resume, run-to-horizon digests exactly like the
+//!   uninterrupted run.
 //! * [`upgrade`] — gateway technology-generation planning: upgrade policies
 //!   vs heterogeneity and out-of-support exposure.
 //! * [`workforce`] — crew-capacity backlog dynamics: what replacement waves
@@ -36,6 +39,7 @@ pub mod obsolescence;
 pub mod pipeline;
 pub mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod upgrade;
 pub mod workforce;
 
@@ -44,3 +48,4 @@ pub use gateway::{GatewaySpec, GatewayState};
 pub use hierarchy::Hierarchy;
 pub use shard::{ShardError, ShardPlan};
 pub use sim::{ArmConfig, ArmReport, FleetConfig, FleetReport, FleetSim};
+pub use snapshot::{ChaosProgress, ResumedFleet, FLEET_SNAPSHOT_VERSION};

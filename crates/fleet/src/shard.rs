@@ -166,18 +166,63 @@ impl FaultHook<FleetSim> for NoFaults {
     fn fire(&mut self, _now: SimTime, _world: &mut FleetSim, _ctx: &mut Ctx<'_, Ev>) {}
 }
 
+/// Fleets smaller than this many devices run serially even when shards
+/// are requested: below it the per-thread spawn/merge overhead exceeds
+/// the parallel win (the throughput bench measured a 0.979× *slowdown*
+/// at 10k devices and a 1.34× speedup at 100k —
+/// `BENCH_sim_throughput.json`). The `*_forced` entry points bypass the
+/// threshold; the differential and golden suites use them so small test
+/// fleets still exercise the real multi-shard machinery.
+pub const SERIAL_FALLBACK_DEVICES: u64 = 50_000;
+
+/// Total configured device count — the work measure the serial-fallback
+/// threshold compares against [`SERIAL_FALLBACK_DEVICES`].
+fn fleet_devices(cfg: &FleetConfig) -> u64 {
+    cfg.arms.iter().map(|a| a.devices as u64).sum()
+}
+
+/// The plan a run request resolves to: the requested shard count, or —
+/// when the fleet is below the serial-fallback threshold and `force` is
+/// off — a one-shard plan. Collapsing the *plan* (not just the thread
+/// count) matters for hooked runs: the serial fallback builds shard 0's
+/// hook, and under a one-shard plan `owner_of` routes every arm's faults
+/// to shard 0, so no fault is silently dropped.
+fn effective_plan(cfg: &FleetConfig, shards: usize, force: bool) -> Result<ShardPlan, ShardError> {
+    if shards == 0 {
+        return Err(ShardError::ZeroShards);
+    }
+    if !force && fleet_devices(cfg) < SERIAL_FALLBACK_DEVICES {
+        return ShardPlan::for_fleet(cfg, 1);
+    }
+    ShardPlan::for_fleet(cfg, shards)
+}
+
 /// Runs `cfg` split across `shards` worker threads.
 ///
 /// The returned report is bit-identical — same digest — to
 /// [`FleetSim::run`] for every seed and every shard count. `shards`
 /// larger than the arm count degrades gracefully (one arm per shard,
-/// surplus shards idle); `shards == 1` takes the serial path outright.
+/// surplus shards idle); `shards == 1` takes the serial path outright;
+/// fleets under [`SERIAL_FALLBACK_DEVICES`] devices also run serially
+/// (use [`run_sharded_forced`] to bypass).
 ///
 /// # Errors
 ///
 /// Returns [`ShardError::ZeroShards`] when `shards == 0`.
 pub fn run_sharded(cfg: FleetConfig, shards: usize) -> Result<FleetReport, ShardError> {
     run_sharded_hooked(cfg, shards, |_si, _plan| NoFaults)
+}
+
+/// [`run_sharded`] without the small-fleet serial fallback: always
+/// splits into the requested shard count. Test harnesses use this so
+/// small fleets still drive the real multi-shard machinery; production
+/// callers should prefer [`run_sharded`].
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_sharded_forced(cfg: FleetConfig, shards: usize) -> Result<FleetReport, ShardError> {
+    run_sharded_hooked_forced(cfg, shards, |_si, _plan| NoFaults)
 }
 
 /// [`run_sharded`] with a per-shard [`FaultHook`] — the chaos crate's
@@ -203,21 +248,150 @@ where
     H: FaultHook<FleetSim> + Send,
     F: Fn(usize, &ShardPlan) -> H + Sync,
 {
-    let plan = ShardPlan::for_fleet(&cfg, shards)?;
+    run_sharded_hooked_inner(cfg, shards, make_hook, false)
+}
+
+/// [`run_sharded_hooked`] without the small-fleet serial fallback.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_sharded_hooked_forced<H, F>(
+    cfg: FleetConfig,
+    shards: usize,
+    make_hook: F,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
+    run_sharded_hooked_inner(cfg, shards, make_hook, true)
+}
+
+fn run_sharded_hooked_inner<H, F>(
+    cfg: FleetConfig,
+    shards: usize,
+    make_hook: F,
+    force: bool,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
+    let plan = effective_plan(&cfg, shards, force)?;
     let horizon = SimTime::ZERO + cfg.horizon;
+    let engine = FleetSim::build(cfg);
+    drive_sharded(engine, &plan, horizon, make_hook)
+}
+
+/// Continues a restored mid-run engine (see [`crate::snapshot`]) to its
+/// horizon across `shards` worker threads. The finished report — digest
+/// included — is bit-identical to the uninterrupted serial run for every
+/// checkpoint instant and shard count; small fleets take the serial
+/// fallback as in [`run_sharded`].
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_resumed(engine: Engine<FleetSim>, shards: usize) -> Result<FleetReport, ShardError> {
+    run_resumed_hooked(engine, shards, |_si, _plan| NoFaults)
+}
+
+/// [`run_resumed`] without the small-fleet serial fallback.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_resumed_forced(
+    engine: Engine<FleetSim>,
+    shards: usize,
+) -> Result<FleetReport, ShardError> {
+    run_resumed_hooked_forced(engine, shards, |_si, _plan| NoFaults)
+}
+
+/// [`run_resumed`] with a per-shard [`FaultHook`] — the chaos crate's
+/// resume entry point. Hook construction follows
+/// [`run_sharded_hooked`]'s contract.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_resumed_hooked<H, F>(
+    engine: Engine<FleetSim>,
+    shards: usize,
+    make_hook: F,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
+    run_resumed_hooked_inner(engine, shards, make_hook, false)
+}
+
+/// [`run_resumed_hooked`] without the small-fleet serial fallback.
+///
+/// # Errors
+///
+/// Returns [`ShardError::ZeroShards`] when `shards == 0`.
+pub fn run_resumed_hooked_forced<H, F>(
+    engine: Engine<FleetSim>,
+    shards: usize,
+    make_hook: F,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
+    run_resumed_hooked_inner(engine, shards, make_hook, true)
+}
+
+fn run_resumed_hooked_inner<H, F>(
+    engine: Engine<FleetSim>,
+    shards: usize,
+    make_hook: F,
+    force: bool,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
+    let plan = effective_plan(&engine.world().cfg, shards, force)?;
+    let horizon = SimTime::ZERO + engine.world().cfg.horizon;
+    drive_sharded(engine, &plan, horizon, make_hook)
+}
+
+/// The one sharded driver behind fresh and resumed runs: split the
+/// engine by the plan's non-empty groups, run each shard on a scoped
+/// worker thread, merge through the canonical finalize path.
+///
+/// The engine's profile is captured *before* the split and folded back
+/// in at merge ([`FleetSim::merge_shards_onto`]): a fresh engine
+/// contributes an empty base, a resumed engine its pre-checkpoint
+/// dispatch counts, so `events_processed` matches the uninterrupted
+/// serial run either way.
+fn drive_sharded<H, F>(
+    engine: Engine<FleetSim>,
+    plan: &ShardPlan,
+    horizon: SimTime,
+    make_hook: F,
+) -> Result<FleetReport, ShardError>
+where
+    H: FaultHook<FleetSim> + Send,
+    F: Fn(usize, &ShardPlan) -> H + Sync,
+{
     let groups: Vec<Vec<usize>> =
         plan.groups().iter().filter(|g| !g.is_empty()).cloned().collect();
-    let mut engine = FleetSim::build(cfg);
     if groups.len() <= 1 {
         // One shard of work (or an arm-less config): the split would be
         // the identity, so run serial under shard 0's hook.
-        let mut hook = make_hook(0, &plan);
+        let mut engine = engine;
+        let mut hook = make_hook(0, plan);
         engine.run_until_hooked(horizon, &mut hook);
         return Ok(FleetSim::into_report(engine, horizon));
     }
+    let base_profile = engine.profile().clone();
     let engines = FleetSim::split_for_shards(engine, &groups);
     let joined: Vec<std::thread::Result<Engine<FleetSim>>> = std::thread::scope(|scope| {
-        let plan = &plan;
         let make_hook = &make_hook;
         let handles: Vec<_> = engines
             .into_iter()
@@ -241,7 +415,7 @@ where
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
-    FleetSim::merge_shards(finished, horizon).ok_or(ShardError::ZeroShards)
+    FleetSim::merge_shards_onto(base_profile, finished, horizon).ok_or(ShardError::ZeroShards)
 }
 
 #[cfg(test)]
@@ -302,7 +476,41 @@ mod tests {
     #[test]
     fn sharded_matches_serial_smoke() {
         let serial = FleetSim::run(FleetConfig::paper_experiment(5));
-        let sharded = FleetSim::run_sharded(FleetConfig::paper_experiment(5), 2).unwrap();
+        // Forced: the 20-device paper fleet is below the fallback
+        // threshold, and this smoke test wants the real split machinery.
+        let sharded = run_sharded_forced(FleetConfig::paper_experiment(5), 2).unwrap();
         assert_eq!(serial.digest(), sharded.digest());
+    }
+
+    #[test]
+    fn small_fleet_serial_fallback_digests_identically() {
+        // The paper fleet (20 devices) sits far below
+        // SERIAL_FALLBACK_DEVICES: the auto path must collapse to serial
+        // and still digest exactly like serial and like a forced split.
+        let serial = FleetSim::run(FleetConfig::paper_experiment(9));
+        let auto = run_sharded(FleetConfig::paper_experiment(9), 4).unwrap();
+        let forced = run_sharded_forced(FleetConfig::paper_experiment(9), 4).unwrap();
+        assert_eq!(serial.digest(), auto.digest());
+        assert_eq!(serial.digest(), forced.digest());
+        assert_eq!(serial.events_processed, auto.events_processed);
+    }
+
+    #[test]
+    fn resumed_sharded_run_matches_uninterrupted() {
+        use simcore::time::SimDuration;
+
+        let cfg = || FleetConfig::paper_experiment(33);
+        let baseline = FleetSim::run(cfg());
+        let mut engine = FleetSim::build(cfg());
+        engine.run_until(SimTime::ZERO + SimDuration::from_weeks(80));
+        let bytes = crate::snapshot::checkpoint_bytes(
+            &mut engine,
+            crate::snapshot::ChaosProgress::default(),
+        );
+        drop(engine);
+        let resumed = crate::snapshot::resume_from_bytes(&bytes, cfg()).unwrap();
+        let report = run_resumed_forced(resumed.engine, 2).unwrap();
+        assert_eq!(report.digest(), baseline.digest());
+        assert_eq!(report.events_processed, baseline.events_processed);
     }
 }

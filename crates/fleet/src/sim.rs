@@ -239,7 +239,7 @@ impl Ev {
 }
 
 /// Live infrastructure state of an arm.
-enum ArmInfra {
+pub(crate) enum ArmInfra {
     Owned {
         gateways: Vec<GatewayState>,
         /// True while the backhaul provider is gone and the replacement is
@@ -387,41 +387,41 @@ pub(crate) struct ArmState {
     /// shard world owns an ascending *subset* of arms but keeps their
     /// global ids, so events (which carry global indices) and rng-stream
     /// derivations are identical to the serial run.
-    id: usize,
-    cfg: ArmConfig,
-    devices: Vec<DeviceState>,
+    pub(crate) id: usize,
+    pub(crate) cfg: ArmConfig,
+    pub(crate) devices: Vec<DeviceState>,
     /// Owned arms: the gateway indices each device can reach (the
     /// deployment-time coverage lottery, 1 or 2 entries).
-    homes: Vec<Vec<usize>>,
-    infra: ArmInfra,
-    report: ArmReport,
+    pub(crate) homes: Vec<Vec<usize>>,
+    pub(crate) infra: ArmInfra,
+    pub(crate) report: ArmReport,
     /// The arm's private runtime stream: weekly draws, replacements and
     /// hotspot churn never touch another arm's randomness, so adding an
     /// arm to a configuration cannot perturb existing arms (the
     /// common-random-numbers property DESIGN.md calls out).
-    rng: Rng,
+    pub(crate) rng: Rng,
     /// The arm's private diary. Every diary line the simulation writes is
     /// arm-scoped, so each arm logs into its own stream and finalize
     /// performs one canonical merge: stable by time, ties in ascending
     /// global-arm-id order. Serial and sharded runs share that merge, so
     /// the merged diary — and therefore the run digest — is bit-identical
     /// by construction, not by scheduling accident.
-    diary: Diary,
+    pub(crate) diary: Diary,
     /// The arm's private span log (same ownership argument as `diary`).
-    spans: SpanLog,
+    pub(crate) spans: SpanLog,
     /// Telemetry: readings delivered end-to-end (mirrors the report field
     /// so the snapshot cross-checks the ledger). Settled once at finalize
     /// from the report ledger rather than bumped mid-run.
-    delivered: Counter,
+    pub(crate) delivered: Counter,
     /// Telemetry: distribution of per-device delivered readings per week.
-    weekly_hist: Histogram,
+    pub(crate) weekly_hist: Histogram,
     /// Hot-loop buffer for `weekly_hist`: ~50k observations per 50-year
     /// run accumulate here without atomics and flush once at finalize,
     /// keeping instrumentation inside the profiling overhead budget.
-    weekly_acc: LocalHistogram,
+    pub(crate) weekly_acc: LocalHistogram,
     /// Telemetry: the open backhaul-outage span, between a provider exit
     /// and the replacement commissioning.
-    outage_span: Option<SpanId>,
+    pub(crate) outage_span: Option<SpanId>,
 }
 
 /// The simulation world.
@@ -431,12 +431,12 @@ pub(crate) struct ArmState {
 /// arms, shares the metric [`Registry`] with its sibling shards through
 /// the `Arc`, and is merged back into a single report at the horizon.
 pub struct FleetSim {
-    cfg: FleetConfig,
-    arms: Vec<ArmState>,
-    cloud: CloudEndpoint,
-    metrics: Arc<Registry>,
-    chaos_applied: Counter,
-    chaos_skipped: Counter,
+    pub(crate) cfg: FleetConfig,
+    pub(crate) arms: Vec<ArmState>,
+    pub(crate) cloud: CloudEndpoint,
+    pub(crate) metrics: Arc<Registry>,
+    pub(crate) chaos_applied: Counter,
+    pub(crate) chaos_skipped: Counter,
 }
 
 impl FleetSim {
@@ -708,6 +708,22 @@ impl FleetSim {
         }
     }
 
+    /// Restores a mid-run simulation from the snapshot file at `path`
+    /// (see [`crate::snapshot`]). `cfg` must be the configuration the
+    /// snapshot was taken under; the rebuilt world is positioned exactly
+    /// at the checkpoint instant.
+    ///
+    /// # Errors
+    ///
+    /// Fail-closed [`simcore::snapshot::SnapshotError`] on any I/O,
+    /// framing, checksum, or configuration defect.
+    pub fn resume_from(
+        path: &std::path::Path,
+        cfg: FleetConfig,
+    ) -> Result<crate::snapshot::ResumedFleet, simcore::snapshot::SnapshotError> {
+        crate::snapshot::resume_from(path, cfg)
+    }
+
     /// Event kinds every shard replays locally instead of owning: the
     /// fleet-wide tick chains. [`merge_shards`](Self::merge_shards) must
     /// not sum their dispatch counts across shards — shard 0's copy is the
@@ -796,13 +812,25 @@ impl FleetSim {
     /// ([`DUPLICATED_KINDS`](Self::DUPLICATED_KINDS)) keep shard 0's
     /// canonical count, and `events_processed` is recomputed from the
     /// merged dispatch counts. Returns `None` only for an empty input.
-    pub(crate) fn merge_shards(
+    ///
+    /// Shard profiles fold onto `base` — the dispatch counts a resumed
+    /// run accrued *before* its checkpoint, which
+    /// [`split_for_shards`](Self::split_for_shards) discards (shard
+    /// engines start with fresh profiles). Fresh runs pass a default
+    /// base; resumed sharded runs pass the restored serial profile so
+    /// `events_processed` still matches the uninterrupted serial run
+    /// exactly.
+    pub(crate) fn merge_shards_onto(
+        base: EngineProfile,
         engines: Vec<Engine<FleetSim>>,
         horizon: SimTime,
     ) -> Option<FleetReport> {
         let mut engines = engines.into_iter();
         let first = engines.next()?;
-        let mut profile = first.profile().clone();
+        let mut profile = base;
+        // The first shard absorbs with nothing deduplicated: its tick
+        // chains are the canonical copies.
+        profile.absorb_shard(first.profile(), &[]);
         let (mut world, _queue) = first.into_parts();
         for engine in engines {
             profile.absorb_shard(engine.profile(), Self::DUPLICATED_KINDS);
@@ -1133,6 +1161,25 @@ impl FleetSim {
         );
         true
     }
+}
+
+/// Maps a checkpointed dispatch-count name back to the `&'static` entry
+/// of [`FleetSim`]'s event-kind table (the strings
+/// [`World::event_kind`] returns) — the resolver
+/// [`simcore::engine::Engine::resume`] needs to rebuild an engine
+/// profile. `None` means the snapshot belongs to a different world shape.
+pub(crate) fn resolve_event_kind(name: &str) -> Option<&'static str> {
+    const KINDS: [&str; 8] = [
+        "weekly-check",
+        "yearly-tick",
+        "device-fail",
+        "device-replace",
+        "gateway-fail",
+        "gateway-repair",
+        "provider-exit",
+        "backhaul-migrated",
+    ];
+    KINDS.iter().copied().find(|&k| k == name)
 }
 
 impl World for FleetSim {

@@ -1,0 +1,681 @@
+//! Fleet world snapshot/restore: crash-recoverable checkpoints mid-run.
+//!
+//! A century-scale run is long; the machine running it will crash, be
+//! rebooted, or get preempted before the horizon. This module captures a
+//! running [`FleetSim`] engine into the versioned, checksummed binary
+//! frame of [`simcore::snapshot`] and rebuilds a bit-identical
+//! continuation from it: run-to-week-W, snapshot, crash, resume,
+//! run-to-horizon digests exactly like the uninterrupted run
+//! (`tests/snapshot_differential.rs` proves it per seed × week × chaos ×
+//! shard count).
+//!
+//! The design splits state two ways:
+//!
+//! * **Rebuilt, not stored.** Everything `FleetSim::build` derives purely
+//!   from the [`FleetConfig`] — the config itself, arm metadata, device
+//!   specs, gateway specs, the deployment-time coverage lottery
+//!   (`homes`), the cloud ritual calendar, metric registration. Resume
+//!   re-runs `build` on the caller's config and asserts (via a config
+//!   fingerprint) that it matches the one the snapshot was taken under.
+//! * **Stored and overlaid.** Everything the run mutates: the engine's
+//!   clock, dispatch counters and pending event queue
+//!   ([`simcore::engine::EngineCheckpoint`]); each arm's runtime rng
+//!   stream, device wear, gateway state, wallets, hotspot census, ledger,
+//!   diary, spans and the deferred weekly-delivery accumulator; and chaos
+//!   replay progress ([`ChaosProgress`]).
+//!
+//! Loads are fail-closed: a torn, truncated, or bit-flipped file is a
+//! typed [`SnapshotError`], never a silently wrong world.
+
+use std::path::Path;
+
+use simcore::engine::{Engine, EngineCheckpoint, FaultHook};
+use simcore::rng::Rng;
+use simcore::snapshot::{self, ByteReader, ByteWriter, SnapshotError};
+use simcore::survival::Observation;
+use simcore::time::SimTime;
+use simcore::trace::{Diary, Severity, Tier};
+use telemetry::span::{Span, SpanLog};
+
+use econ::labor::PersonHours;
+use econ::money::Usd;
+
+use crate::sim::{ArmInfra, ArmKind, ArmState, Ev, FleetConfig, FleetReport, FleetSim};
+
+/// Version byte of the fleet snapshot payload. Bump on any layout change;
+/// old files then fail with [`SnapshotError::UnsupportedVersion`] instead
+/// of decoding garbage.
+pub const FLEET_SNAPSHOT_VERSION: u8 = 1;
+
+/// Chaos replay progress at the checkpoint: how far through its
+/// [`FaultPlan`](https://docs.rs/)-ordered schedule the injector had
+/// advanced, and its applied/skipped tallies. All zero for plain runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosProgress {
+    /// Index of the next fault to fire in the serial plan order.
+    pub next: u64,
+    /// Faults successfully injected before the checkpoint.
+    pub applied: u64,
+    /// Faults skipped (missing target) before the checkpoint.
+    pub skipped: u64,
+}
+
+/// A restored mid-run simulation: the engine positioned exactly where the
+/// checkpoint was taken, plus the chaos progress needed to resume an
+/// injected run. Produced by [`resume_from`] / [`resume_from_bytes`].
+pub struct ResumedFleet {
+    /// The engine, clock and queue restored to the checkpoint instant.
+    pub engine: Engine<FleetSim>,
+    /// Chaos replay progress stored in the snapshot (zeros for plain runs).
+    pub chaos: ChaosProgress,
+}
+
+impl ResumedFleet {
+    /// The configured horizon of the resumed run.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.engine.world().cfg.horizon
+    }
+
+    /// Runs the restored engine to its horizon and finalizes through the
+    /// same path as [`FleetSim::run`], so the report digests bit-identically
+    /// to an uninterrupted run.
+    pub fn run_to_horizon(mut self) -> FleetReport {
+        let horizon = self.horizon();
+        self.engine.run_until(horizon);
+        FleetSim::into_report(self.engine, horizon)
+    }
+
+    /// [`run_to_horizon`](Self::run_to_horizon) with a fault hook — the
+    /// chaos crate resumes an injected run through this, wrapping the
+    /// remaining plan suffix in a fresh injector.
+    pub fn run_to_horizon_hooked<H: FaultHook<FleetSim>>(mut self, hook: &mut H) -> FleetReport {
+        let horizon = self.horizon();
+        self.engine.run_until_hooked(horizon, hook);
+        FleetSim::into_report(self.engine, horizon)
+    }
+}
+
+/// A 64-bit FNV-1a fold of the configuration facets that determine the
+/// simulation's derived state: seed, horizon, and each arm's shape. Two
+/// configs with the same fingerprint rebuild the same world skeleton, so
+/// a snapshot overlays cleanly; a mismatch is refused with
+/// [`SnapshotError::ConfigMismatch`] before any state is touched.
+pub fn config_fingerprint(cfg: &FleetConfig) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_str("century-fleet-config-v1");
+    w.put_u64(cfg.seed);
+    w.put_u64(cfg.horizon.as_secs());
+    w.put_u64(cfg.arms.len() as u64);
+    for arm in &cfg.arms {
+        w.put_str(arm.name);
+        w.put_u64(arm.devices as u64);
+        w.put_u64(arm.device_spec.report_interval.as_secs());
+        w.put_u64(arm.per_packet_delivery.to_bits());
+        w.put_u64(arm.dual_homed_fraction.to_bits());
+        match arm.replace_devices {
+            Some(delay) => {
+                w.put_u8(1);
+                w.put_u64(delay.as_secs());
+            }
+            None => w.put_u8(0),
+        }
+        match &arm.kind {
+            ArmKind::Owned { gateways, spec } => {
+                w.put_u8(0);
+                w.put_u64(*gateways as u64);
+                w.put_u64(spec.repair_delay.as_secs());
+            }
+            ArmKind::Federated { hotspots, wallet_dollars } => {
+                w.put_u8(1);
+                w.put_u32(hotspots.count());
+                w.put_i128(wallet_dollars.micros());
+            }
+        }
+    }
+    snapshot::fnv1a(w.as_bytes())
+}
+
+/// Captures the engine mid-run into a complete sealed snapshot image
+/// (framing, version byte and checksum trailer included).
+///
+/// Takes `&mut` because the engine's queue is drained and rebuilt to
+/// observe its (time, FIFO) order — continuing the run afterwards is
+/// bit-identical to never having snapshotted. Pass
+/// [`ChaosProgress::default`] for plain runs.
+pub fn checkpoint_bytes(engine: &mut Engine<FleetSim>, chaos: ChaosProgress) -> Vec<u8> {
+    let cp = engine.checkpoint();
+    let world = engine.world();
+    let mut w = ByteWriter::with_capacity(4096);
+    w.put_u64(config_fingerprint(&world.cfg));
+    w.put_u64(world.cfg.seed);
+    w.put_u64(world.cfg.horizon.as_secs());
+    encode_engine(&mut w, &cp);
+    w.put_u64(chaos.next);
+    w.put_u64(chaos.applied);
+    w.put_u64(chaos.skipped);
+    w.put_u64(world.chaos_applied.get());
+    w.put_u64(world.chaos_skipped.get());
+    w.put_u64(world.arms.len() as u64);
+    for arm in &world.arms {
+        encode_arm(&mut w, arm);
+    }
+    snapshot::seal(FLEET_SNAPSHOT_VERSION, w.as_bytes())
+}
+
+/// [`checkpoint_bytes`] written atomically to `path`: temp-file sibling,
+/// fsync, rename — a crash mid-write leaves either the previous file or a
+/// torn temp file, never a half-written snapshot under the final name.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure.
+pub fn write_checkpoint(
+    path: &Path,
+    engine: &mut Engine<FleetSim>,
+    chaos: ChaosProgress,
+) -> Result<(), SnapshotError> {
+    let bytes = checkpoint_bytes(engine, chaos);
+    snapshot::write_atomic(path, &bytes)
+}
+
+/// Runs a plain (fault-free) simulation to the checkpoint boundary `at`
+/// and writes an atomic snapshot there, returning the engine still
+/// positioned at `at` — keep running it, or drop it and [`resume_from`]
+/// later. Chaos runs checkpoint through the `chaos` crate instead, which
+/// carries the injector's replay progress into the snapshot.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure.
+pub fn checkpoint_run(
+    cfg: FleetConfig,
+    at: SimTime,
+    path: &Path,
+) -> Result<Engine<FleetSim>, SnapshotError> {
+    let mut engine = FleetSim::build(cfg);
+    engine.run_until(at);
+    write_checkpoint(path, &mut engine, ChaosProgress::default())?;
+    Ok(engine)
+}
+
+/// Restores a mid-run simulation from a sealed snapshot image.
+///
+/// `cfg` must be the configuration the snapshot was taken under (checked
+/// by fingerprint): the world skeleton is rebuilt from it and the stored
+/// mutable state overlaid.
+///
+/// # Errors
+///
+/// Fail-closed on every defect: framing/checksum errors from
+/// [`simcore::snapshot::open`], [`SnapshotError::ConfigMismatch`] for a
+/// foreign config, [`SnapshotError::Truncated`]/[`SnapshotError::Corrupt`]
+/// for payload damage.
+pub fn resume_from_bytes(bytes: &[u8], cfg: FleetConfig) -> Result<ResumedFleet, SnapshotError> {
+    let (_version, payload) = snapshot::open(bytes, FLEET_SNAPSHOT_VERSION)?;
+    resume_payload(payload, cfg)
+}
+
+/// [`resume_from_bytes`] reading (and verifying) the file at `path`.
+///
+/// # Errors
+///
+/// As [`resume_from_bytes`], plus [`SnapshotError::Io`] on read failure.
+pub fn resume_from(path: &Path, cfg: FleetConfig) -> Result<ResumedFleet, SnapshotError> {
+    let (_version, payload) = snapshot::read_verified(path, FLEET_SNAPSHOT_VERSION)?;
+    resume_payload(&payload, cfg)
+}
+
+fn encode_engine(w: &mut ByteWriter, cp: &EngineCheckpoint<Ev>) {
+    w.put_time(cp.now);
+    w.put_u64(cp.processed);
+    w.put_u64(cp.dispatches.len() as u64);
+    for (name, n) in &cp.dispatches {
+        w.put_str(name);
+        w.put_u64(*n);
+    }
+    w.put_u64(cp.queue_high_water as u64);
+    w.put_u64(cp.hook_fires);
+    w.put_u64(cp.events.len() as u64);
+    for (at, ev) in &cp.events {
+        w.put_time(*at);
+        encode_ev(w, *ev);
+    }
+}
+
+fn decode_engine(r: &mut ByteReader<'_>) -> Result<EngineCheckpoint<Ev>, SnapshotError> {
+    let now = r.take_time()?;
+    let processed = r.take_u64()?;
+    let n_dispatches = r.take_count(16)?;
+    let mut dispatches = Vec::with_capacity(n_dispatches);
+    for _ in 0..n_dispatches {
+        let name = r.take_str()?;
+        let n = r.take_u64()?;
+        dispatches.push((name, n));
+    }
+    let queue_high_water = usize::try_from(r.take_u64()?)
+        .map_err(|_| SnapshotError::Corrupt { what: "queue high-water exceeds usize" })?;
+    let hook_fires = r.take_u64()?;
+    let n_events = r.take_count(9)?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let at = r.take_time()?;
+        let ev = decode_ev(r)?;
+        events.push((at, ev));
+    }
+    Ok(EngineCheckpoint { now, processed, dispatches, queue_high_water, hook_fires, events })
+}
+
+fn encode_ev(w: &mut ByteWriter, ev: Ev) {
+    match ev {
+        Ev::WeeklyCheck => w.put_u8(0),
+        Ev::YearlyTick => w.put_u8(1),
+        Ev::DeviceFail(ai, di) => {
+            w.put_u8(2);
+            w.put_u64(ai as u64);
+            w.put_u64(di as u64);
+        }
+        Ev::DeviceReplace(ai, di) => {
+            w.put_u8(3);
+            w.put_u64(ai as u64);
+            w.put_u64(di as u64);
+        }
+        Ev::GatewayFail(ai, gi) => {
+            w.put_u8(4);
+            w.put_u64(ai as u64);
+            w.put_u64(gi as u64);
+        }
+        Ev::GatewayRepair(ai, gi) => {
+            w.put_u8(5);
+            w.put_u64(ai as u64);
+            w.put_u64(gi as u64);
+        }
+        Ev::ProviderExit(ai) => {
+            w.put_u8(6);
+            w.put_u64(ai as u64);
+        }
+        Ev::BackhaulMigrated(ai) => {
+            w.put_u8(7);
+            w.put_u64(ai as u64);
+        }
+    }
+}
+
+fn take_index(r: &mut ByteReader<'_>) -> Result<usize, SnapshotError> {
+    usize::try_from(r.take_u64()?)
+        .map_err(|_| SnapshotError::Corrupt { what: "index exceeds usize" })
+}
+
+fn decode_ev(r: &mut ByteReader<'_>) -> Result<Ev, SnapshotError> {
+    Ok(match r.take_u8()? {
+        0 => Ev::WeeklyCheck,
+        1 => Ev::YearlyTick,
+        2 => Ev::DeviceFail(take_index(r)?, take_index(r)?),
+        3 => Ev::DeviceReplace(take_index(r)?, take_index(r)?),
+        4 => Ev::GatewayFail(take_index(r)?, take_index(r)?),
+        5 => Ev::GatewayRepair(take_index(r)?, take_index(r)?),
+        6 => Ev::ProviderExit(take_index(r)?),
+        7 => Ev::BackhaulMigrated(take_index(r)?),
+        _ => return Err(SnapshotError::Corrupt { what: "unknown event tag" }),
+    })
+}
+
+fn encode_arm(w: &mut ByteWriter, arm: &ArmState) {
+    w.put_u64(arm.id as u64);
+    for s in arm.rng.state() {
+        w.put_u64(s);
+    }
+    w.put_u64(arm.devices.len() as u64);
+    for dev in &arm.devices {
+        w.put_time(dev.installed_at);
+        w.put_time(dev.fails_at);
+        w.put_bool(dev.failed);
+        w.put_u64(dev.seq);
+        w.put_time(dev.stuck_until);
+        w.put_time(dev.byzantine_until);
+    }
+    match &arm.infra {
+        ArmInfra::Owned { gateways, backhaul_down, sunset_logged, flap_until } => {
+            w.put_u8(0);
+            w.put_u64(gateways.len() as u64);
+            for gw in gateways {
+                w.put_time(gw.fails_at);
+                w.put_bool(gw.down);
+                w.put_u64(gw.repairs);
+                w.put_time(gw.outage_until);
+            }
+            w.put_bool(*backhaul_down);
+            w.put_bool(*sunset_logged);
+            w.put_time(*flap_until);
+        }
+        ArmInfra::Federated { hotspots, wallets, dark_until } => {
+            w.put_u8(1);
+            w.put_u32(hotspots.count());
+            w.put_u32(hotspots.year());
+            w.put_u64(wallets.len() as u64);
+            for wallet in wallets {
+                let (balance, burned, funded, exhausted_at) = wallet.raw_state();
+                w.put_u64(balance);
+                w.put_u64(burned);
+                w.put_i128(funded.micros());
+                w.put_opt_time(exhausted_at);
+            }
+            w.put_time(*dark_until);
+        }
+    }
+    // Ledger.
+    w.put_str(arm.report.name);
+    for v in [
+        arm.report.weeks_up,
+        arm.report.weeks_total,
+        arm.report.readings_delivered,
+        arm.report.readings_expected,
+        arm.report.device_failures,
+        arm.report.device_replacements,
+        arm.report.gateway_repairs,
+        arm.report.backhaul_migrations,
+        arm.report.wallets_exhausted,
+        arm.report.faults_injected,
+    ] {
+        w.put_u64(v);
+    }
+    w.put_f64(arm.report.labor.hours());
+    w.put_i128(arm.report.spend.micros());
+    w.put_u64(arm.report.lifetime_observations.len() as u64);
+    for o in &arm.report.lifetime_observations {
+        w.put_f64(o.time);
+        w.put_bool(o.event);
+    }
+    // Diary (replaces the rebuilt arm's deployment entry on resume — the
+    // stored stream already begins with it).
+    w.put_u64(arm.diary.len() as u64);
+    for entry in arm.diary.entries() {
+        w.put_time(entry.at);
+        w.put_u8(entry.severity.code());
+        w.put_u8(entry.tier.code());
+        w.put_str(&entry.message);
+    }
+    // Spans, plus the open-outage handle as an index into them.
+    w.put_u64(arm.spans.len() as u64);
+    for span in arm.spans.spans() {
+        w.put_str(&span.name);
+        w.put_time(span.start);
+        w.put_opt_time(span.end);
+    }
+    match arm.outage_span {
+        Some(id) => {
+            w.put_u8(1);
+            w.put_u64(id.index() as u64);
+        }
+        None => w.put_u8(0),
+    }
+    // The deferred weekly-delivery accumulator: the only telemetry buffer
+    // with mid-run state (counters/histograms settle at finalize).
+    w.put_u64(arm.weekly_acc.bucket_counts().len() as u64);
+    for &c in arm.weekly_acc.bucket_counts() {
+        w.put_u64(c);
+    }
+    w.put_u64(arm.weekly_acc.count());
+    w.put_f64(arm.weekly_acc.sum());
+}
+
+fn decode_arm_into(r: &mut ByteReader<'_>, arm: &mut ArmState) -> Result<(), SnapshotError> {
+    if r.take_u64()? != arm.id as u64 {
+        return Err(SnapshotError::Corrupt { what: "arm id out of order" });
+    }
+    let mut state = [0u64; 4];
+    for s in &mut state {
+        *s = r.take_u64()?;
+    }
+    arm.rng = Rng::from_state(state);
+    let n_devices = r.take_count(34)?;
+    if n_devices != arm.devices.len() {
+        return Err(SnapshotError::Corrupt { what: "device count differs from config" });
+    }
+    for dev in &mut arm.devices {
+        dev.installed_at = r.take_time()?;
+        dev.fails_at = r.take_time()?;
+        dev.failed = r.take_bool()?;
+        dev.seq = r.take_u64()?;
+        dev.stuck_until = r.take_time()?;
+        dev.byzantine_until = r.take_time()?;
+    }
+    match (&mut arm.infra, r.take_u8()?) {
+        (ArmInfra::Owned { gateways, backhaul_down, sunset_logged, flap_until }, 0) => {
+            let n_gw = r.take_count(25)?;
+            if n_gw != gateways.len() {
+                return Err(SnapshotError::Corrupt { what: "gateway count differs from config" });
+            }
+            for gw in gateways.iter_mut() {
+                gw.fails_at = r.take_time()?;
+                gw.down = r.take_bool()?;
+                gw.repairs = r.take_u64()?;
+                gw.outage_until = r.take_time()?;
+            }
+            *backhaul_down = r.take_bool()?;
+            *sunset_logged = r.take_bool()?;
+            *flap_until = r.take_time()?;
+        }
+        (ArmInfra::Federated { hotspots, wallets, dark_until }, 1) => {
+            let count = r.take_u32()?;
+            let year = r.take_u32()?;
+            hotspots.restore_census(count, year);
+            let n_wallets = r.take_count(33)?;
+            if n_wallets != wallets.len() {
+                return Err(SnapshotError::Corrupt { what: "wallet count differs from config" });
+            }
+            for wallet in wallets.iter_mut() {
+                let balance = r.take_u64()?;
+                let burned = r.take_u64()?;
+                let funded = Usd::from_micros(r.take_i128()?);
+                let exhausted_at = r.take_opt_time()?;
+                *wallet = econ::credits::Wallet::from_raw_state(balance, burned, funded, exhausted_at);
+            }
+            *dark_until = r.take_time()?;
+        }
+        _ => return Err(SnapshotError::Corrupt { what: "arm infrastructure kind differs" }),
+    }
+    // Ledger.
+    if r.take_str()? != arm.report.name {
+        return Err(SnapshotError::Corrupt { what: "arm name differs from config" });
+    }
+    arm.report.weeks_up = r.take_u64()?;
+    arm.report.weeks_total = r.take_u64()?;
+    arm.report.readings_delivered = r.take_u64()?;
+    arm.report.readings_expected = r.take_u64()?;
+    arm.report.device_failures = r.take_u64()?;
+    arm.report.device_replacements = r.take_u64()?;
+    arm.report.gateway_repairs = r.take_u64()?;
+    arm.report.backhaul_migrations = r.take_u64()?;
+    arm.report.wallets_exhausted = r.take_u64()?;
+    arm.report.faults_injected = r.take_u64()?;
+    arm.report.labor = PersonHours::from_hours(restore_finite(r.take_f64()?, "labor hours")?);
+    arm.report.spend = Usd::from_micros(r.take_i128()?);
+    let n_obs = r.take_count(9)?;
+    let mut observations = Vec::with_capacity(n_obs);
+    for _ in 0..n_obs {
+        let time = restore_finite(r.take_f64()?, "lifetime observation")?;
+        let event = r.take_bool()?;
+        observations.push(Observation { time, event });
+    }
+    arm.report.lifetime_observations = observations;
+    // Diary: rebuilt wholesale in stored (time-ordered) sequence.
+    let n_diary = r.take_count(18)?;
+    let mut diary = Diary::new();
+    for _ in 0..n_diary {
+        let at = r.take_time()?;
+        let severity = Severity::from_code(r.take_u8()?)
+            .ok_or(SnapshotError::Corrupt { what: "unknown diary severity code" })?;
+        let tier = Tier::from_code(r.take_u8()?)
+            .ok_or(SnapshotError::Corrupt { what: "unknown diary tier code" })?;
+        let message = r.take_str()?;
+        diary.log(at, severity, tier, message);
+    }
+    arm.diary = diary;
+    // Spans and the re-minted open-outage handle.
+    let n_spans = r.take_count(25)?;
+    let mut spans = Vec::with_capacity(n_spans);
+    for _ in 0..n_spans {
+        let name = r.take_str()?;
+        let start = r.take_time()?;
+        let end = r.take_opt_time()?;
+        spans.push(Span { name, start, end });
+    }
+    arm.spans = SpanLog::restore(spans);
+    arm.outage_span = match r.take_u8()? {
+        0 => None,
+        1 => {
+            let index = take_index(r)?;
+            Some(
+                arm.spans
+                    .handle(index)
+                    .ok_or(SnapshotError::Corrupt { what: "outage span index out of range" })?,
+            )
+        }
+        _ => return Err(SnapshotError::Corrupt { what: "unknown outage-span tag" }),
+    };
+    // Weekly accumulator buffer.
+    let n_buckets = r.take_count(8)?;
+    let mut counts = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        counts.push(r.take_u64()?);
+    }
+    let count = r.take_u64()?;
+    let sum = restore_finite(r.take_f64()?, "weekly accumulator sum")?;
+    if !arm.weekly_acc.restore(&counts, count, sum) {
+        return Err(SnapshotError::Corrupt { what: "weekly accumulator layout differs" });
+    }
+    Ok(())
+}
+
+/// Times in the simulation are finite by construction; a non-finite float
+/// in a snapshot is damage, not data.
+fn restore_finite(v: f64, what: &'static str) -> Result<f64, SnapshotError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(SnapshotError::Corrupt { what })
+    }
+}
+
+fn resume_payload(payload: &[u8], cfg: FleetConfig) -> Result<ResumedFleet, SnapshotError> {
+    let mut r = ByteReader::new(payload);
+    let stored_fp = r.take_u64()?;
+    let current_fp = config_fingerprint(&cfg);
+    if stored_fp != current_fp {
+        return Err(SnapshotError::ConfigMismatch { stored: stored_fp, current: current_fp });
+    }
+    if r.take_u64()? != cfg.seed || r.take_u64()? != cfg.horizon.as_secs() {
+        return Err(SnapshotError::ConfigMismatch { stored: stored_fp, current: current_fp });
+    }
+    let cp = decode_engine(&mut r)?;
+    let horizon = SimTime::ZERO + cfg.horizon;
+    if cp.now > horizon {
+        return Err(SnapshotError::Corrupt { what: "checkpoint clock past the horizon" });
+    }
+    let chaos =
+        ChaosProgress { next: r.take_u64()?, applied: r.take_u64()?, skipped: r.take_u64()? };
+    let applied_counter = r.take_u64()?;
+    let skipped_counter = r.take_u64()?;
+    // Rebuild the world skeleton deterministically from the config, then
+    // discard the freshly primed queue: the stored checkpoint carries the
+    // authoritative pending events.
+    let (mut world, _primed) = FleetSim::build(cfg).into_parts();
+    let n_arms = r.take_count(64)?;
+    if n_arms != world.arms.len() {
+        return Err(SnapshotError::Corrupt { what: "arm count differs from config" });
+    }
+    for arm in &mut world.arms {
+        decode_arm_into(&mut r, arm)?;
+    }
+    r.finish()?;
+    world.chaos_applied.add(applied_counter);
+    world.chaos_skipped.add(skipped_counter);
+    let engine = Engine::resume(world, cp, crate::sim::resolve_event_kind)
+        .map_err(|_| SnapshotError::Corrupt { what: "checkpoint names unknown event kind" })?;
+    Ok(ResumedFleet { engine, chaos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    fn cfg(seed: u64) -> FleetConfig {
+        FleetConfig::paper_experiment(seed)
+    }
+
+    fn week(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_weeks(n)
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let baseline = FleetSim::run(cfg(11));
+        let mut engine = FleetSim::build(cfg(11));
+        engine.run_until(week(52));
+        let bytes = checkpoint_bytes(&mut engine, ChaosProgress::default());
+        drop(engine);
+        let resumed = resume_from_bytes(&bytes, cfg(11)).expect("snapshot round-trips");
+        assert_eq!(resumed.chaos, ChaosProgress::default());
+        let report = resumed.run_to_horizon();
+        assert_eq!(report.digest(), baseline.digest());
+        assert_eq!(report.events_processed, baseline.events_processed);
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_run() {
+        let baseline = FleetSim::run(cfg(12));
+        let horizon = SimTime::ZERO + cfg(12).horizon;
+        let mut engine = FleetSim::build(cfg(12));
+        engine.run_until(week(100));
+        let _ = checkpoint_bytes(&mut engine, ChaosProgress::default());
+        engine.run_until(horizon);
+        let report = FleetSim::into_report(engine, horizon);
+        assert_eq!(report.digest(), baseline.digest());
+    }
+
+    #[test]
+    fn foreign_config_is_refused() {
+        let mut engine = FleetSim::build(cfg(13));
+        engine.run_until(week(10));
+        let bytes = checkpoint_bytes(&mut engine, ChaosProgress::default());
+        let Err(err) = resume_from_bytes(&bytes, cfg(14)) else {
+            panic!("seed mismatch must be refused");
+        };
+        assert!(matches!(err, SnapshotError::ConfigMismatch { .. }), "{err}");
+        let mut small = cfg(13);
+        small.arms.truncate(1);
+        let Err(err) = resume_from_bytes(&bytes, small) else {
+            panic!("arm-list mismatch must be refused");
+        };
+        assert!(matches!(err, SnapshotError::ConfigMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_and_corrupted_images_fail_closed() {
+        let mut engine = FleetSim::build(cfg(15));
+        engine.run_until(week(26));
+        let bytes = checkpoint_bytes(&mut engine, ChaosProgress::default());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                resume_from_bytes(&bytes[..cut], cfg(15)).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() / 3] ^= 0x40;
+        assert!(matches!(
+            resume_from_bytes(&flipped, cfg(15)),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        assert_ne!(config_fingerprint(&cfg(1)), config_fingerprint(&cfg(2)));
+        let mut wider = cfg(1);
+        wider.arms[0].devices += 1;
+        assert_ne!(config_fingerprint(&cfg(1)), config_fingerprint(&wider));
+        assert_eq!(config_fingerprint(&cfg(1)), config_fingerprint(&cfg(1)));
+    }
+}

@@ -647,7 +647,142 @@ impl<W: World> Engine<W> {
     pub fn into_parts(self) -> (W, EventQueue<W::Event>) {
         (self.world, self.queue)
     }
+
+    /// Rebuilds an engine mid-run from a [`checkpoint`](Engine::checkpoint)
+    /// capture and a freshly reconstructed world.
+    ///
+    /// `resolve_kind` maps each checkpointed dispatch-count name back to
+    /// the world's `&'static` event-kind string (the caller knows its own
+    /// [`World::event_kind`] table); an unknown name is a typed error, not
+    /// a silently dropped counter — sharded merges recompute
+    /// `events_processed` from these counts, so they must be exact.
+    ///
+    /// Pending events are re-scheduled in checkpoint order, which is the
+    /// original (time, FIFO) pop order: fresh sequence numbers assigned in
+    /// that order reproduce every tie-break of the uninterrupted run.
+    /// Wall-clock profiling fields restart from zero; they are excluded
+    /// from run digests by contract (DESIGN.md §6).
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownEventKind`] if a dispatch name fails to resolve — the
+    /// checkpoint belongs to a different world shape.
+    pub fn resume<F>(
+        world: W,
+        checkpoint: EngineCheckpoint<W::Event>,
+        resolve_kind: F,
+    ) -> Result<Self, UnknownEventKind>
+    where
+        F: Fn(&str) -> Option<&'static str>,
+    {
+        let mut profile = EngineProfile::default();
+        for (name, n) in &checkpoint.dispatches {
+            let Some(kind) = resolve_kind(name) else {
+                return Err(UnknownEventKind { name: name.clone() });
+            };
+            profile.record_n(kind, *n);
+        }
+        profile.queue_high_water = checkpoint.queue_high_water;
+        profile.hook_fires = checkpoint.hook_fires;
+        let mut queue = EventQueue::with_capacity(checkpoint.events.len());
+        let mut ids = Vec::with_capacity(checkpoint.events.len());
+        queue.schedule_many(checkpoint.events, &mut ids);
+        Ok(Engine {
+            world,
+            queue,
+            now: checkpoint.now,
+            stop: false,
+            processed: checkpoint.processed,
+            profile,
+        })
+    }
 }
+
+impl<W: World> Engine<W>
+where
+    W::Event: Clone,
+{
+    /// Captures the engine's execution state — clock, dispatch counts,
+    /// and every pending event in (time, FIFO) pop order — without
+    /// stopping the run.
+    ///
+    /// The queue is drained to observe its order, then rebuilt in place:
+    /// fresh sequence numbers assigned in drain order preserve the
+    /// relative order of every same-time tie, and events scheduled later
+    /// still sort after them, so continuing the run after a checkpoint is
+    /// bit-identical to never having checkpointed. Event ids issued
+    /// before the capture are invalidated; worlds that retain ids across
+    /// handler calls must not be checkpointed mid-flight.
+    pub fn checkpoint(&mut self) -> EngineCheckpoint<W::Event> {
+        let mut events = Vec::with_capacity(self.queue.len());
+        while let Some((at, ev)) = self.queue.pop() {
+            events.push((at, ev));
+        }
+        self.queue.reset();
+        let mut ids = Vec::with_capacity(events.len());
+        self.queue.schedule_many(events.iter().map(|(at, ev)| (*at, ev.clone())), &mut ids);
+        EngineCheckpoint {
+            now: self.now,
+            processed: self.processed,
+            dispatches: self.profile.kinds.iter().map(|&(k, n)| (k.to_string(), n)).collect(),
+            queue_high_water: self.profile.queue_high_water,
+            hook_fires: self.profile.hook_fires,
+            events,
+        }
+    }
+
+    /// Runs to the checkpoint boundary `at` (events exactly at `at` stay
+    /// pending, per the horizon-exclusive contract — the natural weekly
+    /// boundary semantics) and captures a checkpoint there.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ScheduledInPast`] if `at` is before the current clock.
+    pub fn checkpoint_at(&mut self, at: SimTime) -> Result<EngineCheckpoint<W::Event>, SimError> {
+        if at < self.now {
+            return Err(SimError::ScheduledInPast { at, now: self.now });
+        }
+        self.run_until(at);
+        Ok(self.checkpoint())
+    }
+}
+
+/// A pure-data capture of an [`Engine`]'s mid-run execution state:
+/// everything the engine itself owns that the world cannot rebuild.
+/// Produced by [`Engine::checkpoint`], consumed by [`Engine::resume`];
+/// the snapshot layers serialize it with [`crate::snapshot`] codecs.
+#[derive(Clone, Debug)]
+pub struct EngineCheckpoint<E> {
+    /// The simulation clock at capture.
+    pub now: SimTime,
+    /// Events processed so far.
+    pub processed: u64,
+    /// Per-kind dispatch counts, as owned strings (the `&'static` kind
+    /// table is re-resolved on resume).
+    pub dispatches: Vec<(String, u64)>,
+    /// Queue depth high-water mark.
+    pub queue_high_water: usize,
+    /// Fault-hook fires so far.
+    pub hook_fires: u64,
+    /// Every pending event, in (time, FIFO) pop order.
+    pub events: Vec<(SimTime, E)>,
+}
+
+/// A checkpointed dispatch-count name that the resuming world does not
+/// recognise — the checkpoint belongs to a different world shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownEventKind {
+    /// The unresolvable event-kind name.
+    pub name: String,
+}
+
+impl core::fmt::Display for UnknownEventKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "checkpoint names unknown event kind '{}'", self.name)
+    }
+}
+
+impl std::error::Error for UnknownEventKind {}
 
 #[cfg(test)]
 mod tests {

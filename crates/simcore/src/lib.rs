@@ -17,6 +17,9 @@
 //!   and time-series recording for figures.
 //! * [`trace`] — the structured "experimental diary" the paper commits to
 //!   publishing (§4.5).
+//! * [`snapshot`] — the versioned, checksummed binary substrate for
+//!   checkpoint/restore: atomic writes, torn-file rejection, and the
+//!   byte codecs higher layers serialize world state with.
 //!
 //! # Quick example
 //!
@@ -70,12 +73,16 @@ pub mod event;
 pub mod quantile;
 pub mod rng;
 pub mod series;
+pub mod snapshot;
 pub mod stats;
 pub mod survival;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Engine, EngineProfile, FaultHook, RunOutcome, SimError, Watchdog, World};
+pub use engine::{
+    Ctx, Engine, EngineCheckpoint, EngineProfile, FaultHook, RunOutcome, SimError,
+    UnknownEventKind, Watchdog, World,
+};
 pub use error::ModelError;
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -175,6 +175,26 @@ impl Rng {
         Rng { s }
     }
 
+    /// The generator's raw xoshiro256\*\* state, for checkpointing.
+    ///
+    /// Round-trips exactly through [`Rng::from_state`]: the restored
+    /// generator continues the same stream draw for draw.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`Rng::state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro and can never be
+    /// produced by a live generator; it is mapped to the same guard state
+    /// [`Rng::seed_from`] would use, so no input panics.
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        if s == [0, 0, 0, 0] {
+            return Rng { s: [1, 0, 0, 0] };
+        }
+        Rng { s }
+    }
+
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {

@@ -1,0 +1,552 @@
+//! Binary snapshot substrate: versioned, checksummed, atomically written.
+//!
+//! A 50-year (or million-device) run that dies mid-flight should resume
+//! from a checkpoint to the *same digest*, not restart from scratch. This
+//! module provides the serde-free byte layer every checkpoint format in
+//! the workspace builds on:
+//!
+//! * [`ByteWriter`] / [`ByteReader`] — little-endian primitive codecs
+//!   with typed, panic-free error handling on the read side.
+//! * [`seal`] / [`open`] — the framing contract: an 8-byte magic, a
+//!   version byte, the payload, and a trailer carrying the payload length
+//!   plus an FNV-1a checksum of everything before it. A torn or corrupted
+//!   file is *detected and rejected* with a typed [`SnapshotError`],
+//!   never silently loaded.
+//! * [`write_atomic`] — temp file + fsync + rename, so a crash mid-write
+//!   leaves either the old snapshot or a rejectable partial temp file,
+//!   never a half-new snapshot under the real name.
+//!
+//! Format discipline: the magic and trailer layout are frozen; the
+//! version byte gates payload evolution. Readers reject versions they do
+//! not understand ([`SnapshotError::UnsupportedVersion`]) instead of
+//! guessing. The golden-format regression test pins the header layout and
+//! a fixed-seed snapshot checksum so accidental drift fails tier-1.
+
+use core::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::time::SimTime;
+
+/// The frozen 8-byte file magic ("CENTSNAP").
+pub const MAGIC: [u8; 8] = *b"CENTSNAP";
+
+/// Bytes of framing around a payload: magic + version byte + trailer
+/// (length `u64` + checksum `u64`).
+pub const FRAME_BYTES: usize = MAGIC.len() + 1 + 16;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes` — the trailer checksum function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Everything that can go wrong writing, reading, or decoding a snapshot.
+///
+/// Load paths are fail-closed: every variant means "do not trust this
+/// file"; none are recoverable by ignoring them.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem I/O failed (open, write, fsync, rename).
+    Io(std::io::Error),
+    /// The file is shorter than the fixed framing — a torn write.
+    TooShort {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The leading magic is not [`MAGIC`]: not a snapshot file.
+    BadMagic,
+    /// The version byte is newer (or older) than this reader supports.
+    UnsupportedVersion {
+        /// Version byte found in the file.
+        found: u8,
+        /// Version this reader supports.
+        supported: u8,
+    },
+    /// The trailer's payload length disagrees with the file size — a
+    /// truncated or padded file.
+    LengthMismatch {
+        /// Payload length the trailer claims.
+        header: u64,
+        /// Payload length actually present.
+        actual: u64,
+    },
+    /// The trailer checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the file.
+        computed: u64,
+    },
+    /// A decode ran past the end of the payload.
+    Truncated {
+        /// Bytes the decoder needed.
+        wanted: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// The payload decoded but its contents are semantically invalid.
+    Corrupt {
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The snapshot was taken under a different configuration than the
+    /// one offered for resume.
+    ConfigMismatch {
+        /// Fingerprint stored in the snapshot.
+        stored: u64,
+        /// Fingerprint of the configuration offered.
+        current: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::TooShort { len } => {
+                write!(f, "snapshot file too short ({len} bytes): torn write")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this reader supports {supported})"
+            ),
+            SnapshotError::LengthMismatch { header, actual } => write!(
+                f,
+                "snapshot length mismatch: trailer claims {header} payload bytes, found {actual}"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            SnapshotError::Truncated { wanted, remaining } => write!(
+                f,
+                "snapshot payload truncated: decoder needed {wanted} bytes, {remaining} remain"
+            ),
+            SnapshotError::Corrupt { what } => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::ConfigMismatch { stored, current } => write!(
+                f,
+                "snapshot was taken under a different configuration \
+                 (stored fingerprint {stored:016x}, offered {current:016x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Little-endian primitive encoder backing every snapshot payload.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i128`, little-endian.
+    pub fn put_i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (lossless).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a [`SimTime`] as its raw seconds.
+    pub fn put_time(&mut self, t: SimTime) {
+        self.put_u64(t.as_secs());
+    }
+
+    /// Appends an optional [`SimTime`]: a presence byte then the seconds.
+    pub fn put_opt_time(&mut self, t: Option<SimTime>) {
+        match t {
+            Some(t) => {
+                self.put_u8(1);
+                self.put_time(t);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The encoded payload so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian primitive decoder. Every accessor is bounds-checked and
+/// returns a typed error instead of panicking — load paths must fail
+/// closed on any malformed input.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated { wanted: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0 or 1 is corrupt.
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt { what: "bool byte not 0 or 1" }),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `i128`.
+    pub fn take_i128(&mut self) -> Result<i128, SnapshotError> {
+        let b = self.take(16)?;
+        let mut a = [0u8; 16];
+        a.copy_from_slice(b);
+        Ok(i128::from_le_bytes(a))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a [`SimTime`] from raw seconds.
+    pub fn take_time(&mut self) -> Result<SimTime, SnapshotError> {
+        Ok(SimTime::from_secs(self.take_u64()?))
+    }
+
+    /// Reads an optional [`SimTime`] (presence byte then seconds).
+    pub fn take_opt_time(&mut self) -> Result<Option<SimTime>, SnapshotError> {
+        Ok(if self.take_bool()? { Some(self.take_time()?) } else { None })
+    }
+
+    /// Reads a length-prefixed UTF-8 string. The length is validated
+    /// against the remaining bytes before any allocation, so a corrupt
+    /// length cannot trigger an outsized allocation.
+    pub fn take_str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.take_u64()? as usize;
+        if len > self.remaining() {
+            return Err(SnapshotError::Truncated { wanted: len, remaining: self.remaining() });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt { what: "string not valid UTF-8" })
+    }
+
+    /// Reads a length prefix for a repeated section, bounding it by
+    /// `min_element_bytes` so a corrupt count cannot drive an outsized
+    /// allocation or a long decode loop.
+    pub fn take_count(&mut self, min_element_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.take_u64()? as usize;
+        let floor = min_element_bytes.max(1);
+        if n > self.remaining() / floor {
+            return Err(SnapshotError::Corrupt { what: "repeat count exceeds payload size" });
+        }
+        Ok(n)
+    }
+
+    /// Succeeds only if every payload byte was consumed — trailing bytes
+    /// mean the reader and writer disagree about the format.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt { what: "trailing bytes after payload" });
+        }
+        Ok(())
+    }
+}
+
+/// Frames `payload` into a complete snapshot file image:
+/// `MAGIC ∥ version ∥ payload ∥ len(payload) ∥ fnv1a(all preceding)`.
+pub fn seal(version: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.push(version);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Verifies a sealed snapshot image and returns `(version, payload)`.
+///
+/// Checks run outermost-first: framing size, magic, trailer length,
+/// checksum, then version — so a torn file reports truncation rather
+/// than a misleading content error.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] variant except `Io`/`Corrupt`/`ConfigMismatch`;
+/// the caller decodes the payload (and may add those).
+pub fn open(bytes: &[u8], supported_version: u8) -> Result<(u8, &[u8]), SnapshotError> {
+    if bytes.len() < FRAME_BYTES {
+        return Err(SnapshotError::TooShort { len: bytes.len() });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let payload_start = MAGIC.len() + 1;
+    let trailer_start = bytes.len() - 16;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&bytes[trailer_start..trailer_start + 8]);
+    let stored_len = u64::from_le_bytes(a);
+    let actual_len = (trailer_start - payload_start) as u64;
+    if stored_len != actual_len {
+        return Err(SnapshotError::LengthMismatch { header: stored_len, actual: actual_len });
+    }
+    a.copy_from_slice(&bytes[trailer_start + 8..]);
+    let stored_sum = u64::from_le_bytes(a);
+    let computed = fnv1a(&bytes[..trailer_start + 8]);
+    if stored_sum != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored: stored_sum, computed });
+    }
+    let version = bytes[MAGIC.len()];
+    if version != supported_version {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: supported_version,
+        });
+    }
+    Ok((version, &bytes[payload_start..trailer_start]))
+}
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written
+/// and fsynced first, then renamed over `path`, then the parent
+/// directory is fsynced so the rename itself is durable. A crash at any
+/// point leaves either the previous snapshot intact or a stray `.tmp`
+/// file that [`open`] rejects — never a half-written file under `path`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on any filesystem failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Make the rename durable. Directory fsync is a Linux-ism; if the
+        // platform refuses to open a directory, the rename already hit
+        // the journal on close and there is nothing more we can do.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and verifies a sealed snapshot file, returning `(version,
+/// payload)` with the payload copied out.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on filesystem failure, plus every framing error
+/// [`open`] can return.
+pub fn read_verified(path: &Path, supported_version: u8) -> Result<(u8, Vec<u8>), SnapshotError> {
+    let bytes = fs::read(path)?;
+    let (version, payload) = open(&bytes, supported_version)?;
+    Ok((version, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        w.put_str("hello");
+        w.put_opt_time(Some(SimTime::from_secs(7)));
+        w.put_opt_time(None);
+        w.put_i128(-5);
+        w.put_f64(1.5);
+        w.put_bool(true);
+        let sealed = seal(1, w.as_bytes());
+        let (version, payload) = open(&sealed, 1).unwrap();
+        assert_eq!(version, 1);
+        let mut r = ByteReader::new(payload);
+        assert_eq!(r.take_u64().unwrap(), 42);
+        assert_eq!(r.take_str().unwrap(), "hello");
+        assert_eq!(r.take_opt_time().unwrap(), Some(SimTime::from_secs(7)));
+        assert_eq!(r.take_opt_time().unwrap(), None);
+        assert_eq!(r.take_i128().unwrap(), -5);
+        assert_eq!(r.take_f64().unwrap(), 1.5);
+        assert!(r.take_bool().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_length_fails_closed() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        w.put_str("payload body");
+        let sealed = seal(1, w.as_bytes());
+        for cut in 0..sealed.len() {
+            let torn = &sealed[..cut];
+            assert!(open(torn, 1).is_err(), "torn at {cut} bytes must be rejected");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(0xdead_beef);
+        let sealed = seal(1, w.as_bytes());
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(open(&bad, 1).is_err(), "flip at byte {i} must be rejected");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let sealed = seal(1, b"x");
+        let mut bad = sealed.clone();
+        bad[0] = b'X';
+        assert!(matches!(open(&bad, 1), Err(SnapshotError::BadMagic)));
+        // A *valid* file of a future version is rejected as unsupported.
+        let future = seal(9, b"x");
+        assert!(matches!(
+            open(&future, 1),
+            Err(SnapshotError::UnsupportedVersion { found: 9, supported: 1 })
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_overrun_and_bad_counts() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.take_u64(), Err(SnapshotError::Truncated { .. })));
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // Absurd element count.
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.take_count(8), Err(SnapshotError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join("simcore-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.snap");
+        let sealed = seal(1, b"abc");
+        write_atomic(&path, &sealed).unwrap();
+        let (v, payload) = read_verified(&path, 1).unwrap();
+        assert_eq!((v, payload.as_slice()), (1, b"abc".as_slice()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -32,6 +32,19 @@ impl Severity {
     }
 }
 
+impl Severity {
+    /// Decodes a [`code`](Severity::code) byte; `None` for unknown bytes
+    /// (snapshot load paths must fail closed, not guess).
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Severity::Info),
+            1 => Some(Severity::Warning),
+            2 => Some(Severity::Incident),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -68,6 +81,21 @@ impl Tier {
             Tier::Backhaul => 2,
             Tier::Cloud => 3,
             Tier::System => 4,
+        }
+    }
+}
+
+impl Tier {
+    /// Decodes a [`code`](Tier::code) byte; `None` for unknown bytes
+    /// (snapshot load paths must fail closed, not guess).
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Tier::Device),
+            1 => Some(Tier::Gateway),
+            2 => Some(Tier::Backhaul),
+            3 => Some(Tier::Cloud),
+            4 => Some(Tier::System),
+            _ => None,
         }
     }
 }

@@ -304,6 +304,30 @@ impl LocalHistogram {
         self.count
     }
 
+    /// The buffered per-bucket counts (last entry is the overflow
+    /// bucket), for checkpointing a mid-run accumulator.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The buffered sum of finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Overwrites the buffer with checkpointed state. Returns `false`
+    /// (and changes nothing) if `counts` does not match this buffer's
+    /// bucket layout.
+    pub fn restore(&mut self, counts: &[u64], count: u64, sum: f64) -> bool {
+        if counts.len() != self.counts.len() {
+            return false;
+        }
+        self.counts.copy_from_slice(counts);
+        self.count = count;
+        self.sum = sum;
+        true
+    }
+
     /// Adds everything buffered into `target` and clears the buffer.
     /// Returns `false` (and flushes nothing) if the bucket layouts differ.
     pub fn flush_into(&mut self, target: &Histogram) -> bool {

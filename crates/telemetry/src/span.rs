@@ -31,6 +31,14 @@ impl Span {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpanId(usize);
 
+impl SpanId {
+    /// The span's position in its log, for serialization. Re-mint the
+    /// handle after a restore with [`SpanLog::handle`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// An append-only log of spans, in open order.
 #[derive(Clone, Debug, Default)]
 pub struct SpanLog {
@@ -79,6 +87,19 @@ impl SpanLog {
     /// Spans still open (no close recorded).
     pub fn open_count(&self) -> usize {
         self.spans.iter().filter(|s| s.end.is_none()).count()
+    }
+
+    /// Rebuilds a log from checkpointed spans, in their original open
+    /// order. Handles into the previous log stay valid positionally;
+    /// re-mint them with [`SpanLog::handle`].
+    pub fn restore(spans: Vec<Span>) -> Self {
+        SpanLog { spans }
+    }
+
+    /// Mints the handle for the span at `index`, if one exists — the
+    /// restore-side counterpart of [`SpanId::index`].
+    pub fn handle(&self, index: usize) -> Option<SpanId> {
+        (index < self.spans.len()).then_some(SpanId(index))
     }
 }
 

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Re-bless the golden run digests after an INTENTIONAL behaviour change.
-# Rewrites tests/golden/digests.txt with the current build's digests, then
-# shows the diff so the change can be reviewed before committing.
+# Re-bless the golden pins after an INTENTIONAL behaviour or format change.
+# Rewrites tests/golden/digests.txt (run digests) and
+# tests/golden/snapshot_format.txt (snapshot layout pin) with the current
+# build's values, then shows the diff so the change can be reviewed before
+# committing. Remember: an intentional snapshot-layout change must also bump
+# fleet::snapshot::FLEET_SNAPSHOT_VERSION.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GOLDEN_BLESS=1 cargo test --release --test golden_digests -- run_digests_match_golden
-git --no-pager diff -- tests/golden/digests.txt || true
-echo "golden digests re-blessed; review the diff above, then commit."
+GOLDEN_BLESS=1 cargo test --release --test golden_snapshot -- snapshot_format_matches_golden
+git --no-pager diff -- tests/golden/ || true
+echo "golden pins re-blessed; review the diff above, then commit."

@@ -16,6 +16,9 @@ echo "== golden digests (regression; drift fails, bless via scripts/bless.sh) ==
 # optimizations never reorder events or touch digested state.
 cargo test -q --release --test golden_digests
 
+echo "== golden snapshot format (layout pin; intentional changes bump FLEET_SNAPSHOT_VERSION) =="
+cargo test -q --release --test golden_snapshot
+
 echo "== example smoke pass =="
 cargo run -q --release --example quickstart > /dev/null
 
@@ -36,5 +39,20 @@ echo "== sharded smoke (one seed; binary exits 1 unless serial == sharded digest
 ./target/release/throughput --replicates 1 --threads 1 --passes 1 \
   --shards 4 --scale-devices 2000 \
   --out target/bench_sharded_smoke.json > /dev/null
+
+echo "== snapshot-resume smoke (checkpoint every 10y; exits 1 unless resumed digests are bit-identical) =="
+rm -rf target/verify-snapshots
+./target/release/throughput --checkpoint-every 520 \
+  --checkpoint-dir target/verify-snapshots \
+  --out target/bench_snapshot_smoke.json > /dev/null
+
+echo "== torn-write rejection (truncated snapshot must fail closed, exit 1) =="
+torn=target/verify-snapshots/torn.snap
+head -c 100 target/verify-snapshots/seed0-week520.snap > "$torn"
+if ./target/release/throughput --resume "$torn" > /dev/null 2>&1; then
+  echo "verify: FAIL — a torn snapshot was accepted" >&2
+  exit 1
+fi
+rm -rf target/verify-snapshots
 
 echo "verify: OK"

@@ -33,11 +33,13 @@ fn current_digests() -> Vec<(String, u64)> {
     // Sharded-execution pins (k=4): identical values to the serial pins
     // above by the bit-identity contract, recorded separately so a drift
     // confined to the sharded path cannot hide behind a healthy serial
-    // run.
-    let report = FleetSim::run_sharded(FleetConfig::paper_experiment(1), 4)
+    // run. Forced entry points: the 20-device paper fleet is below the
+    // small-fleet serial fallback, and these pins exist to pin the real
+    // multi-shard machinery.
+    let report = fleet::shard::run_sharded_forced(FleetConfig::paper_experiment(1), 4)
         .expect("four shards is valid");
     out.push(("paper_experiment/seed=1/shards=4".to_string(), report.digest()));
-    let report = chaos::run_sharded_with_plan(FleetConfig::paper_experiment(42), plan, 4)
+    let report = chaos::run_sharded_with_plan_forced(FleetConfig::paper_experiment(42), plan, 4)
         .expect("four shards is valid");
     out.push(("paper_experiment/seed=42/chaos=full@1.0/shards=4".to_string(), report.digest()));
     out

@@ -1,0 +1,71 @@
+//! Golden pin on the snapshot *format*, not just run behaviour.
+//!
+//! `tests/golden/snapshot_format.txt` records the framing constants
+//! (magic, version, frame overhead) and, for one fixed configuration —
+//! paper experiment, seed 42, checkpoint at week 26 — the byte length
+//! and FNV-1a digest of the sealed snapshot image. The fleet codec is
+//! hand-rolled and versioned; this pin turns any accidental layout
+//! change (a reordered field, a widened integer, a new block without a
+//! version bump) into a loud test failure instead of a silently
+//! unreadable checkpoint.
+//!
+//! An *intentional* format change must bump
+//! [`fleet::snapshot::FLEET_SNAPSHOT_VERSION`]; re-bless with
+//! `scripts/bless.sh` (or `GOLDEN_BLESS=1 cargo test --test
+//! golden_snapshot`) and review the diff.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
+
+use fleet::sim::{FleetConfig, FleetSim};
+use fleet::snapshot::{self, ChaosProgress, FLEET_SNAPSHOT_VERSION};
+use simcore::snapshot::{fnv1a, FRAME_BYTES, MAGIC};
+use simcore::time::{SimDuration, SimTime};
+
+const GOLDEN_PATH: &str = "tests/golden/snapshot_format.txt";
+
+fn pinned_image() -> Vec<u8> {
+    let mut engine = FleetSim::build(FleetConfig::paper_experiment(42));
+    engine.run_until(SimTime::ZERO + SimDuration::from_weeks(26));
+    snapshot::checkpoint_bytes(&mut engine, ChaosProgress::default())
+}
+
+fn render() -> String {
+    let image = pinned_image();
+    let magic_hex: String = MAGIC.iter().map(|b| format!("{b:02x}")).collect();
+    format!(
+        "# Golden snapshot format pin. A diff here means the on-disk layout\n\
+         # changed: bump FLEET_SNAPSHOT_VERSION for intentional changes, then\n\
+         # re-bless with scripts/bless.sh and review.\n\
+         magic {magic_hex}\n\
+         version {FLEET_SNAPSHOT_VERSION}\n\
+         frame_bytes {FRAME_BYTES}\n\
+         image/paper_experiment/seed=42/week=26 len={} fnv1a={:016x}\n",
+        image.len(),
+        fnv1a(&image),
+    )
+}
+
+#[test]
+fn snapshot_format_matches_golden() {
+    let rendered = render();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot pin");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{GOLDEN_PATH} unreadable ({e}); run scripts/bless.sh"));
+    assert_eq!(
+        golden, rendered,
+        "snapshot format drifted from {GOLDEN_PATH}. Intentional layout \
+         changes must bump FLEET_SNAPSHOT_VERSION; re-bless with \
+         scripts/bless.sh and review the diff."
+    );
+}
+
+#[test]
+fn snapshot_bytes_are_deterministic() {
+    // Two checkpoints of the same run prefix must be byte-identical —
+    // the property that makes the golden pin meaningful at all.
+    assert_eq!(pinned_image(), pinned_image());
+}

@@ -366,6 +366,57 @@ proptest! {
         }
     }
 
+    /// RNG state round-trip: `from_state(state())` reproduces the exact
+    /// draw sequence — the invariant the snapshot codec leans on to
+    /// resume every per-arm stream mid-run.
+    #[test]
+    fn rng_state_roundtrip(seed in any::<u64>(), warmup in 0usize..64, draws in 1usize..64) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..warmup {
+            let _ = rng.next_u64();
+        }
+        let mut twin = Rng::from_state(rng.state());
+        for step in 0..draws {
+            prop_assert_eq!(rng.next_u64(), twin.next_u64(), "diverged at draw {}", step);
+        }
+    }
+
+    /// Timing-wheel round-trip: draining a queue (any schedule/cancel
+    /// mix) and re-scheduling the survivors into a fresh wheel preserves
+    /// pop order exactly — the invariant behind `Engine::checkpoint`'s
+    /// drain-and-reseed of the pending event set.
+    #[test]
+    fn event_queue_drain_reschedule_roundtrip(
+        times in proptest::collection::vec(0u64..2_000, 1..150),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(times.len());
+        for (i, &t) in times.iter().enumerate() {
+            ids.push(q.schedule(SimTime::from_secs(t), i));
+        }
+        for (id, &cancel) in ids.iter().zip(cancel_mask.iter()) {
+            if cancel {
+                q.cancel(*id);
+            }
+        }
+        // Drain: the checkpoint capture. Survivors come out in pop order.
+        let mut drained = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            drained.push((t, payload));
+        }
+        // Reseed a fresh wheel in drained order: the resume path.
+        let mut fresh = EventQueue::new();
+        for &(t, payload) in &drained {
+            fresh.schedule(t, payload);
+        }
+        let mut replayed = Vec::new();
+        while let Some(ev) = fresh.pop() {
+            replayed.push(ev);
+        }
+        prop_assert_eq!(drained, replayed, "reseeded wheel changed pop order");
+    }
+
     /// Histogram bucketing is monotone in the observation, and each value
     /// lands in the first bucket whose upper bound is at or above it.
     #[test]

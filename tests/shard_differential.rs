@@ -13,6 +13,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
 
 use chaos::FaultPlanBuilder;
+use fleet::shard::run_sharded_forced;
 use fleet::sim::{FleetConfig, FleetSim};
 
 const SEEDS: [u64; 8] = [1, 2, 3, 7, 42, 97, 1001, 0xdead_beef];
@@ -23,8 +24,11 @@ fn sharded_digest_matches_serial_across_seeds_and_k() {
     for seed in SEEDS {
         let serial = FleetSim::run(FleetConfig::paper_experiment(seed));
         for k in SHARD_COUNTS {
+            // Forced: the 20-device paper fleet sits below the
+            // small-fleet serial fallback, and this suite exists to
+            // exercise the real multi-shard machinery.
             let sharded =
-                FleetSim::run_sharded(FleetConfig::paper_experiment(seed), k).unwrap();
+                run_sharded_forced(FleetConfig::paper_experiment(seed), k).unwrap();
             assert_eq!(
                 serial.digest(),
                 sharded.digest(),
@@ -46,7 +50,7 @@ fn sharded_digest_matches_serial_under_full_intensity_chaos() {
         let plan = FaultPlanBuilder::full(seed ^ 0xc4a0).build(&cfg, 1.0).unwrap();
         let serial = chaos::run_with_plan(cfg, plan.clone());
         for k in SHARD_COUNTS {
-            let sharded = chaos::run_sharded_with_plan(
+            let sharded = chaos::run_sharded_with_plan_forced(
                 FleetConfig::paper_experiment(seed),
                 plan.clone(),
                 k,
@@ -66,7 +70,7 @@ fn sharded_profile_dispatch_counts_match_serial() {
     // events_processed equality is necessary but could mask compensating
     // errors; the per-kind dispatch breakdown must match too.
     let serial = FleetSim::run(FleetConfig::paper_experiment(11));
-    let sharded = FleetSim::run_sharded(FleetConfig::paper_experiment(11), 2).unwrap();
+    let sharded = run_sharded_forced(FleetConfig::paper_experiment(11), 2).unwrap();
     for &(kind, n) in serial.profile.dispatches() {
         assert_eq!(
             sharded.profile.count(kind),
@@ -85,6 +89,6 @@ fn oversharded_run_still_matches_serial() {
     // k far beyond the arm count: surplus shards sit empty and the
     // degenerate split must not perturb anything.
     let serial = FleetSim::run(FleetConfig::paper_experiment(3));
-    let sharded = FleetSim::run_sharded(FleetConfig::paper_experiment(3), 64).unwrap();
+    let sharded = run_sharded_forced(FleetConfig::paper_experiment(3), 64).unwrap();
     assert_eq!(serial.digest(), sharded.digest());
 }
