@@ -51,7 +51,7 @@
 use std::time::Instant;
 
 use bench::parallel::run_reports;
-use fleet::sim::{ArmConfig, FleetConfig, FleetSim};
+use fleet::sim::{ArmConfig, FleetConfig, FleetSim, SamplingMode};
 use fleet::snapshot::{self, ChaosProgress};
 use simcore::time::{SimDuration, SimTime};
 
@@ -123,8 +123,14 @@ fn scale_horizon_years(devices: usize) -> u64 {
 /// `devices / SCALE_ARMS` sensors with 2 gateways each, sharing the paper
 /// environment. Many equal arms make the shard plan balanced, so the
 /// measurement isolates engine scaling rather than partition skew.
+///
+/// The sweep runs in [`SamplingMode::Aggregate`] — one binomial draw per
+/// path cohort per week instead of a per-device RNG loop — which is what
+/// makes million-device fleets benchable at all; the per-device
+/// [`SamplingMode::Reference`] oracle is measured alongside and must
+/// agree digest-for-digest.
 fn scaled_config(seed: u64, devices: usize) -> FleetConfig {
-    let mut cfg = FleetConfig::paper_experiment(seed);
+    let mut cfg = FleetConfig::paper_experiment(seed).with_sampling(SamplingMode::Aggregate);
     cfg.horizon = SimDuration::from_years(scale_horizon_years(devices));
     cfg.arms = (0..SCALE_ARMS)
         .map(|_| ArmConfig::paper_owned_154((devices / SCALE_ARMS).max(1), 2))
@@ -441,7 +447,10 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Intra-run sharding sweep: one big run serial vs sharded, digest-gated.
+    // Intra-run sharding sweep over the aggregate sampling path: one big
+    // run serial vs sharded (digest-gated), plus the per-device reference
+    // oracle (one pass — it is the slow path by design), which must agree
+    // with the aggregate run digest-for-digest.
     let mut scale_rows: Vec<String> = Vec::new();
     for &devices in &args.scale_devices {
         let cfg = scaled_config(args.base_seed, devices);
@@ -457,16 +466,30 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let ref_cfg = cfg.clone().with_sampling(SamplingMode::Reference);
+        let scale_reference = measure_scale_serial(&ref_cfg);
+        if scale_reference.digest_xor != scale_serial.digest_xor {
+            eprintln!(
+                "throughput: aggregate/reference digest mismatch at {devices} devices \
+                 ({:016x} vs {:016x}) — the aggregate sampler drifted from the \
+                 per-device oracle; this is a correctness failure",
+                scale_serial.digest_xor, scale_reference.digest_xor
+            );
+            std::process::exit(1);
+        }
         scale_rows.push(format!(
             "{{\"devices\":{},\"arms\":{},\"horizon_years\":{},\"shards\":{},\
-             \"serial\":{},\"sharded\":{},\"sharded_speedup\":{:.3}}}",
+             \"serial\":{},\"sharded\":{},\"reference\":{},\"sharded_speedup\":{:.3},\
+             \"aggregate_speedup_vs_reference\":{:.3}}}",
             devices,
             SCALE_ARMS,
             scale_horizon_years(devices),
             args.shards,
             pass_json(&scale_serial),
             pass_json(&scale_sharded),
-            scale_sharded.events_per_sec / scale_serial.events_per_sec
+            pass_json(&scale_reference),
+            scale_sharded.events_per_sec / scale_serial.events_per_sec,
+            scale_serial.events_per_sec / scale_reference.events_per_sec
         ));
     }
 

@@ -6,7 +6,7 @@
 //! call both **audits** the design against the paper's principles and
 //! **simulates** its 50-year trajectory.
 
-use fleet::sim::{ArmConfig, FleetConfig, FleetReport, FleetSim};
+use fleet::sim::{ArmConfig, FleetConfig, FleetReport, FleetSim, SamplingMode};
 use reliability::system::bom;
 use simcore::time::SimDuration;
 
@@ -105,6 +105,7 @@ impl ScenarioBuilder {
                 horizon: self.horizon,
                 arms: self.arms,
                 env: self.env,
+                sampling: SamplingMode::default(),
             },
         }
     }

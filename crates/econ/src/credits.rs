@@ -219,6 +219,114 @@ impl Wallet {
     }
 }
 
+/// A struct-of-arrays column of per-device wallets: the federated arm's
+/// whole credit population in four parallel vectors.
+///
+/// Semantically a `Vec<Wallet>` — every per-index operation replicates
+/// [`Wallet`]'s arithmetic exactly (pinned by the oracle test below) —
+/// but laid out column-wise so the weekly bulk-burn scan touches only
+/// the `balance`/`burned` columns instead of striding over whole wallet
+/// structs, and so a million-device arm provisions in one allocation
+/// per column rather than a million heap objects.
+#[derive(Clone, Debug, Default)]
+pub struct WalletColumn {
+    balance: Vec<u64>,
+    burned: Vec<u64>,
+    funded: Vec<Usd>,
+    exhausted_at: Vec<Option<SimTime>>,
+}
+
+impl WalletColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provisions `n` identical wallets, each funded with `amount` at the
+    /// paper's fixed credit price (same arithmetic as
+    /// [`Wallet::provision_dollars`]).
+    pub fn provision_uniform(n: usize, amount: Usd) -> Self {
+        let proto = Wallet::provision_dollars(amount);
+        let (balance, burned, funded, exhausted) = proto.raw_state();
+        WalletColumn {
+            balance: vec![balance; n],
+            burned: vec![burned; n],
+            funded: vec![funded; n],
+            exhausted_at: vec![exhausted; n],
+        }
+    }
+
+    /// Number of wallets in the column.
+    pub fn len(&self) -> usize {
+        self.balance.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.balance.is_empty()
+    }
+
+    /// Materializes wallet `i` as a standalone [`Wallet`] (checkpointing
+    /// and the per-device reference path). Returns `None` out of bounds.
+    pub fn get(&self, i: usize) -> Option<Wallet> {
+        Some(Wallet::from_raw_state(
+            *self.balance.get(i)?,
+            self.burned[i],
+            self.funded[i],
+            self.exhausted_at[i],
+        ))
+    }
+
+    /// Overwrites wallet `i` from a standalone [`Wallet`] (device
+    /// replacement re-provisioning and snapshot restore). Returns `false`
+    /// out of bounds.
+    pub fn set(&mut self, i: usize, wallet: &Wallet) -> bool {
+        if i >= self.balance.len() {
+            return false;
+        }
+        let (balance, burned, funded, exhausted) = wallet.raw_state();
+        self.balance[i] = balance;
+        self.burned[i] = burned;
+        self.funded[i] = funded;
+        self.exhausted_at[i] = exhausted;
+        true
+    }
+
+    /// When wallet `i` first failed to cover a burn, if ever.
+    pub fn exhausted_at(&self, i: usize) -> Option<SimTime> {
+        self.exhausted_at.get(i).copied().flatten()
+    }
+
+    /// Burns credits from wallet `i` for `count` identical packets of
+    /// `payload_bytes` at `now`, returning how many were paid for.
+    ///
+    /// Column-wise twin of [`Wallet::burn_packets`]: same division, same
+    /// `burned` accounting, and `exhausted_at` records `now` iff fewer
+    /// than `count` packets could be paid and no earlier exhaustion was
+    /// recorded. Out-of-bounds indices pay nothing.
+    pub fn burn_packets(&mut self, i: usize, now: SimTime, payload_bytes: u32, count: u64) -> u64 {
+        let Some(balance) = self.balance.get_mut(i) else {
+            return 0;
+        };
+        let need = credits_for_packet(payload_bytes);
+        debug_assert!(need > 0, "every packet costs at least one credit");
+        let paid = (*balance / need).min(count);
+        let spent = paid * need;
+        *balance -= spent;
+        self.burned[i] += spent;
+        if paid < count && self.exhausted_at[i].is_none() {
+            self.exhausted_at[i] = Some(now);
+        }
+        paid
+    }
+
+    /// Chaos: empties wallet `i` (see [`Wallet::drain`]). Returns the
+    /// credits lost; `None` out of bounds.
+    pub fn drain(&mut self, i: usize) -> Option<u64> {
+        self.balance.get_mut(i).map(std::mem::take)
+    }
+}
+
 /// Total cost of buying credits **as you go**, yearly, with the credit's
 /// dollar price escalating at `price_escalation` per year (the risk the
 /// paper's prepayment eliminates: "the price of data once purchased is
@@ -454,6 +562,51 @@ mod tests {
     fn error_displays() {
         let e = InsufficientCredits { needed: 2, available: 1 };
         assert!(e.to_string().contains("needed 2"));
+    }
+
+    #[test]
+    fn wallet_column_matches_vec_of_wallets_oracle() {
+        // Drive a column and a Vec<Wallet> through an identical script of
+        // burns, drains, and overwrites; every observable must agree.
+        let n = 8;
+        let amount = Usd::from_dollars(5);
+        let mut col = WalletColumn::provision_uniform(n, amount);
+        let mut oracle: Vec<Wallet> = (0..n).map(|_| Wallet::provision_dollars(amount)).collect();
+        assert_eq!(col.len(), n);
+        assert!(!col.is_empty());
+
+        let script: &[(usize, u64, u32, u64)] = &[
+            (0, 0, 24, 168),
+            (1, 100, 40, 5),
+            (2, 200, 24, 600_000), // Overdraw: partial pay + exhaustion.
+            (2, 300, 24, 10),      // Already exhausted: keeps first time.
+            (5, 400, 24, 0),       // Zero count: no-op, no exhaustion.
+        ];
+        for &(i, secs, bytes, count) in script {
+            let now = SimTime::from_secs(secs);
+            let a = col.burn_packets(i, now, bytes, count);
+            let b = oracle[i].burn_packets(now, bytes, count);
+            assert_eq!(a, b, "paid at {i}/{secs}");
+        }
+        assert_eq!(col.drain(3), Some(oracle[3].drain()));
+        let fresh = Wallet::provision_dollars(amount);
+        assert!(col.set(2, &fresh));
+        oracle[2] = fresh.clone();
+
+        for (i, w) in oracle.iter().enumerate() {
+            let got = col.get(i).unwrap();
+            assert_eq!(got.balance(), w.balance(), "balance {i}");
+            assert_eq!(got.burned(), w.burned(), "burned {i}");
+            assert_eq!(got.funded(), w.funded(), "funded {i}");
+            assert_eq!(got.exhausted_at(), w.exhausted_at(), "exhausted {i}");
+            assert_eq!(col.exhausted_at(i), w.exhausted_at());
+        }
+        // Out-of-bounds accesses are inert.
+        assert_eq!(col.burn_packets(n, SimTime::ZERO, 24, 1), 0);
+        assert_eq!(col.drain(n), None);
+        assert!(!col.set(n, &fresh));
+        assert!(col.get(n).is_none());
+        assert_eq!(col.exhausted_at(n), None);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`snapshot`] — crash-recoverable mid-run checkpoints: run-to-week,
 //!   snapshot, resume, run-to-horizon digests exactly like the
 //!   uninterrupted run.
+//! * [`store`] — the struct-of-arrays device population (parallel
+//!   columns + path cohorts) that aggregate weekly sampling runs over.
 //! * [`upgrade`] — gateway technology-generation planning: upgrade policies
 //!   vs heterogeneity and out-of-support exposure.
 //! * [`workforce`] — crew-capacity backlog dynamics: what replacement waves
@@ -40,6 +42,7 @@ pub mod pipeline;
 pub mod shard;
 pub mod sim;
 pub mod snapshot;
+pub mod store;
 pub mod upgrade;
 pub mod workforce;
 
@@ -47,5 +50,6 @@ pub use device::{DeviceSpec, DeviceState, EnergySystem};
 pub use gateway::{GatewaySpec, GatewayState};
 pub use hierarchy::Hierarchy;
 pub use shard::{ShardError, ShardPlan};
-pub use sim::{ArmConfig, ArmReport, FleetConfig, FleetReport, FleetSim};
+pub use sim::{ArmConfig, ArmReport, FleetConfig, FleetReport, FleetSim, SamplingMode};
 pub use snapshot::{ChaosProgress, ResumedFleet, FLEET_SNAPSHOT_VERSION};
+pub use store::DeviceStore;

@@ -280,7 +280,11 @@ where
 {
     let plan = effective_plan(&cfg, shards, force)?;
     let horizon = SimTime::ZERO + cfg.horizon;
-    let engine = FleetSim::build(cfg);
+    // Per-arm planning is pure in (seed, arm index, config), so the build
+    // itself parallelizes — bit-identical to the serial build. Fan out as
+    // wide as the run phase will: the caller asked for `shards` threads.
+    let workers = shards.max(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    let engine = FleetSim::build_parallel_with(cfg, workers);
     drive_sharded(engine, &plan, horizon, make_hook)
 }
 

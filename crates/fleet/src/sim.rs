@@ -28,10 +28,11 @@
 use std::sync::Arc;
 
 use backhaul::helium::HotspotPopulation;
-use econ::credits::Wallet;
+use econ::credits::{Wallet, WalletColumn};
 use econ::labor::PersonHours;
 use econ::money::Usd;
 use reliability::system::bom;
+use simcore::dist::{sorted_uniforms, Binomial, InverseCdf};
 use simcore::engine::{Ctx, Engine, EngineProfile, World};
 use simcore::event::EventQueue;
 use simcore::rng::Rng;
@@ -42,8 +43,9 @@ use telemetry::span::{SpanId, SpanLog};
 use telemetry::{Buckets, Counter, Digest, Histogram, LocalHistogram, Registry, Snapshot, Span};
 
 use crate::cloud::CloudEndpoint;
-use crate::device::{DeviceSpec, DeviceState};
+use crate::device::{DeviceSpec, DeviceState, EnergySystem};
 use crate::gateway::{GatewaySpec, GatewayState};
+use crate::store::DeviceStore;
 
 /// Infrastructure flavour of an experiment arm.
 #[derive(Clone, Debug)]
@@ -167,6 +169,34 @@ impl ArmConfig {
     }
 }
 
+/// How weekly deliveries are sampled (DESIGN.md §13).
+///
+/// The three modes share the struct-of-arrays [`DeviceStore`] and every
+/// event handler; they differ only in the weekly evaluation pass and in
+/// how build-time device lifetimes are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SamplingMode {
+    /// One RNG draw per alive device per week — the original paper-scale
+    /// path, bit-for-bit. All published golden digests are pinned under
+    /// this mode; it remains the default.
+    #[default]
+    Legacy,
+    /// Population-level aggregate sampling: one binomial draw per
+    /// (arm × path cohort × week), shares distributed by device id, bulk
+    /// wallet burns over the federated column, cohort order-statistic
+    /// death times at build. The million-device path. Draws are pinned to
+    /// entity ids (per-arm `"aggregate"` substream keyed by week and
+    /// cohort), never loop order, so the CRN contract survives.
+    Aggregate,
+    /// A naive per-device implementation of the *aggregate* semantics —
+    /// fresh participant scans, materialized rows, scalar wallet ops —
+    /// kept as the exact-equality oracle the differential harness pins
+    /// [`Aggregate`](Self::Aggregate) against. Feature-gated so
+    /// production builds can strip it.
+    #[cfg(feature = "reference-mode")]
+    Reference,
+}
+
 /// Whole-simulation configuration.
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -178,6 +208,8 @@ pub struct FleetConfig {
     pub arms: Vec<ArmConfig>,
     /// Device/gateway physical environment.
     pub env: bom::Environment,
+    /// Weekly delivery sampling mode.
+    pub sampling: SamplingMode,
 }
 
 impl FleetConfig {
@@ -192,7 +224,14 @@ impl FleetConfig {
                 ArmConfig::paper_helium(10, 4),
             ],
             env: bom::Environment::default(),
+            sampling: SamplingMode::Legacy,
         }
+    }
+
+    /// Returns the configuration with its sampling mode replaced.
+    pub fn with_sampling(mut self, sampling: SamplingMode) -> Self {
+        self.sampling = sampling;
+        self
     }
 }
 
@@ -252,7 +291,9 @@ pub(crate) enum ArmInfra {
     },
     Federated {
         hotspots: HotspotPopulation,
-        wallets: Vec<Wallet>,
+        /// Per-device prepaid wallets, laid out column-wise so the weekly
+        /// bulk burn touches only the balance columns.
+        wallets: WalletColumn,
         /// Chaos: a regional outage blacks out every hotspot until this
         /// time.
         dark_until: SimTime,
@@ -389,10 +430,9 @@ pub(crate) struct ArmState {
     /// derivations are identical to the serial run.
     pub(crate) id: usize,
     pub(crate) cfg: ArmConfig,
-    pub(crate) devices: Vec<DeviceState>,
-    /// Owned arms: the gateway indices each device can reach (the
-    /// deployment-time coverage lottery, 1 or 2 entries).
-    pub(crate) homes: Vec<Vec<usize>>,
+    /// The device population as struct-of-arrays columns, including the
+    /// home-gateway lottery and the path-cohort decomposition.
+    pub(crate) store: DeviceStore,
     pub(crate) infra: ArmInfra,
     pub(crate) report: ArmReport,
     /// The arm's private runtime stream: weekly draws, replacements and
@@ -400,6 +440,13 @@ pub(crate) struct ArmState {
     /// arm to a configuration cannot perturb existing arms (the
     /// common-random-numbers property DESIGN.md calls out).
     pub(crate) rng: Rng,
+    /// Root of the aggregate path's weekly cohort substreams:
+    /// `agg_root.split("week", t).split("cohort", c)` is a pure function
+    /// of (seed, arm, week, cohort), never of loop order or event
+    /// history, so chaos cannot shift any other cohort's draws. Derived
+    /// at build (`arm_rng.split("aggregate", 0)`), not snapshotted — the
+    /// resume skeleton rebuilds it bit-identically from the config.
+    pub(crate) agg_root: Rng,
     /// The arm's private diary. Every diary line the simulation writes is
     /// arm-scoped, so each arm logs into its own stream and finalize
     /// performs one canonical merge: stable by time, ties in ascending
@@ -439,6 +486,20 @@ pub struct FleetSim {
     pub(crate) chaos_skipped: Counter,
 }
 
+/// The registry-free output of build phase 1 for one arm: a pure function
+/// of `(config, arm index)`, computable on any thread
+/// (see [`FleetSim::build_parallel`]).
+struct ArmPlan {
+    store: DeviceStore,
+    infra: ArmInfra,
+    report: ArmReport,
+    /// The arm's primed events in canonical serial order:
+    /// device failures (ascending id), provider exit, gateway failures.
+    initial: Vec<(SimTime, Ev)>,
+    rng: Rng,
+    agg_root: Rng,
+}
+
 impl FleetSim {
     /// Builds the world and returns an engine primed with initial events.
     pub fn build(cfg: FleetConfig) -> Engine<FleetSim> {
@@ -450,9 +511,193 @@ impl FleetSim {
     /// fast path. Event order, and therefore the run digest, is identical
     /// to a fresh build.
     pub fn build_with_queue(cfg: FleetConfig, queue: EventQueue<Ev>) -> Engine<FleetSim> {
+        let plans = (0..cfg.arms.len()).map(|ai| Self::plan_arm(&cfg, ai)).collect();
+        Self::assemble(cfg, plans, queue)
+    }
+
+    /// [`build`](Self::build) with the per-arm deployment planning —
+    /// lifetime sampling, gateway deploys, the coverage lottery — fanned
+    /// out over scoped worker threads.
+    ///
+    /// Bit-identical to the serial build: phase 1 ([`plan_arm`]) is a
+    /// pure function of `(seed, arm index, config)` with no shared state,
+    /// so computing plans concurrently changes nothing; phase 2
+    /// ([`assemble`]) runs serially on the calling thread and registers
+    /// metrics, merges the priming events, and primes the queue in exactly
+    /// the serial order. At 1M devices the plan phase (order-statistic
+    /// lifetimes per arm) dominates build time, which is what was
+    /// Amdahl-capping the sharded sweep.
+    ///
+    /// [`plan_arm`]: Self::plan_arm
+    /// [`assemble`]: Self::assemble
+    pub fn build_parallel(cfg: FleetConfig) -> Engine<FleetSim> {
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Self::build_parallel_with(cfg, workers)
+    }
+
+    /// [`build_parallel`](Self::build_parallel) with an explicit worker
+    /// count. The sharded runner passes its shard count here: a container
+    /// whose cgroup quota reports one core still runs `k` shard threads,
+    /// so the plan phase should fan out just as wide.
+    pub fn build_parallel_with(cfg: FleetConfig, workers: usize) -> Engine<FleetSim> {
+        let n = cfg.arms.len();
+        let workers = workers.min(n.max(1));
+        if workers <= 1 {
+            return Self::build(cfg);
+        }
+        let mut plans: Vec<Option<ArmPlan>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (w, slots) in plans.chunks_mut(chunk).enumerate() {
+                let cfg = &cfg;
+                s.spawn(move || {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(FleetSim::plan_arm(cfg, w * chunk + off));
+                    }
+                });
+            }
+        });
+        let plans = plans.into_iter().flatten().collect();
+        Self::assemble(cfg, plans, EventQueue::new())
+    }
+
+    /// Phase 1 of the build: everything about arm `ai` that is a pure
+    /// function of the configuration — device lifetimes, infrastructure
+    /// deploys, the coverage lottery, initial spend, and the arm's primed
+    /// events (in the canonical device → provider → gateway order). No
+    /// registry or queue access, so arms can be planned concurrently
+    /// ([`build_parallel`](Self::build_parallel)) with a bit-identical
+    /// result.
+    fn plan_arm(cfg: &FleetConfig, ai: usize) -> ArmPlan {
+        let arm_cfg = &cfg.arms[ai];
         let root = Rng::seed_from(cfg.seed);
-        let mut arms = Vec::new();
-        let mut initial_failures: Vec<(SimTime, Ev)> = Vec::new();
+        let arm_rng = root.split("arm", ai as u64);
+        let mut initial: Vec<(SimTime, Ev)> = Vec::new();
+        // Device lifetimes. Legacy samples per device from the device's
+        // own substream (the original event-path contract the paper-scale
+        // goldens pin); the cohort modes pre-sample the whole arm's
+        // lifetimes as order statistics in O(n) from one "deaths" stream.
+        let fails: Vec<SimTime> = match cfg.sampling {
+            SamplingMode::Legacy => (0..arm_cfg.devices)
+                .map(|di| {
+                    let mut drng = arm_rng.split("device", di as u64);
+                    DeviceState::deploy(arm_cfg.device_spec, SimTime::ZERO, &cfg.env, &mut drng)
+                        .fails_at
+                })
+                .collect(),
+            _ => Self::cohort_death_times(cfg, arm_cfg, &arm_rng),
+        };
+        for (di, &at) in fails.iter().enumerate() {
+            if at.as_secs() < cfg.horizon.as_secs() {
+                initial.push((at, Ev::DeviceFail(ai, di)));
+            }
+        }
+        // Infrastructure.
+        // §3.3.3: the provider may terminate service within the horizon.
+        if let ArmKind::Owned { spec, .. } = &arm_cfg.kind {
+            let mut prng = arm_rng.split("provider", 0);
+            let exit = SimDuration::from_years_f64(spec.provider.sample_exit_years(&mut prng));
+            if exit.as_secs() < cfg.horizon.as_secs() {
+                initial.push((SimTime::ZERO + exit, Ev::ProviderExit(ai)));
+            }
+        }
+        let infra = match &arm_cfg.kind {
+            ArmKind::Owned { gateways, spec } => {
+                let mut gws = Vec::with_capacity(*gateways);
+                for gi in 0..*gateways {
+                    let mut grng = arm_rng.split("gateway", gi as u64);
+                    let gw = GatewayState::deploy(*spec, SimTime::ZERO, &cfg.env, &mut grng);
+                    if gw.fails_at.as_secs() < cfg.horizon.as_secs() {
+                        initial.push((gw.fails_at, Ev::GatewayFail(ai, gi)));
+                    }
+                    gws.push(gw);
+                }
+                ArmInfra::Owned {
+                    gateways: gws,
+                    backhaul_down: false,
+                    sunset_logged: false,
+                    flap_until: SimTime::ZERO,
+                }
+            }
+            ArmKind::Federated { hotspots, wallet_dollars } => ArmInfra::Federated {
+                hotspots: hotspots.clone(),
+                wallets: WalletColumn::provision_uniform(arm_cfg.devices, *wallet_dollars),
+                dark_until: SimTime::ZERO,
+            },
+        };
+        // Figure 1: each device relies on one or two gateways.
+        let mut home_rng = arm_rng.split("homes", 0);
+        let homes: Vec<Vec<usize>> = match &arm_cfg.kind {
+            ArmKind::Owned { gateways, .. } if *gateways > 0 => (0..arm_cfg.devices)
+                .map(|_| {
+                    let first = home_rng.next_below(*gateways as u64) as usize;
+                    if *gateways > 1 && home_rng.chance(arm_cfg.dual_homed_fraction) {
+                        let mut second = home_rng.next_below(*gateways as u64 - 1) as usize;
+                        if second >= first {
+                            second += 1;
+                        }
+                        vec![first, second]
+                    } else {
+                        vec![first]
+                    }
+                })
+                .collect(),
+            _ => vec![Vec::new(); arm_cfg.devices],
+        };
+        let store = DeviceStore::build(arm_cfg.device_spec, fails, homes);
+        let mut report = ArmReport { name: arm_cfg.name, ..ArmReport::default() };
+        // Initial spend: device hardware + wallets + gateway hardware.
+        let device_cost = Usd::from_dollars(80) * arm_cfg.devices as i64;
+        report.spend += device_cost;
+        match &arm_cfg.kind {
+            ArmKind::Owned { gateways, .. } => {
+                report.spend += Usd::from_dollars(150) * *gateways as i64;
+            }
+            ArmKind::Federated { wallet_dollars, .. } => {
+                report.spend += *wallet_dollars * arm_cfg.devices as i64;
+            }
+        }
+        ArmPlan {
+            store,
+            infra,
+            report,
+            initial,
+            rng: arm_rng.split("runtime", 0),
+            agg_root: arm_rng.split("aggregate", 0),
+        }
+    }
+
+    /// Cohort-mode device lifetimes for one arm: `n` sorted uniforms
+    /// (exponential spacings, O(n)) mapped through a numeric inverse of
+    /// the archetype's closed-form survival product. Device `i` receives
+    /// the `i`-th order statistic — exchangeable with `n` independent
+    /// draws for every arm-level summary statistic, and two orders of
+    /// magnitude cheaper than a million `sample_ttf` min-of-three calls.
+    fn cohort_death_times(cfg: &FleetConfig, arm_cfg: &ArmConfig, arm_rng: &Rng) -> Vec<SimTime> {
+        let block = match arm_cfg.device_spec.energy {
+            EnergySystem::Harvesting => bom::harvesting_node(&cfg.env),
+            EnergySystem::Battery => bom::battery_node(&cfg.env),
+        };
+        // Tabulate past the horizon: clamped mass beyond t_max belongs to
+        // devices that outlive the run either way.
+        let t_max = 200.0_f64.max(cfg.horizon.as_years_f64() * 2.0);
+        #[allow(clippy::expect_used)]
+        let table = InverseCdf::tabulate(|t| 1.0 - block.survival(t), t_max, 4096)
+            // simlint: allow(P001, the survival product is finite and non-increasing by construction)
+            .expect("lifetime CDF is finite and monotone");
+        let mut death_rng = arm_rng.split("deaths", 0);
+        sorted_uniforms(arm_cfg.devices, &mut death_rng)
+            .into_iter()
+            .map(|u| SimTime::ZERO.saturating_add(SimDuration::from_years_f64(table.invert(u))))
+            .collect()
+    }
+
+    /// Phase 2 of the build: serial assembly of planned arms into the
+    /// world — metric registration (in arm order, so the registry is
+    /// identical to the serial build's), diary creation, and queue
+    /// priming in the canonical serial order.
+    fn assemble(cfg: FleetConfig, plans: Vec<ArmPlan>, queue: EventQueue<Ev>) -> Engine<FleetSim> {
+        let root = Rng::seed_from(cfg.seed);
         let metrics = Arc::new(Registry::new());
         // Chaos counters are pre-registered (at zero) in *every* run, so a
         // zero-fault chaos run snapshots — and therefore digests —
@@ -464,87 +709,11 @@ impl FleetSim {
         // simlint: allow(P001, fresh registry; fixed names cannot collide)
         let chaos_skipped = metrics.counter("chaos.skipped").expect("fresh registry");
 
-        for (ai, arm_cfg) in cfg.arms.iter().enumerate() {
-            let arm_rng = root.split("arm", ai as u64);
-            // Devices.
-            let mut devices = Vec::with_capacity(arm_cfg.devices);
-            for di in 0..arm_cfg.devices {
-                let mut drng = arm_rng.split("device", di as u64);
-                let dev = DeviceState::deploy(arm_cfg.device_spec, SimTime::ZERO, &cfg.env, &mut drng);
-                if dev.fails_at.as_secs() < cfg.horizon.as_secs() {
-                    initial_failures.push((dev.fails_at, Ev::DeviceFail(ai, di)));
-                }
-                devices.push(dev);
-            }
-            // Infrastructure.
-            // §3.3.3: the provider may terminate service within the horizon.
-            if let ArmKind::Owned { spec, .. } = &arm_cfg.kind {
-                let mut prng = arm_rng.split("provider", 0);
-                let exit = SimDuration::from_years_f64(spec.provider.sample_exit_years(&mut prng));
-                if exit.as_secs() < cfg.horizon.as_secs() {
-                    initial_failures.push((SimTime::ZERO + exit, Ev::ProviderExit(ai)));
-                }
-            }
-            let infra = match &arm_cfg.kind {
-                ArmKind::Owned { gateways, spec } => {
-                    let mut gws = Vec::with_capacity(*gateways);
-                    for gi in 0..*gateways {
-                        let mut grng = arm_rng.split("gateway", gi as u64);
-                        let gw = GatewayState::deploy(*spec, SimTime::ZERO, &cfg.env, &mut grng);
-                        if gw.fails_at.as_secs() < cfg.horizon.as_secs() {
-                            initial_failures.push((gw.fails_at, Ev::GatewayFail(ai, gi)));
-                        }
-                        gws.push(gw);
-                    }
-                    ArmInfra::Owned {
-                        gateways: gws,
-                        backhaul_down: false,
-                        sunset_logged: false,
-                        flap_until: SimTime::ZERO,
-                    }
-                }
-                ArmKind::Federated { hotspots, wallet_dollars } => {
-                    let wallets = (0..arm_cfg.devices)
-                        .map(|_| Wallet::provision_dollars(*wallet_dollars))
-                        .collect();
-                    ArmInfra::Federated {
-                        hotspots: hotspots.clone(),
-                        wallets,
-                        dark_until: SimTime::ZERO,
-                    }
-                }
-            };
-            // Figure 1: each device relies on one or two gateways.
-            let mut home_rng = arm_rng.split("homes", 0);
-            let homes: Vec<Vec<usize>> = match &arm_cfg.kind {
-                ArmKind::Owned { gateways, .. } if *gateways > 0 => (0..arm_cfg.devices)
-                    .map(|_| {
-                        let first = home_rng.next_below(*gateways as u64) as usize;
-                        if *gateways > 1 && home_rng.chance(arm_cfg.dual_homed_fraction) {
-                            let mut second = home_rng.next_below(*gateways as u64 - 1) as usize;
-                            if second >= first {
-                                second += 1;
-                            }
-                            vec![first, second]
-                        } else {
-                            vec![first]
-                        }
-                    })
-                    .collect(),
-                _ => vec![Vec::new(); arm_cfg.devices],
-            };
-            let mut report = ArmReport { name: arm_cfg.name, ..ArmReport::default() };
-            // Initial spend: device hardware + wallets + gateway hardware.
-            let device_cost = Usd::from_dollars(80) * arm_cfg.devices as i64;
-            report.spend += device_cost;
-            match &arm_cfg.kind {
-                ArmKind::Owned { gateways, .. } => {
-                    report.spend += Usd::from_dollars(150) * *gateways as i64;
-                }
-                ArmKind::Federated { wallet_dollars, .. } => {
-                    report.spend += *wallet_dollars * arm_cfg.devices as i64;
-                }
-            }
+        let mut arms = Vec::with_capacity(plans.len());
+        let mut initial_failures: Vec<(SimTime, Ev)> = Vec::new();
+        for (ai, plan) in plans.into_iter().enumerate() {
+            let arm_cfg = &cfg.arms[ai];
+            initial_failures.extend(plan.initial);
             let mut arm_diary = Diary::new();
             arm_diary.log(
                 SimTime::ZERO,
@@ -574,11 +743,11 @@ impl FleetSim {
             arms.push(ArmState {
                 id: ai,
                 cfg: arm_cfg.clone(),
-                devices,
-                homes,
-                infra,
-                report,
-                rng: arm_rng.split("runtime", 0),
+                store: plan.store,
+                infra: plan.infra,
+                report: plan.report,
+                rng: plan.rng,
+                agg_root: plan.agg_root,
                 diary: arm_diary,
                 spans: SpanLog::new(),
                 delivered,
@@ -668,11 +837,11 @@ impl FleetSim {
         self.arms.sort_by_key(|a| a.id);
         // Right-censor the survivors at the horizon.
         for arm in &mut self.arms {
-            for dev in &arm.devices {
-                if dev.alive_at(horizon) {
+            for di in 0..arm.store.len() {
+                if arm.store.alive_at(di, horizon) {
                     arm.report
                         .lifetime_observations
-                        .push(Observation::censored(dev.age_at(horizon).as_years_f64()));
+                        .push(Observation::censored(arm.store.age_at(di, horizon).as_years_f64()));
                 }
             }
         }
@@ -857,7 +1026,20 @@ impl FleetSim {
     }
 
     /// Evaluates one week for one arm: delivers readings, burns credits,
-    /// and updates the uptime ledger.
+    /// and updates the uptime ledger. Dispatches on the configured
+    /// [`SamplingMode`]; all three paths share the event handlers, the
+    /// store, and the ledger shape.
+    fn weekly_eval(&mut self, li: usize, now: SimTime) {
+        match self.cfg.sampling {
+            SamplingMode::Legacy => self.weekly_eval_legacy(li, now),
+            SamplingMode::Aggregate => self.weekly_eval_cohort(li, now),
+            #[cfg(feature = "reference-mode")]
+            SamplingMode::Reference => self.weekly_eval_reference(li, now),
+        }
+    }
+
+    /// The original per-device weekly pass, bit-for-bit (the paper-scale
+    /// goldens pin its digests), now reading the SoA store.
     ///
     /// **Common-random-numbers discipline:** exactly one normal draw is
     /// consumed per *alive* device per week, whether or not the path is up.
@@ -865,7 +1047,7 @@ impl FleetSim {
     /// only scales the per-packet probability the draw is applied to, so a
     /// fault schedule can never shift another entity's random stream — the
     /// property the metamorphic monotonicity tests depend on.
-    fn weekly_eval(&mut self, li: usize, now: SimTime) {
+    fn weekly_eval_legacy(&mut self, li: usize, now: SimTime) {
         let cloud_up = self.cloud.up_at(now);
         let arm = &mut self.arms[li];
         let reports = arm.cfg.device_spec.reports_per_week();
@@ -890,8 +1072,8 @@ impl FleetSim {
             ArmInfra::Federated { .. } => true,
         };
         let mut any_delivered = false;
-        for di in 0..arm.devices.len() {
-            if !arm.devices[di].alive_at(now) {
+        for di in 0..arm.store.len() {
+            if !arm.store.alive_at(di, now) {
                 continue;
             }
             // One unconditional draw per alive device (CRN; see above).
@@ -900,7 +1082,9 @@ impl FleetSim {
             // reliance structure — the device's own gateways must forward.
             let path_p = match (&arm.infra, federated_prob) {
                 (ArmInfra::Owned { gateways, .. }, _) => {
-                    let heard = arm.homes[di]
+                    let heard = arm
+                        .store
+                        .homes(di)
                         .iter()
                         .any(|&g| gateways.get(g).is_some_and(|gw| gw.forwarding_at(now)));
                     if heard && owned_backhaul_up {
@@ -912,7 +1096,7 @@ impl FleetSim {
                 (_, Some(p)) => p,
                 _ => 0.0,
             };
-            let p_packet = if !cloud_up || arm.devices[di].stuck_at(now) {
+            let p_packet = if !cloud_up || arm.store.stuck_at(di, now) {
                 0.0
             } else {
                 path_p * arm.cfg.device_spec.energy_availability
@@ -929,12 +1113,15 @@ impl FleetSim {
             // Federated arm: credits burn per delivered packet.
             let delivered = match &mut arm.infra {
                 ArmInfra::Federated { wallets, .. } => {
-                    let w = &mut wallets[di];
                     // O(1) bulk burn, semantically identical to burning
                     // per packet and stopping at the first failure.
-                    let paid =
-                        w.burn_packets(now, arm.cfg.device_spec.payload.len() as u32, delivered);
-                    if w.exhausted_at() == Some(now) {
+                    let paid = wallets.burn_packets(
+                        di,
+                        now,
+                        arm.cfg.device_spec.payload.len() as u32,
+                        delivered,
+                    );
+                    if wallets.exhausted_at(di) == Some(now) {
                         arm.report.wallets_exhausted += 1;
                         arm.diary.log(
                             now,
@@ -949,11 +1136,290 @@ impl FleetSim {
             };
             // A byzantine device transmits (and pays) as usual, but its
             // readings are garbage: nothing usable reaches the endpoint.
-            let delivered = if arm.devices[di].byzantine_at(now) { 0 } else { delivered };
+            let delivered = if arm.store.byzantine_at(di, now) { 0 } else { delivered };
             arm.weekly_acc.observe(delivered as f64);
             if delivered > 0 {
                 any_delivered = true;
-                arm.devices[di].seq += delivered;
+                arm.store.seq_add(di, delivered);
+                arm.report.readings_delivered += delivered;
+            }
+        }
+        if any_delivered {
+            arm.report.weeks_up += 1;
+        }
+    }
+
+    /// Per-cohort path probability this week, shared by the aggregate and
+    /// reference passes: owned cohorts need any home gateway forwarding
+    /// plus the backhaul up; federated cohorts ride the hotspot census
+    /// (or a chaos blackout).
+    fn cohort_path_probs(arm: &ArmState, now: SimTime) -> Vec<f64> {
+        let ncoh = arm.store.cohort_count();
+        match &arm.infra {
+            ArmInfra::Owned { gateways, backhaul_down, flap_until, .. } => {
+                let backhaul_up = !*backhaul_down && now >= *flap_until;
+                (0..ncoh)
+                    .map(|c| {
+                        let heard = arm
+                            .store
+                            .cohort_homes(c)
+                            .iter()
+                            .any(|&g| gateways.get(g).is_some_and(|gw| gw.forwarding_at(now)));
+                        if heard && backhaul_up {
+                            arm.cfg.per_packet_delivery
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            }
+            ArmInfra::Federated { hotspots, dark_until, .. } => {
+                let p = if now < *dark_until {
+                    0.0
+                } else {
+                    hotspots.delivery_probability(arm.cfg.per_packet_delivery)
+                };
+                vec![p; ncoh]
+            }
+        }
+    }
+
+    /// One binomial draw per cohort: the cohort's weekly delivered total
+    /// over `participants × reports` trials, from the substream pinned to
+    /// `(arm, week, cohort)`. Returns `(base, rem)` per cohort — every
+    /// participant receives `base`, and the first `rem` participants in
+    /// ascending device-id order receive one extra.
+    fn cohort_totals(
+        arm: &ArmState,
+        now: SimTime,
+        cloud_up: bool,
+        probs: &[f64],
+        participants: &[u64],
+        reports: u64,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let energy = arm.cfg.device_spec.energy_availability;
+        let mut base = vec![0u64; probs.len()];
+        let mut rem = vec![0u64; probs.len()];
+        for (c, &p) in probs.iter().enumerate() {
+            let pe = if cloud_up { p * energy } else { 0.0 };
+            let trials = participants[c] * reports;
+            if trials == 0 || pe <= 0.0 {
+                continue;
+            }
+            let total = match Binomial::new(trials, pe) {
+                Ok(b) => {
+                    let mut crng =
+                        arm.agg_root.split("week", now.as_secs()).split("cohort", c as u64);
+                    b.sample(&mut crng)
+                }
+                Err(_) => 0,
+            };
+            base[c] = total / participants[c];
+            rem[c] = total % participants[c];
+        }
+        (base, rem)
+    }
+
+    /// The aggregate weekly pass: one binomial draw per (cohort × week)
+    /// instead of one normal draw per device, shares distributed in
+    /// ascending device-id order, wallet burns against the federated
+    /// column, and the weekly histogram fed by exact batched counts.
+    ///
+    /// Participation is the *flag* state (`present && !stuck`), which the
+    /// incrementally-maintained cohort alive counts track event-exactly;
+    /// the per-device reference pass recomputes the same sets naively, so
+    /// the differential harness pins this pass's bookkeeping — cohort
+    /// counters, stuck-index correction, bulk burns, `observe_n` — against
+    /// a loop with none of it.
+    fn weekly_eval_cohort(&mut self, li: usize, now: SimTime) {
+        let cloud_up = self.cloud.up_at(now);
+        let arm = &mut self.arms[li];
+        let reports = arm.cfg.device_spec.reports_per_week();
+        arm.report.weeks_total += 1;
+        arm.report.readings_expected += reports * arm.cfg.devices as u64;
+        let payload_len = arm.cfg.device_spec.payload.len() as u32;
+
+        let probs = Self::cohort_path_probs(arm, now);
+        let ncoh = probs.len();
+
+        // Participants per cohort: the incremental alive counts minus the
+        // currently-stuck present devices (corrected over the short
+        // stuck-device index, not the population).
+        let mut participants: Vec<u64> = (0..ncoh).map(|c| arm.store.cohort_alive(c)).collect();
+        let mut stuck_present = 0u64;
+        for i in 0..arm.store.stuck_ids().len() {
+            let di = arm.store.stuck_ids()[i];
+            if arm.store.present(di) && arm.store.stuck_at(di, now) {
+                participants[arm.store.cohort_of(di)] -= 1;
+                stuck_present += 1;
+            }
+        }
+
+        let (base, rem) =
+            Self::cohort_totals(arm, now, cloud_up, &probs, &participants, reports);
+
+        // Owned arms with nobody stuck or byzantine: every participant's
+        // delivered count *is* its share, so the histogram counts follow
+        // arithmetically from (participants, base, rem) and the only
+        // per-device work left is the sequence-counter update (snapshot
+        // state). The general scan below stays the oracle-checked path
+        // for federated wallets and active chaos.
+        if stuck_present == 0
+            && matches!(arm.infra, ArmInfra::Owned { .. })
+            && !arm.store.any_byzantine_at(now)
+        {
+            let mut counts = vec![0u64; reports as usize + 1];
+            let mut delivered_total = 0u64;
+            for c in 0..ncoh {
+                counts[base[c] as usize] += participants[c] - rem[c];
+                if rem[c] > 0 {
+                    counts[base[c] as usize + 1] += rem[c];
+                }
+                delivered_total += base[c] * participants[c] + rem[c];
+            }
+            if delivered_total > 0 {
+                arm.store.seq_add_shares(&base, &rem);
+                arm.report.readings_delivered += delivered_total;
+                arm.report.weeks_up += 1;
+            }
+            for (v, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    arm.weekly_acc.observe_n(v as f64, n);
+                }
+            }
+            return;
+        }
+
+        // Single O(n) scan in ascending device-id order: assign shares,
+        // burn credits, accumulate exact per-value histogram counts.
+        let mut rank = vec![0u64; ncoh];
+        let mut value_counts = vec![0u64; reports as usize + 1];
+        let mut any_delivered = false;
+        for di in 0..arm.store.len() {
+            if !arm.store.present(di) {
+                continue;
+            }
+            if stuck_present > 0 && arm.store.stuck_at(di, now) {
+                // A stuck device is alive but transmits nothing; it still
+                // observes a zero week, exactly as the per-device paths do.
+                value_counts[0] += 1;
+                continue;
+            }
+            let c = arm.store.cohort_of(di);
+            let share = base[c] + u64::from(rank[c] < rem[c]);
+            rank[c] += 1;
+            let delivered = match &mut arm.infra {
+                ArmInfra::Federated { wallets, .. } => {
+                    let paid = wallets.burn_packets(di, now, payload_len, share);
+                    if wallets.exhausted_at(di) == Some(now) {
+                        arm.report.wallets_exhausted += 1;
+                        arm.diary.log(
+                            now,
+                            Severity::Incident,
+                            Tier::Backhaul,
+                            format!("{}: device {di} data-credit wallet exhausted", arm.cfg.name),
+                        );
+                    }
+                    paid
+                }
+                ArmInfra::Owned { .. } => share,
+            };
+            // Byzantine devices transmit (and pay) but deliver garbage.
+            let delivered = if arm.store.byzantine_at(di, now) { 0 } else { delivered };
+            value_counts[delivered as usize] += 1;
+            if delivered > 0 {
+                any_delivered = true;
+                arm.store.seq_add(di, delivered);
+                arm.report.readings_delivered += delivered;
+            }
+        }
+        // Batched histogram feed: every observed value is an integer
+        // ≤ reports, so `observe_n` reproduces the per-device observe
+        // sequence bit-for-bit regardless of batching order (see
+        // `LocalHistogram::observe_n`).
+        for (v, &n) in value_counts.iter().enumerate() {
+            if n > 0 {
+                arm.weekly_acc.observe_n(v as f64, n);
+            }
+        }
+        if any_delivered {
+            arm.report.weeks_up += 1;
+        }
+    }
+
+    /// The reference weekly pass: identical *semantics* to
+    /// [`weekly_eval_cohort`](Self::weekly_eval_cohort) — same cohort
+    /// substreams, same binomial totals, same id-order share distribution
+    /// — implemented the naive way: participants recounted by a fresh
+    /// population scan, device rows materialized, wallets round-tripped
+    /// through scalar [`Wallet`] ops, and the histogram observed one
+    /// device at a time. Everything the aggregate pass does incrementally
+    /// or in bulk, this pass does from first principles, so an exact
+    /// digest match is a proof of the aggregate bookkeeping.
+    #[cfg(feature = "reference-mode")]
+    fn weekly_eval_reference(&mut self, li: usize, now: SimTime) {
+        let cloud_up = self.cloud.up_at(now);
+        let arm = &mut self.arms[li];
+        let reports = arm.cfg.device_spec.reports_per_week();
+        arm.report.weeks_total += 1;
+        arm.report.readings_expected += reports * arm.cfg.devices as u64;
+        let payload_len = arm.cfg.device_spec.payload.len() as u32;
+
+        let probs = Self::cohort_path_probs(arm, now);
+        let ncoh = probs.len();
+
+        // Participants recounted from scratch (the oracle for the
+        // aggregate pass's incremental counts + stuck-index correction).
+        let mut participants = vec![0u64; ncoh];
+        for di in 0..arm.store.len() {
+            let dev = arm.store.row(di);
+            if !dev.failed && !dev.stuck_at(now) {
+                participants[arm.store.cohort_of(di)] += 1;
+            }
+        }
+
+        let (base, rem) =
+            Self::cohort_totals(arm, now, cloud_up, &probs, &participants, reports);
+
+        let mut rank = vec![0u64; ncoh];
+        let mut any_delivered = false;
+        for di in 0..arm.store.len() {
+            let dev = arm.store.row(di);
+            if dev.failed {
+                continue;
+            }
+            if dev.stuck_at(now) {
+                arm.weekly_acc.observe(0.0);
+                continue;
+            }
+            let c = arm.store.cohort_of(di);
+            let share = base[c] + u64::from(rank[c] < rem[c]);
+            rank[c] += 1;
+            let delivered = match &mut arm.infra {
+                ArmInfra::Federated { wallets, .. } => {
+                    // Scalar wallet round-trip: materialize, burn via the
+                    // per-wallet path, write back.
+                    let Some(mut w) = wallets.get(di) else { continue };
+                    let paid = w.burn_packets(now, payload_len, share);
+                    wallets.set(di, &w);
+                    if w.exhausted_at() == Some(now) {
+                        arm.report.wallets_exhausted += 1;
+                        arm.diary.log(
+                            now,
+                            Severity::Incident,
+                            Tier::Backhaul,
+                            format!("{}: device {di} data-credit wallet exhausted", arm.cfg.name),
+                        );
+                    }
+                    paid
+                }
+                ArmInfra::Owned { .. } => share,
+            };
+            let delivered = if dev.byzantine_at(now) { 0 } else { delivered };
+            arm.weekly_acc.observe(delivered as f64);
+            if delivered > 0 {
+                any_delivered = true;
+                arm.store.seq_add(di, delivered);
                 arm.report.readings_delivered += delivered;
             }
         }
@@ -1099,8 +1565,9 @@ impl FleetSim {
         let applied = self.chaos_applied.clone();
         let Some(arm) = self.local_arm(ai) else { return false };
         let ArmInfra::Federated { wallets, .. } = &mut arm.infra else { return false };
-        let Some(w) = wallets.get_mut(device) else { return false };
-        w.drain();
+        if wallets.drain(device).is_none() {
+            return false;
+        }
         Self::chaos_log(
             &applied,
             arm,
@@ -1123,8 +1590,9 @@ impl FleetSim {
         let until = now.saturating_add(duration);
         let applied = self.chaos_applied.clone();
         let Some(arm) = self.local_arm(ai) else { return false };
-        let Some(dev) = arm.devices.get_mut(device) else { return false };
-        dev.stuck_until = dev.stuck_until.max(until);
+        if !arm.store.set_stuck_until(device, until) {
+            return false;
+        }
         let weeks = duration.as_secs() / (7 * 86_400);
         Self::chaos_log(
             &applied,
@@ -1149,8 +1617,9 @@ impl FleetSim {
         let until = now.saturating_add(duration);
         let applied = self.chaos_applied.clone();
         let Some(arm) = self.local_arm(ai) else { return false };
-        let Some(dev) = arm.devices.get_mut(device) else { return false };
-        dev.byzantine_until = dev.byzantine_until.max(until);
+        if !arm.store.set_byzantine_until(device, until) {
+            return false;
+        }
         let weeks = duration.as_secs() / (7 * 86_400);
         Self::chaos_log(
             &applied,
@@ -1262,10 +1731,10 @@ impl World for FleetSim {
             }
             Ev::DeviceFail(ai, di) => {
                 let Some(arm) = self.local_arm(ai) else { return };
-                arm.devices[di].failed = true;
+                arm.store.mark_failed(di);
                 arm.report.device_failures += 1;
                 arm.report.lifetime_observations.push(Observation::failed(
-                    arm.devices[di].age_at(now).as_years_f64(),
+                    arm.store.age_at(di, now).as_years_f64(),
                 ));
                 arm.diary.log(
                     now,
@@ -1289,13 +1758,13 @@ impl World for FleetSim {
                 if dev.fails_at.as_secs() < horizon.as_secs() {
                     ctx.schedule_at(dev.fails_at, Ev::DeviceFail(ai, di));
                 }
-                arm.devices[di] = dev;
+                arm.store.set_row(di, &dev);
                 arm.report.device_replacements += 1;
                 arm.report.labor = arm.report.labor.plus(PersonHours::from_hours(20.0 / 60.0));
                 arm.report.spend += Usd::from_dollars(80) + Usd::from_dollars(45);
                 // Federated devices carry a fresh wallet.
                 if let ArmInfra::Federated { wallets, .. } = &mut arm.infra {
-                    wallets[di] = Wallet::provision_dollars(Usd::from_dollars(5));
+                    wallets.set(di, &Wallet::provision_dollars(Usd::from_dollars(5)));
                     arm.report.spend += Usd::from_dollars(5);
                 }
                 arm.diary.log(

@@ -40,12 +40,18 @@ use telemetry::span::{Span, SpanLog};
 use econ::labor::PersonHours;
 use econ::money::Usd;
 
-use crate::sim::{ArmInfra, ArmKind, ArmState, Ev, FleetConfig, FleetReport, FleetSim};
+use crate::sim::{ArmInfra, ArmKind, ArmState, Ev, FleetConfig, FleetReport, FleetSim, SamplingMode};
 
 /// Version byte of the fleet snapshot payload. Bump on any layout change;
 /// old files then fail with [`SnapshotError::UnsupportedVersion`] instead
 /// of decoding garbage.
-pub const FLEET_SNAPSHOT_VERSION: u8 = 1;
+///
+/// v2: the device population moved into the struct-of-arrays
+/// [`DeviceStore`](crate::store::DeviceStore) (same per-device byte
+/// layout, encoded via materialized rows), federated wallets became a
+/// [`WalletColumn`](econ::credits::WalletColumn), and the config
+/// fingerprint gained the sampling mode.
+pub const FLEET_SNAPSHOT_VERSION: u8 = 2;
 
 /// Chaos replay progress at the checkpoint: how far through its
 /// [`FaultPlan`](https://docs.rs/)-ordered schedule the injector had
@@ -102,9 +108,15 @@ impl ResumedFleet {
 /// [`SnapshotError::ConfigMismatch`] before any state is touched.
 pub fn config_fingerprint(cfg: &FleetConfig) -> u64 {
     let mut w = ByteWriter::new();
-    w.put_str("century-fleet-config-v1");
+    w.put_str("century-fleet-config-v2");
     w.put_u64(cfg.seed);
     w.put_u64(cfg.horizon.as_secs());
+    w.put_u8(match cfg.sampling {
+        SamplingMode::Legacy => 0,
+        SamplingMode::Aggregate => 1,
+        #[cfg(feature = "reference-mode")]
+        SamplingMode::Reference => 2,
+    });
     w.put_u64(cfg.arms.len() as u64);
     for arm in &cfg.arms {
         w.put_str(arm.name);
@@ -324,8 +336,9 @@ fn encode_arm(w: &mut ByteWriter, arm: &ArmState) {
     for s in arm.rng.state() {
         w.put_u64(s);
     }
-    w.put_u64(arm.devices.len() as u64);
-    for dev in &arm.devices {
+    w.put_u64(arm.store.len() as u64);
+    for di in 0..arm.store.len() {
+        let dev = arm.store.row(di);
         w.put_time(dev.installed_at);
         w.put_time(dev.fails_at);
         w.put_bool(dev.failed);
@@ -352,7 +365,8 @@ fn encode_arm(w: &mut ByteWriter, arm: &ArmState) {
             w.put_u32(hotspots.count());
             w.put_u32(hotspots.year());
             w.put_u64(wallets.len() as u64);
-            for wallet in wallets {
+            for i in 0..wallets.len() {
+                let Some(wallet) = wallets.get(i) else { continue };
                 let (balance, burned, funded, exhausted_at) = wallet.raw_state();
                 w.put_u64(balance);
                 w.put_u64(burned);
@@ -428,17 +442,20 @@ fn decode_arm_into(r: &mut ByteReader<'_>, arm: &mut ArmState) -> Result<(), Sna
     }
     arm.rng = Rng::from_state(state);
     let n_devices = r.take_count(34)?;
-    if n_devices != arm.devices.len() {
+    if n_devices != arm.store.len() {
         return Err(SnapshotError::Corrupt { what: "device count differs from config" });
     }
-    for dev in &mut arm.devices {
+    for di in 0..n_devices {
+        let mut dev = arm.store.row(di);
         dev.installed_at = r.take_time()?;
         dev.fails_at = r.take_time()?;
         dev.failed = r.take_bool()?;
         dev.seq = r.take_u64()?;
         dev.stuck_until = r.take_time()?;
         dev.byzantine_until = r.take_time()?;
+        arm.store.set_row(di, &dev);
     }
+    arm.store.rebuild_stuck_ids();
     match (&mut arm.infra, r.take_u8()?) {
         (ArmInfra::Owned { gateways, backhaul_down, sunset_logged, flap_until }, 0) => {
             let n_gw = r.take_count(25)?;
@@ -463,12 +480,14 @@ fn decode_arm_into(r: &mut ByteReader<'_>, arm: &mut ArmState) -> Result<(), Sna
             if n_wallets != wallets.len() {
                 return Err(SnapshotError::Corrupt { what: "wallet count differs from config" });
             }
-            for wallet in wallets.iter_mut() {
+            for i in 0..n_wallets {
                 let balance = r.take_u64()?;
                 let burned = r.take_u64()?;
                 let funded = Usd::from_micros(r.take_i128()?);
                 let exhausted_at = r.take_opt_time()?;
-                *wallet = econ::credits::Wallet::from_raw_state(balance, burned, funded, exhausted_at);
+                let wallet =
+                    econ::credits::Wallet::from_raw_state(balance, burned, funded, exhausted_at);
+                wallets.set(i, &wallet);
             }
             *dark_until = r.take_time()?;
         }

@@ -1,0 +1,475 @@
+//! Struct-of-arrays device population store.
+//!
+//! [`DeviceStore`] holds one arm's whole device population as parallel
+//! columns (death time, failed flag, sequence counter, chaos timers,
+//! home-gateway sets) instead of a `Vec<DeviceState>`-of-structs. The
+//! weekly hot loop at million-device scale touches one or two columns per
+//! device; the row layout made every pass stride over whole structs.
+//!
+//! The store also owns the *cohort* decomposition that aggregate sampling
+//! (DESIGN.md §13) is built on: devices with the same canonical (sorted)
+//! home-gateway set share one path probability each week, so a single
+//! binomial draw per (arm × cohort × week) replaces one draw per device.
+//! Cohort ids are assigned in first-appearance (device-id) order at build
+//! time and never change — replacements keep the device's homes, so a
+//! device's cohort is a pure function of the deployment lottery.
+//!
+//! Mutation goes through accessors ([`mark_failed`](DeviceStore::mark_failed),
+//! [`set_row`](DeviceStore::set_row), the chaos setters) so the
+//! incremental per-cohort alive counts and the stuck-device index stay
+//! consistent with the columns; simlint rule D004 enforces the discipline
+//! in digest-feeding crates.
+
+use simcore::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use crate::device::{DeviceSpec, DeviceState};
+
+/// One experiment arm's device population, laid out column-wise.
+#[derive(Clone, Debug)]
+pub struct DeviceStore {
+    /// The shared archetype (every device in an arm uses the arm's spec).
+    spec: DeviceSpec,
+    installed_at: Vec<SimTime>,
+    fails_at: Vec<SimTime>,
+    failed: Vec<bool>,
+    seq: Vec<u64>,
+    stuck_until: Vec<SimTime>,
+    byzantine_until: Vec<SimTime>,
+    /// Owned arms: the gateway indices each device can reach (1 or 2
+    /// entries from the deployment lottery); empty for federated arms.
+    homes: Vec<Vec<usize>>,
+    /// Each device's cohort id (index into the `cohort_*` columns).
+    cohort: Vec<u32>,
+    /// Canonical (sorted, deduplicated by construction) home set per
+    /// cohort, in first-appearance order.
+    cohort_homes: Vec<Vec<usize>>,
+    /// Present (not-failed) devices per cohort, maintained incrementally
+    /// by [`mark_failed`](Self::mark_failed) / [`set_row`](Self::set_row).
+    cohort_alive: Vec<u64>,
+    /// Devices that have ever been chaos-stuck (deduplicated, bounded by
+    /// the fault plan's injection count). The weekly aggregate pass
+    /// corrects participant counts by scanning this short list instead of
+    /// the whole population.
+    stuck_ids: Vec<usize>,
+    /// Upper bound on every device's `byzantine_until` (max-merged by the
+    /// setters, never lowered). `any_byzantine_at` tests against it so the
+    /// weekly aggregate pass can skip the per-device byzantine column
+    /// entirely in runs with no (or no longer active) injections.
+    byzantine_max_until: SimTime,
+}
+
+impl DeviceStore {
+    /// Builds a store for devices all installed at `SimTime::ZERO` with
+    /// the given sampled death times and home-gateway assignments.
+    pub fn build(spec: DeviceSpec, fails_at: Vec<SimTime>, homes: Vec<Vec<usize>>) -> Self {
+        let n = fails_at.len();
+        debug_assert_eq!(homes.len(), n, "one home set per device");
+        let mut ids: BTreeMap<Vec<usize>, u32> = BTreeMap::new();
+        let mut cohort = Vec::with_capacity(n);
+        let mut cohort_homes: Vec<Vec<usize>> = Vec::new();
+        // One scratch buffer for canonicalization; the map key is only
+        // allocated when a new cohort first appears, not once per device.
+        let mut scratch: Vec<usize> = Vec::new();
+        for set in &homes {
+            scratch.clear();
+            scratch.extend_from_slice(set);
+            scratch.sort_unstable();
+            let id = match ids.get(scratch.as_slice()) {
+                Some(&id) => id,
+                None => {
+                    let next = cohort_homes.len() as u32;
+                    ids.insert(scratch.clone(), next);
+                    cohort_homes.push(scratch.clone());
+                    next
+                }
+            };
+            cohort.push(id);
+        }
+        let mut cohort_alive = vec![0u64; cohort_homes.len()];
+        for &c in &cohort {
+            cohort_alive[c as usize] += 1;
+        }
+        DeviceStore {
+            spec,
+            installed_at: vec![SimTime::ZERO; n],
+            fails_at,
+            failed: vec![false; n],
+            seq: vec![0; n],
+            stuck_until: vec![SimTime::ZERO; n],
+            byzantine_until: vec![SimTime::ZERO; n],
+            homes,
+            cohort,
+            cohort_homes,
+            cohort_alive,
+            stuck_ids: Vec::new(),
+            byzantine_max_until: SimTime::ZERO,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.fails_at.len()
+    }
+
+    /// Whether the store holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.fails_at.is_empty()
+    }
+
+    /// The arm's device archetype.
+    pub fn spec(&self) -> DeviceSpec {
+        self.spec
+    }
+
+    /// Whether device `di`'s hardware is functional at `t` (the
+    /// time-based check [`DeviceState::alive_at`] performs).
+    #[inline]
+    pub fn alive_at(&self, di: usize, t: SimTime) -> bool {
+        !self.failed[di] && t < self.fails_at[di]
+    }
+
+    /// Whether device `di` is present — its failure *event* has not yet
+    /// been processed. This is the flag the aggregate path keys
+    /// participation on: it is exactly what the incremental
+    /// [`cohort_alive`](Self::cohort_alive) counts track, event by event.
+    #[inline]
+    pub fn present(&self, di: usize) -> bool {
+        !self.failed[di]
+    }
+
+    /// Whether device `di`'s firmware is chaos-wedged at `t`.
+    #[inline]
+    pub fn stuck_at(&self, di: usize, t: SimTime) -> bool {
+        t < self.stuck_until[di]
+    }
+
+    /// Whether device `di` emits garbage readings at `t`.
+    #[inline]
+    pub fn byzantine_at(&self, di: usize, t: SimTime) -> bool {
+        t < self.byzantine_until[di]
+    }
+
+    /// Whether *any* device could be byzantine at `t` (watermark check —
+    /// may over-approximate, never under-approximates). `false` lets the
+    /// weekly pass skip the per-device `byzantine_until` reads.
+    #[inline]
+    pub fn any_byzantine_at(&self, t: SimTime) -> bool {
+        t < self.byzantine_max_until
+    }
+
+    /// Device `di`'s age at `t` (zero before installation).
+    pub fn age_at(&self, di: usize, t: SimTime) -> SimDuration {
+        let installed = self.installed_at[di];
+        if t <= installed {
+            SimDuration::ZERO
+        } else {
+            t.since(installed)
+        }
+    }
+
+    /// When device `di`'s hardware fails.
+    pub fn fails_at(&self, di: usize) -> SimTime {
+        self.fails_at[di]
+    }
+
+    /// Device `di`'s lifetime report sequence number.
+    pub fn seq(&self, di: usize) -> u64 {
+        self.seq[di]
+    }
+
+    /// Advances device `di`'s sequence number by `n` delivered reports.
+    #[inline]
+    pub fn seq_add(&mut self, di: usize, n: u64) {
+        self.seq[di] += n;
+    }
+
+    /// The gateway indices device `di` can reach.
+    pub fn homes(&self, di: usize) -> &[usize] {
+        &self.homes[di]
+    }
+
+    /// Number of path cohorts (distinct canonical home sets).
+    pub fn cohort_count(&self) -> usize {
+        self.cohort_homes.len()
+    }
+
+    /// Device `di`'s cohort id.
+    #[inline]
+    pub fn cohort_of(&self, di: usize) -> usize {
+        self.cohort[di] as usize
+    }
+
+    /// The canonical home-gateway set of cohort `c`.
+    pub fn cohort_homes(&self, c: usize) -> &[usize] {
+        &self.cohort_homes[c]
+    }
+
+    /// Present devices in cohort `c` (incrementally maintained).
+    pub fn cohort_alive(&self, c: usize) -> u64 {
+        self.cohort_alive[c]
+    }
+
+    /// Devices that have ever been chaos-stuck, deduplicated.
+    pub fn stuck_ids(&self) -> &[usize] {
+        &self.stuck_ids
+    }
+
+    /// Marks device `di` failed (its `DeviceFail` event fired) and
+    /// decrements its cohort's alive count. Idempotent.
+    pub fn mark_failed(&mut self, di: usize) {
+        if !self.failed[di] {
+            self.failed[di] = true;
+            self.cohort_alive[self.cohort[di] as usize] -= 1;
+        }
+    }
+
+    /// Overwrites device `di`'s mutable columns from a materialized row
+    /// (device replacement, snapshot restore), keeping the cohort alive
+    /// count consistent with the failed-flag transition. The device's
+    /// homes — and therefore its cohort — are deployment-time constants
+    /// and are not touched.
+    pub fn set_row(&mut self, di: usize, dev: &DeviceState) {
+        match (self.failed[di], dev.failed) {
+            (true, false) => self.cohort_alive[self.cohort[di] as usize] += 1,
+            (false, true) => self.cohort_alive[self.cohort[di] as usize] -= 1,
+            _ => {}
+        }
+        self.installed_at[di] = dev.installed_at;
+        self.fails_at[di] = dev.fails_at;
+        self.failed[di] = dev.failed;
+        self.seq[di] = dev.seq;
+        self.stuck_until[di] = dev.stuck_until;
+        self.byzantine_until[di] = dev.byzantine_until;
+        self.byzantine_max_until = self.byzantine_max_until.max(dev.byzantine_until);
+    }
+
+    /// Materializes device `di` as a standalone [`DeviceState`] row
+    /// (snapshotting and the per-device reference path).
+    pub fn row(&self, di: usize) -> DeviceState {
+        DeviceState {
+            spec: self.spec,
+            installed_at: self.installed_at[di],
+            fails_at: self.fails_at[di],
+            failed: self.failed[di],
+            seq: self.seq[di],
+            stuck_until: self.stuck_until[di],
+            byzantine_until: self.byzantine_until[di],
+        }
+    }
+
+    /// Chaos: wedges device `di` until at least `until` (overlapping
+    /// injections keep the latest end time) and indexes it for the
+    /// aggregate participant correction. Returns `false` (and changes
+    /// nothing) if `di` is out of bounds.
+    pub fn set_stuck_until(&mut self, di: usize, until: SimTime) -> bool {
+        let Some(slot) = self.stuck_until.get_mut(di) else {
+            return false;
+        };
+        *slot = (*slot).max(until);
+        if !self.stuck_ids.contains(&di) {
+            self.stuck_ids.push(di);
+        }
+        true
+    }
+
+    /// Chaos: marks device `di` byzantine until at least `until`
+    /// (max-merge). Returns `false` if `di` is out of bounds.
+    pub fn set_byzantine_until(&mut self, di: usize, until: SimTime) -> bool {
+        let Some(slot) = self.byzantine_until.get_mut(di) else {
+            return false;
+        };
+        *slot = (*slot).max(until);
+        self.byzantine_max_until = self.byzantine_max_until.max(until);
+        true
+    }
+
+    /// Adds each present device's weekly share to its sequence counter:
+    /// `base[c]` per participant of cohort `c`, plus one extra for the
+    /// first `rem[c]` participants in ascending device-id order — the same
+    /// id-order rank rule the general weekly loop applies. Fast path for
+    /// owned arms with no stuck or byzantine devices, where the share *is*
+    /// the delivered count; callers are responsible for that precondition.
+    pub fn seq_add_shares(&mut self, base: &[u64], rem: &[u64]) {
+        let mut rank = vec![0u64; base.len()];
+        for di in 0..self.failed.len() {
+            if self.failed[di] {
+                continue;
+            }
+            let c = self.cohort[di] as usize;
+            self.seq[di] += base[c] + u64::from(rank[c] < rem[c]);
+            rank[c] += 1;
+        }
+    }
+
+    /// Rebuilds the stuck-device index from the `stuck_until` column
+    /// (snapshot resume: the index is derived state and is not stored).
+    /// The rebuilt list is ascending by device id; the weekly correction
+    /// only counts over it, so ordering differences against the
+    /// injection-order list of an uninterrupted run are unobservable.
+    pub fn rebuild_stuck_ids(&mut self) {
+        self.stuck_ids.clear();
+        for (di, &until) in self.stuck_until.iter().enumerate() {
+            if until > SimTime::ZERO {
+                self.stuck_ids.push(di);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net::packet::RadioTech;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::paper_sensor(RadioTech::Ieee802154)
+    }
+
+    fn store() -> DeviceStore {
+        // Homes: {0}, {0,1} (given unsorted), {1}, {1,0} -> cohort of
+        // device 3 must equal device 1's, and ids follow first appearance.
+        DeviceStore::build(
+            spec(),
+            vec![
+                SimTime::from_years(10),
+                SimTime::from_years(20),
+                SimTime::from_years(30),
+                SimTime::from_years(40),
+            ],
+            vec![vec![0], vec![1, 0], vec![1], vec![0, 1]],
+        )
+    }
+
+    #[test]
+    fn cohorts_are_canonical_and_first_appearance_ordered() {
+        let s = store();
+        assert_eq!(s.cohort_count(), 3);
+        assert_eq!(s.cohort_of(0), 0);
+        assert_eq!(s.cohort_of(1), 1);
+        assert_eq!(s.cohort_of(2), 2);
+        assert_eq!(s.cohort_of(3), 1, "unsorted {{0,1}} joins {{1,0}}'s cohort");
+        assert_eq!(s.cohort_homes(0), &[0]);
+        assert_eq!(s.cohort_homes(1), &[0, 1]);
+        assert_eq!(s.cohort_homes(2), &[1]);
+        assert_eq!(s.cohort_alive(1), 2);
+    }
+
+    #[test]
+    fn mark_failed_is_idempotent_and_tracks_cohort_alive() {
+        let mut s = store();
+        assert!(s.present(1));
+        s.mark_failed(1);
+        assert!(!s.present(1));
+        assert!(!s.alive_at(1, SimTime::ZERO));
+        assert_eq!(s.cohort_alive(1), 1);
+        s.mark_failed(1);
+        assert_eq!(s.cohort_alive(1), 1, "second mark must not double-decrement");
+    }
+
+    #[test]
+    fn set_row_round_trips_and_updates_cohort_alive() {
+        let mut s = store();
+        s.mark_failed(3);
+        assert_eq!(s.cohort_alive(1), 1);
+        // Replacement: a fresh, live row re-enters the cohort.
+        let mut fresh = s.row(3);
+        fresh.failed = false;
+        fresh.installed_at = SimTime::from_years(5);
+        fresh.fails_at = SimTime::from_years(45);
+        fresh.seq = 7;
+        s.set_row(3, &fresh);
+        assert_eq!(s.cohort_alive(1), 2);
+        let back = s.row(3);
+        assert_eq!(back.installed_at, fresh.installed_at);
+        assert_eq!(back.fails_at, fresh.fails_at);
+        assert_eq!(back.seq, 7);
+        assert!(!back.failed);
+        // Overwriting a live row with a failed one decrements once.
+        let mut dead = s.row(0);
+        dead.failed = true;
+        s.set_row(0, &dead);
+        assert_eq!(s.cohort_alive(0), 0);
+    }
+
+    #[test]
+    fn row_matches_column_accessors() {
+        let mut s = store();
+        s.seq_add(2, 42);
+        assert!(s.set_stuck_until(2, SimTime::from_years(1)));
+        assert!(s.set_byzantine_until(2, SimTime::from_years(2)));
+        let r = s.row(2);
+        assert_eq!(r.seq, s.seq(2));
+        assert_eq!(r.fails_at, s.fails_at(2));
+        assert_eq!(r.stuck_until, SimTime::from_years(1));
+        assert_eq!(r.byzantine_until, SimTime::from_years(2));
+        assert_eq!(s.age_at(2, SimTime::from_years(3)), SimDuration::from_years(3));
+        assert!(s.stuck_at(2, SimTime::from_secs(1)));
+        assert!(s.byzantine_at(2, SimTime::from_years(1)));
+        assert!(!s.stuck_at(2, SimTime::from_years(1)));
+    }
+
+    #[test]
+    fn chaos_setters_max_merge_and_bounds_check() {
+        let mut s = store();
+        assert!(s.set_stuck_until(0, SimTime::from_years(2)));
+        assert!(s.set_stuck_until(0, SimTime::from_years(1)), "shorter overlap applies");
+        assert_eq!(s.row(0).stuck_until, SimTime::from_years(2), "max-merge keeps the later end");
+        assert_eq!(s.stuck_ids(), &[0], "re-injection must not duplicate the index");
+        assert!(!s.set_stuck_until(99, SimTime::from_years(1)));
+        assert!(!s.set_byzantine_until(99, SimTime::from_years(1)));
+    }
+
+    #[test]
+    fn rebuild_stuck_ids_recovers_index_from_columns() {
+        let mut s = store();
+        assert!(s.set_stuck_until(3, SimTime::from_years(1)));
+        assert!(s.set_stuck_until(1, SimTime::from_years(2)));
+        assert_eq!(s.stuck_ids(), &[3, 1], "injection order before rebuild");
+        s.rebuild_stuck_ids();
+        assert_eq!(s.stuck_ids(), &[1, 3], "ascending id order after rebuild");
+    }
+
+    #[test]
+    fn byzantine_watermark_over_approximates_and_never_lowers() {
+        let mut s = store();
+        assert!(!s.any_byzantine_at(SimTime::ZERO), "fresh store has no byzantine devices");
+        assert!(s.set_byzantine_until(2, SimTime::from_years(2)));
+        assert!(s.any_byzantine_at(SimTime::from_years(1)));
+        assert!(!s.any_byzantine_at(SimTime::from_years(2)), "watermark expires with the injection");
+        // Clearing the device's own timer via set_row must not lower the
+        // watermark (it is an upper bound, not an exact max).
+        let mut cleared = s.row(2);
+        cleared.byzantine_until = SimTime::ZERO;
+        s.set_row(2, &cleared);
+        assert!(s.any_byzantine_at(SimTime::from_years(1)), "watermark is sticky");
+    }
+
+    #[test]
+    fn seq_add_shares_matches_the_id_order_rank_rule() {
+        let mut s = store();
+        s.mark_failed(0);
+        // Cohorts: 0 -> {0}, 1 -> {1, 3}, 2 -> {2}. Device 0 is dead.
+        // base = [5, 2, 0], rem = [0, 1, 0]: device 1 (rank 0 in cohort 1)
+        // takes the extra, device 3 (rank 1) does not.
+        s.seq_add_shares(&[5, 2, 0], &[0, 1, 0]);
+        assert_eq!(s.seq(0), 0, "failed devices receive nothing");
+        assert_eq!(s.seq(1), 3);
+        assert_eq!(s.seq(2), 0);
+        assert_eq!(s.seq(3), 2);
+    }
+
+    #[test]
+    fn federated_homes_collapse_to_one_cohort() {
+        let s = DeviceStore::build(
+            spec(),
+            vec![SimTime::from_years(10); 5],
+            vec![Vec::new(); 5],
+        );
+        assert_eq!(s.cohort_count(), 1);
+        assert_eq!(s.cohort_alive(0), 5);
+        assert!(s.cohort_homes(0).is_empty());
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

@@ -72,6 +72,7 @@ pub fn resolve_mesh(
             let shadow = params.pathloss.sample_shadowing(&mut prng);
             let loss = params
                 .pathloss
+                // simlint: allow(D004, local radio-position slice, not the fleet DeviceStore)
                 .loss_with_shadowing(devices[a].distance(&devices[b]), shadow);
             let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
             if link.is_usable(params.usable_margin_db) {

@@ -524,6 +524,186 @@ impl Empirical {
     }
 }
 
+/// Binomial distribution: successes among `n` Bernoulli(`p`) trials.
+///
+/// This is the cohort-sampling primitive for population-level aggregate
+/// simulation: instead of one draw per device per week, one binomial draw
+/// yields a whole cohort's delivered-packet total. Sampling is exact
+/// (per-trial) up to [`Binomial::EXACT_TRIALS`] trials and switches to a
+/// clamped, rounded normal approximation above — the same approximation
+/// the per-device weekly path has always used for its 168-report weeks,
+/// so the aggregate path's totals match the legacy path's in
+/// distribution. The output is a pure function of the consumed uniforms;
+/// the moment properties are pinned by `tests/properties.rs`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Trial-count ceiling for the exact per-trial sampler; above it the
+    /// normal approximation is used (`n·p·(1-p)` is then large enough for
+    /// the CLT error to be far below the simulation's weekly granularity).
+    pub const EXACT_TRIALS: u64 = 1024;
+
+    /// Creates a binomial over `n` trials with success probability
+    /// `p ∈ [0,1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError::new("Binomial requires p in [0,1]"));
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Draws a sample in `[0, n]`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.n == 0 || self.p <= 0.0 {
+            return 0;
+        }
+        if self.p >= 1.0 {
+            return self.n;
+        }
+        if self.n <= Self::EXACT_TRIALS {
+            let mut hits = 0;
+            for _ in 0..self.n {
+                if rng.chance(self.p) {
+                    hits += 1;
+                }
+            }
+            return hits;
+        }
+        let mean = self.n as f64 * self.p;
+        let sd = (self.n as f64 * self.p * (1.0 - self.p)).sqrt();
+        let z = standard_normal(rng);
+        let x = (mean + sd * z).round();
+        if x <= 0.0 {
+            0
+        } else if x >= self.n as f64 {
+            self.n
+        } else {
+            x as u64
+        }
+    }
+
+    /// The distribution mean, `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// The distribution variance, `n·p·(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+/// Draws `n` uniforms on `(0, 1)` **already sorted ascending**, in O(n),
+/// via the exponential-spacings construction: if `E₁..E_{n+1}` are iid
+/// Exp(1), then the normalized partial sums `(E₁+…+E_i)/(E₁+…+E_{n+1})`
+/// are distributed exactly as the order statistics `U₍₁₎ ≤ … ≤ U₍ₙ₎` of
+/// `n` independent uniforms. This is how aggregate mode pre-samples a
+/// whole cohort's death times in one pass with no sort: map each sorted
+/// uniform through an inverse lifetime CDF ([`InverseCdf`]) and the i-th
+/// device receives the i-th order statistic.
+pub fn sorted_uniforms(n: usize, rng: &mut Rng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0.0_f64;
+    for _ in 0..n {
+        acc += -rng.next_f64_open().ln();
+        out.push(acc);
+    }
+    let total = acc + -rng.next_f64_open().ln();
+    for u in &mut out {
+        *u /= total;
+    }
+    out
+}
+
+/// A tabulated numeric inverse of a monotone CDF, for distributions with
+/// no closed-form quantile (e.g. the bathtub lifetime, a product of three
+/// component survivals).
+///
+/// Built once from the CDF evaluated on a uniform grid over
+/// `[0, t_max]`; inversion is a binary search over the stored CDF values
+/// plus linear interpolation between knots — O(log knots) per draw with
+/// no further CDF evaluations, which is what makes million-device cohort
+/// initialization cheap. The tabulation is an explicit approximation of
+/// the source distribution (error vanishes as `knots` grows); every
+/// sampling mode that uses a given table draws *identical* values from
+/// identical uniforms, which is the equivalence the aggregate/reference
+/// differential harness pins.
+#[derive(Clone, Debug)]
+pub struct InverseCdf {
+    /// Knot abscissae `t_i` (uniform over `[0, t_max]`).
+    ts: Vec<f64>,
+    /// CDF values at the knots; non-decreasing, `cdf[0] = F(0)`.
+    cdf: Vec<f64>,
+}
+
+impl InverseCdf {
+    /// Tabulates `cdf` (a non-decreasing function with `F(0) ≥ 0`) on
+    /// `knots + 1` uniform points over `[0, t_max]`.
+    ///
+    /// Returns an error for a degenerate range, fewer than 2 knots, or a
+    /// tabulation that comes out non-finite or decreasing (a malformed
+    /// CDF is a caller bug surfaced as a typed error, not garbage draws).
+    pub fn tabulate(
+        cdf: impl Fn(f64) -> f64,
+        t_max: f64,
+        knots: usize,
+    ) -> Result<Self, ParamError> {
+        if !(t_max.is_finite() && t_max > 0.0) {
+            return Err(ParamError::new("InverseCdf requires finite t_max > 0"));
+        }
+        if knots < 2 {
+            return Err(ParamError::new("InverseCdf requires at least 2 knots"));
+        }
+        let mut ts = Vec::with_capacity(knots + 1);
+        let mut vals = Vec::with_capacity(knots + 1);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=knots {
+            let t = t_max * (i as f64 / knots as f64);
+            let f = cdf(t);
+            if !f.is_finite() || f < last {
+                return Err(ParamError::new("InverseCdf requires a finite non-decreasing CDF"));
+            }
+            last = f;
+            ts.push(t);
+            vals.push(f);
+        }
+        Ok(InverseCdf { ts, cdf: vals })
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to the tabulated quantile `F⁻¹(u)`.
+    ///
+    /// `u` below the first knot's CDF value returns 0; `u` beyond the
+    /// tabulated mass clamps to `t_max` (callers pick `t_max` past the
+    /// horizon so the clamp only affects outcomes the simulation never
+    /// observes).
+    pub fn invert(&self, u: f64) -> f64 {
+        let last = self.cdf.len() - 1;
+        if u <= self.cdf[0] {
+            return self.ts[0];
+        }
+        if u >= self.cdf[last] {
+            return self.ts[last];
+        }
+        // First knot with cdf >= u; the predecessor exists by the guards.
+        let hi = self.cdf.partition_point(|&f| f < u);
+        let lo = hi - 1;
+        let (f0, f1) = (self.cdf[lo], self.cdf[hi]);
+        let span = f1 - f0;
+        // simlint: allow(F001, exact-zero guard on a CDF increment; flat segments interpolate to the left knot)
+        let frac = if span > 0.0 { (u - f0) / span } else { 0.0 };
+        self.ts[lo] + frac * (self.ts[hi] - self.ts[lo])
+    }
+
+    /// The upper end of the tabulated support.
+    pub fn t_max(&self) -> f64 {
+        self.ts[self.ts.len() - 1]
+    }
+}
+
 /// Lanczos approximation of the gamma function Γ(x) for `x > 0`.
 ///
 /// Accurate to ~1e-13 over the range used here (Weibull means with shapes
@@ -782,6 +962,113 @@ mod tests {
     fn empirical_rejects_bad_input() {
         assert!(Empirical::new(&[], false).is_err());
         assert!(Empirical::new(&[1.0, f64::NAN], false).is_err());
+    }
+
+    #[test]
+    fn binomial_exact_regime_moments() {
+        let d = Binomial::new(168, 0.95).unwrap();
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.05, "mean {mean} vs {}", d.mean());
+        assert!((var - d.variance()).abs() < 0.3, "var {var} vs {}", d.variance());
+    }
+
+    #[test]
+    fn binomial_normal_regime_moments() {
+        let d = Binomial::new(100_000, 0.9).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 2.0, "mean {mean} vs {}", d.mean());
+        for x in xs {
+            assert!((0.0..=100_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng();
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut r), 0);
+        assert_eq!(Binomial::new(10, 0.0).unwrap().sample(&mut r), 0);
+        assert_eq!(Binomial::new(10, 1.0).unwrap().sample(&mut r), 10);
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn binomial_deterministic_per_seed() {
+        let d = Binomial::new(5000, 0.3).unwrap();
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..32).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..32).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sorted_uniforms_sorted_and_in_range() {
+        let mut r = rng();
+        let us = sorted_uniforms(1000, &mut r);
+        assert_eq!(us.len(), 1000);
+        for w in us.windows(2) {
+            assert!(w[0] <= w[1], "not sorted: {} > {}", w[0], w[1]);
+        }
+        for &u in &us {
+            assert!((0.0..1.0).contains(&u), "out of range: {u}");
+        }
+        assert!(sorted_uniforms(0, &mut r).is_empty());
+    }
+
+    #[test]
+    fn sorted_uniforms_uniform_marginal() {
+        // Mean of all order statistics pooled = 1/2; spacing between the
+        // k-th order statistic mean and k/(n+1) is exact in expectation.
+        let mut r = rng();
+        let n = 2000;
+        let reps = 200;
+        let mut acc = vec![0.0; n];
+        for _ in 0..reps {
+            let us = sorted_uniforms(n, &mut r);
+            for (a, u) in acc.iter_mut().zip(&us) {
+                *a += u;
+            }
+        }
+        let mid = acc[n / 2] / reps as f64;
+        assert!((mid - 0.5).abs() < 0.02, "median order stat mean {mid}");
+        let q1 = acc[n / 4] / reps as f64;
+        assert!((q1 - 0.25).abs() < 0.02, "q1 order stat mean {q1}");
+    }
+
+    #[test]
+    fn inverse_cdf_roundtrips_exponential() {
+        // F(t) = 1 - exp(-t/10): invert tabulation vs the closed form.
+        let table = InverseCdf::tabulate(|t| 1.0 - (-t / 10.0).exp(), 200.0, 4096).unwrap();
+        for u in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let t = table.invert(u);
+            let exact = -10.0 * (1.0 - u).ln();
+            assert!((t - exact).abs() < 0.05, "u={u}: {t} vs {exact}");
+        }
+        assert_eq!(table.invert(0.0), 0.0);
+        assert!((table.t_max() - 200.0).abs() < 1e-12);
+        // Mass beyond the table clamps to t_max.
+        assert!((table.invert(0.9999999999) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_cdf_rejects_malformed() {
+        assert!(InverseCdf::tabulate(|t| t, 0.0, 10).is_err());
+        assert!(InverseCdf::tabulate(|t| t, 10.0, 1).is_err());
+        assert!(InverseCdf::tabulate(|t| -t, 10.0, 10).is_err());
+        assert!(InverseCdf::tabulate(|_| f64::NAN, 10.0, 10).is_err());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! * **F001** — no float `==`/`!=` against float literals and no
 //!   `.partial_cmp(…)` chains in non-test code; use `total_cmp` (the PR 1
 //!   convention) so NaN and signed zero cannot poison an ordering.
+//! * **D004** — no indexed `devices[…]` access in digest-feeding crates.
+//!   The device population is a struct-of-arrays [`DeviceStore`] (PR 7);
+//!   row-at-a-time poking through a `devices` vector bypasses the store's
+//!   incremental cohort census and stuck-device index, silently desyncing
+//!   the aggregate weekly sampler from the population it summarizes. Go
+//!   through the store's accessors (`row`/`set_row`/`mark_failed`/…).
 //!
 //! Rules operate on the token stream from [`crate::lexer`]; test code
 //! (`#[cfg(test)]` items, `#[test]` functions, files under `tests/`) is
@@ -37,7 +43,7 @@
 use crate::lexer::{lex, LineComment, TokKind, Token};
 
 /// Rule identifiers, in report order.
-pub const RULE_IDS: [&str; 6] = ["D001", "D002", "D003", "P001", "F001", "SL000"];
+pub const RULE_IDS: [&str; 7] = ["D001", "D002", "D003", "D004", "P001", "F001", "SL000"];
 
 /// Crates whose state feeds run digests, golden traces, or rendered
 /// exhibits. `HashMap` iteration anywhere in these is a D001 finding.
@@ -209,6 +215,21 @@ pub fn check_file(file: &str, crate_name: &str, src: &str, is_test_file: bool) -
                             "{name}! in non-test code: the simulation core is panic-free by \
                              contract; return an error instead"
                         ),
+                    });
+                }
+                if name == "devices"
+                    && next_is("[")
+                    && DIGEST_FEEDING_CRATES.contains(&crate_name)
+                {
+                    raw.push(Finding {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: "D004",
+                        message: "indexed `devices[…]` access in a digest-feeding crate: \
+                                  the population is a struct-of-arrays DeviceStore; use its \
+                                  accessors (row/set_row/mark_failed/…) so the cohort census \
+                                  and stuck index stay in sync with the aggregate sampler"
+                            .to_string(),
                     });
                 }
                 if name == "partial_cmp" && prev_is(".") {
@@ -455,6 +476,16 @@ mod tests {
         let src = "let t0 = Instant::now();\n";
         assert!(check_file("b.rs", "bench", src, false).findings.is_empty());
         assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn d004_fires_only_on_subscripted_devices() {
+        let bad = "let d = arm.devices[i];\n";
+        let ok = "let n = arm.devices.len();\nlet devices = 3;\nlet h = homes[i];\n";
+        let f = lint(bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D004");
+        assert!(lint(ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! D004 negative: DeviceStore accessors, other-name indexing, and the
+//! bare `devices` identifier without a subscript are all fine.
+
+pub fn ok(store: &mut DeviceStore, homes: &[Vec<usize>], di: usize) -> u64 {
+    store.mark_failed(di);
+    let dev = store.row(di);
+    store.set_row(di, &dev);
+    let _gw = homes[di].first();
+    let devices = store.len();
+    devices as u64 + dev.seq
+}

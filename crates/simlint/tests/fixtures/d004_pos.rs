@@ -1,0 +1,8 @@
+//! D004 positive: indexed `devices[…]` access in a digest-feeding crate —
+//! row-at-a-time pokes bypass the DeviceStore's cohort census.
+
+pub fn poke(devices: &mut [Dev], di: usize) -> u64 {
+    devices[di].failed = true;
+    let seq = devices[di].seq;
+    seq
+}

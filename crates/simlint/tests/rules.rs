@@ -97,6 +97,39 @@ fn d003_silent_on_seeded_simcore_rng() {
     assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
 }
 
+// ---- D004: no indexed devices[…] access in digest-feeding crates -------
+
+#[test]
+fn d004_fires_on_indexed_devices_access() {
+    let r = lint_as("d004_pos.rs", "fleet");
+    let d004 = r.findings.iter().filter(|f| f.rule == "D004").count();
+    // The write and the read both fire.
+    assert_eq!(d004, 2, "got {:?}", r.findings);
+}
+
+#[test]
+fn d004_scopes_to_digest_feeding_crates() {
+    // simlint itself never touches simulation state and is out of scope.
+    let r = lint_as("d004_pos.rs", "simlint");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+#[test]
+fn d004_silent_on_store_accessors_and_other_names() {
+    let r = lint_as("d004_neg.rs", "fleet");
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+}
+
+#[test]
+fn d004_pragma_waives_a_local_slice() {
+    // The escape hatch for genuinely local `devices` slices (e.g. the
+    // mesh model's radio positions) — a trailing pragma with a reason.
+    let src = "pub fn f(devices: &[P], a: usize) -> f64 {\n    devices[a].x // simlint: allow(D004, local position slice, not the fleet DeviceStore)\n}\n";
+    let r = check_file("m.rs", "net", src, false);
+    assert!(rules_fired(&r).is_empty(), "got {:?}", r.findings);
+    assert_eq!(r.allowed, 1);
+}
+
 // ---- P001: no unwrap/expect/panic!/todo! in non-test code --------------
 
 #[test]

@@ -299,6 +299,30 @@ impl LocalHistogram {
         }
     }
 
+    /// Records `n` identical observations of `x` in O(1).
+    ///
+    /// Exactly equivalent to calling [`observe`](Self::observe) `n`
+    /// times when `x` is an integer-valued sample small enough that
+    /// `x * n` and the running sum stay within `2^53` (the weekly
+    /// delivery histograms observe integers ≤ 168, so every partial sum
+    /// is an exactly-representable integer and the batched `sum` update
+    /// is bit-identical to `n` repeated additions, in any order). This
+    /// is what lets the aggregate sampling path fold a whole cohort's
+    /// identical observations into the digest-feeding histogram without
+    /// an O(devices) loop.
+    #[inline]
+    pub fn observe_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.buckets.bucket_index(x);
+        self.counts[idx] += n;
+        self.count += n;
+        if x.is_finite() {
+            self.sum += x * n as f64;
+        }
+    }
+
     /// Observations buffered so far.
     pub fn count(&self) -> u64 {
         self.count
@@ -680,6 +704,25 @@ mod tests {
         assert_eq!(cd, cb);
         assert_eq!(nd, nb);
         assert_eq!(sd.to_bits(), sb.to_bits(), "f64 sum must match bit-for-bit");
+    }
+
+    #[test]
+    fn local_histogram_observe_n_matches_repeated_observe_bit_for_bit() {
+        let buckets = Buckets::linear(0.0, 24.0, 7).unwrap();
+        let mut looped = LocalHistogram::new(buckets.clone());
+        let mut batched = LocalHistogram::new(buckets);
+        // Integer observations ≤ 168 in arbitrary interleavings: the
+        // batched sum must be the exact same f64 as the loop's.
+        let runs = [(0.0, 3_u64), (7.0, 1000), (168.0, 9), (24.0, 1), (3.0, 0), (1.0, 250_000)];
+        for &(x, n) in &runs {
+            for _ in 0..n {
+                looped.observe(x);
+            }
+            batched.observe_n(x, n);
+        }
+        assert_eq!(looped.bucket_counts(), batched.bucket_counts());
+        assert_eq!(looped.count(), batched.count());
+        assert_eq!(looped.sum().to_bits(), batched.sum().to_bits());
     }
 
     #[test]

@@ -40,6 +40,11 @@ echo "== sharded smoke (one seed; binary exits 1 unless serial == sharded digest
   --shards 4 --scale-devices 2000 \
   --out target/bench_sharded_smoke.json > /dev/null
 
+echo "== sharded 100k sweep (aggregate path; exits 1 if the k=8 digest drifts from serial or the reference oracle) =="
+./target/release/throughput --replicates 1 --threads 1 --passes 1 \
+  --shards 8 --scale-devices 100000 \
+  --out target/bench_sharded_100k.json > /dev/null
+
 echo "== snapshot-resume smoke (checkpoint every 10y; exits 1 unless resumed digests are bit-identical) =="
 rm -rf target/verify-snapshots
 ./target/release/throughput --checkpoint-every 520 \

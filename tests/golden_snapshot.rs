@@ -16,21 +16,27 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
 
-use fleet::sim::{FleetConfig, FleetSim};
+use fleet::sim::{FleetConfig, FleetSim, SamplingMode};
 use fleet::snapshot::{self, ChaosProgress, FLEET_SNAPSHOT_VERSION};
 use simcore::snapshot::{fnv1a, FRAME_BYTES, MAGIC};
 use simcore::time::{SimDuration, SimTime};
 
 const GOLDEN_PATH: &str = "tests/golden/snapshot_format.txt";
 
-fn pinned_image() -> Vec<u8> {
-    let mut engine = FleetSim::build(FleetConfig::paper_experiment(42));
+fn pinned_image_for(sampling: SamplingMode) -> Vec<u8> {
+    let mut engine =
+        FleetSim::build(FleetConfig::paper_experiment(42).with_sampling(sampling));
     engine.run_until(SimTime::ZERO + SimDuration::from_weeks(26));
     snapshot::checkpoint_bytes(&mut engine, ChaosProgress::default())
 }
 
+fn pinned_image() -> Vec<u8> {
+    pinned_image_for(SamplingMode::Legacy)
+}
+
 fn render() -> String {
     let image = pinned_image();
+    let aggregate = pinned_image_for(SamplingMode::Aggregate);
     let magic_hex: String = MAGIC.iter().map(|b| format!("{b:02x}")).collect();
     format!(
         "# Golden snapshot format pin. A diff here means the on-disk layout\n\
@@ -39,9 +45,12 @@ fn render() -> String {
          magic {magic_hex}\n\
          version {FLEET_SNAPSHOT_VERSION}\n\
          frame_bytes {FRAME_BYTES}\n\
-         image/paper_experiment/seed=42/week=26 len={} fnv1a={:016x}\n",
+         image/paper_experiment/seed=42/week=26 len={} fnv1a={:016x}\n\
+         image/paper_experiment/seed=42/week=26/sampling=aggregate len={} fnv1a={:016x}\n",
         image.len(),
         fnv1a(&image),
+        aggregate.len(),
+        fnv1a(&aggregate),
     )
 }
 

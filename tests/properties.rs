@@ -443,4 +443,86 @@ proptest! {
             prop_assert!(bounds[i - 1] < x, "an earlier bucket would have fit");
         }
     }
+
+    /// Binomial thinning moments: over 64 independent seeds, the sample
+    /// mean sits within CLT bounds of `n·p` — in both the exact per-trial
+    /// regime (`n ≤ 1024`) and the normal-approximation regime above it.
+    /// This is the statistical license for the aggregate weekly sampler's
+    /// one-draw-per-cohort thinning (DESIGN.md §13).
+    #[test]
+    fn binomial_thinning_moments_within_clt_bounds(seed in any::<u64>(), p in 0.05f64..0.95) {
+        use simcore::dist::Binomial;
+        const SEEDS: u64 = 64;
+        for n in [168u64, 10_000] { // exact regime / normal regime
+            let b = Binomial::new(n, p).unwrap();
+            let mut sum = 0.0;
+            for s in 0..SEEDS {
+                let mut rng = Rng::seed_from(seed ^ (s.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+                let draw = b.sample(&mut rng);
+                prop_assert!(draw <= n, "sample {} exceeds trials {}", draw, n);
+                sum += draw as f64;
+            }
+            let mean = sum / SEEDS as f64;
+            // 6 standard errors plus rounding slack: astronomically
+            // unlikely to trip for a correct sampler, tight enough to
+            // catch a mean or variance bug.
+            let tol = 6.0 * (b.variance() / SEEDS as f64).sqrt() + 1.0;
+            prop_assert!(
+                (mean - b.mean()).abs() < tol,
+                "n={} p={}: mean of {} draws was {} vs expected {} (tol {})",
+                n, p, SEEDS, mean, b.mean(), tol
+            );
+        }
+    }
+
+    /// Common-random-numbers pin: every per-device stream is derived by a
+    /// pure label split, so consuming (or never touching) device i's
+    /// stream cannot move device j's draws. This is what lets the
+    /// aggregate path kill, replace, or skip devices without perturbing
+    /// any other device's randomness.
+    #[test]
+    fn crn_pin_device_streams_independent(
+        seed in any::<u64>(),
+        i in 0u64..500,
+        j in 0u64..500,
+        burn in 0usize..64,
+    ) {
+        let i = if i == j { i.wrapping_add(1) } else { i };
+        let root = Rng::seed_from(seed);
+        let draws_j = |root: &Rng| -> Vec<u64> {
+            let mut r = root.split("replace", j);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let before = draws_j(&root);
+        // "Kill" device i: burn an arbitrary amount of its stream.
+        let mut ri = root.split("replace", i);
+        for _ in 0..burn {
+            let _ = ri.next_u64();
+        }
+        let after = draws_j(&root);
+        prop_assert_eq!(before, after, "device {}'s stream moved device {}'s draws", i, j);
+    }
+
+    /// Cohort death-time order statistics: `sorted_uniforms` yields a
+    /// non-decreasing sequence in [0,1], bit-identical for the same seed —
+    /// the contract that lets the aggregate build hand device i the i-th
+    /// order statistic and stay deterministic across rebuilds and shards.
+    #[test]
+    fn cohort_death_order_statistics_sorted_and_deterministic(
+        seed in any::<u64>(),
+        n in 1usize..400,
+    ) {
+        use simcore::dist::sorted_uniforms;
+        let a = sorted_uniforms(n, &mut Rng::seed_from(seed).split("deaths", 0));
+        let b = sorted_uniforms(n, &mut Rng::seed_from(seed).split("deaths", 0));
+        prop_assert_eq!(a.len(), n);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(bits(&a), bits(&b), "same seed must reproduce the same order statistics");
+        for (k, w) in a.windows(2).enumerate() {
+            prop_assert!(w[0] <= w[1], "order statistics out of order at {}", k);
+        }
+        for &u in &a {
+            prop_assert!((0.0..=1.0).contains(&u), "uniform {} out of range", u);
+        }
+    }
 }

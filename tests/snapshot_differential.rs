@@ -20,7 +20,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // Test-only target.
 
 use chaos::FaultPlanBuilder;
-use fleet::sim::{FleetConfig, FleetSim};
+use fleet::sim::{FleetConfig, FleetSim, SamplingMode};
 use fleet::snapshot::{self, ChaosProgress};
 use simcore::snapshot::SnapshotError;
 use simcore::time::{SimDuration, SimTime};
@@ -116,6 +116,60 @@ fn chaos_resume_matches_uninterrupted_across_seeds_weeks_and_k() {
             std::fs::remove_file(&path).unwrap();
         }
     }
+}
+
+#[test]
+fn aggregate_mode_resume_matches_uninterrupted_across_seeds_weeks_and_k() {
+    // The snapshot promise, re-proven over the aggregate sampling path:
+    // the struct-of-arrays device columns, the wallet column, and the
+    // rebuilt stuck-device index must all overlay to a world whose
+    // remaining aggregate draws land exactly where the uninterrupted
+    // run's did. (The aggregate cohort RNG is re-derived from the config,
+    // not stored — this grind is what proves that's sufficient.)
+    for seed in [1_u64, 7, 42, 1001] {
+        let agg = |s: u64| cfg(s).with_sampling(SamplingMode::Aggregate);
+        let baseline = FleetSim::run(agg(seed));
+        for w in CHECKPOINT_WEEKS {
+            let mut engine = FleetSim::build(agg(seed));
+            engine.run_until(week(w));
+            let bytes = snapshot::checkpoint_bytes(&mut engine, ChaosProgress::default());
+            drop(engine); // The crash: nothing survives but the bytes.
+            for k in SHARD_COUNTS {
+                let resumed = snapshot::resume_from_bytes(&bytes, agg(seed))
+                    .expect("a freshly sealed aggregate snapshot verifies");
+                let report = if k == 1 {
+                    resumed.run_to_horizon()
+                } else {
+                    fleet::shard::run_resumed_forced(resumed.engine, k).unwrap()
+                };
+                assert_eq!(
+                    report.digest(),
+                    baseline.digest(),
+                    "seed {seed}, checkpoint week {w}, k={k}: aggregate resume drifted"
+                );
+                assert_eq!(
+                    report.events_processed, baseline.events_processed,
+                    "seed {seed}, checkpoint week {w}, k={k} (aggregate)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sampling_mode_is_part_of_the_config_fingerprint() {
+    // A snapshot taken under one sampling mode must refuse to resume
+    // under another: the modes advance different RNG streams, so a
+    // cross-mode overlay would silently continue the wrong world.
+    let aggregate = cfg(42).with_sampling(SamplingMode::Aggregate);
+    let mut engine = FleetSim::build(aggregate.clone());
+    engine.run_until(week(52));
+    let bytes = snapshot::checkpoint_bytes(&mut engine, ChaosProgress::default());
+    let Err(err) = snapshot::resume_from_bytes(&bytes, cfg(42)) else {
+        panic!("legacy-mode resume of an aggregate snapshot must be refused");
+    };
+    assert!(matches!(err, SnapshotError::ConfigMismatch { .. }), "{err}");
+    snapshot::resume_from_bytes(&bytes, aggregate).expect("same-mode resume verifies");
 }
 
 #[test]
