@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod geo;
+
 use fleet::shard::{run_sharded_hooked, ShardError};
 use fleet::sim::{ArmKind, Ev, FleetConfig, FleetReport, FleetSim};
 use simcore::engine::{Ctx, FaultHook};
@@ -92,6 +94,17 @@ pub enum FaultKind {
         /// Garbage interval.
         duration: SimDuration,
     },
+    /// A geometric storm disc (see [`geo`]) knocks one device out for
+    /// `duration` — planned per affected device so replay, sharded
+    /// routing and snapshot cursors need no geometry at injection time.
+    StormKnockout {
+        /// Target arm index.
+        arm: usize,
+        /// Target device index within the arm.
+        device: usize,
+        /// Knockout interval.
+        duration: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -107,7 +120,8 @@ impl FaultKind {
             | FaultKind::HotspotCollapse { arm, .. }
             | FaultKind::WalletFailure { arm, .. }
             | FaultKind::DeviceStuck { arm, .. }
-            | FaultKind::DeviceByzantine { arm, .. } => arm,
+            | FaultKind::DeviceByzantine { arm, .. }
+            | FaultKind::StormKnockout { arm, .. } => arm,
         }
     }
 }
@@ -437,6 +451,9 @@ impl FaultHook<FleetSim> for FleetInjector {
             }
             FaultKind::DeviceByzantine { arm, device, duration } => {
                 world.inject_device_byzantine(arm, now, device, duration)
+            }
+            FaultKind::StormKnockout { arm, device, duration } => {
+                world.inject_storm_knockout(arm, now, device, duration)
             }
         };
         if ok {

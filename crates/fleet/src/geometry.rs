@@ -1,0 +1,115 @@
+//! Fleet geometry: where each arm's devices physically sit.
+//!
+//! The event simulation itself is placement-free — delivery paths are
+//! resolved probabilistically — but geometric chaos (a storm disc
+//! sweeping a city, DESIGN.md §14) needs real coordinates to decide who
+//! is underneath it. [`FleetGeometry`] derives a deterministic layout
+//! from a [`FleetConfig`] alone: each arm's devices are scattered
+//! uniformly over a square district whose area scales with the device
+//! count at a fixed urban density, from an RNG stream keyed only by the
+//! master seed and the arm index. Two runs of the same config agree on
+//! every coordinate; the layout never consumes simulation randomness.
+
+use net::grid::SpatialGrid;
+use net::topology::{uniform_scatter, Point};
+use simcore::rng::Rng;
+
+use crate::sim::FleetConfig;
+
+/// Device density used to size an arm's district: ~600 devices per km²
+/// is street-asset scale (LA's ~320k poles over ~500 km² of city is the
+/// calibration point).
+pub const DEVICES_PER_KM2: f64 = 600.0;
+
+/// One arm's physical layout.
+#[derive(Clone, Debug)]
+pub struct ArmGeometry {
+    /// Square district side (m).
+    pub side_m: f64,
+    /// Device positions, indexed by device id.
+    pub devices: Vec<Point>,
+}
+
+impl ArmGeometry {
+    /// A spatial grid over this arm's devices with the given cell side —
+    /// the index geometric chaos selects victims through.
+    pub fn grid(&self, cell_m: f64) -> SpatialGrid {
+        SpatialGrid::build(&self.devices, cell_m)
+    }
+}
+
+/// Deterministic per-arm device layouts for a whole fleet.
+#[derive(Clone, Debug)]
+pub struct FleetGeometry {
+    /// Per-arm layouts, indexed by arm.
+    pub arms: Vec<ArmGeometry>,
+}
+
+impl FleetGeometry {
+    /// Derives the layout for `cfg`. Pure: depends only on `cfg.seed`,
+    /// the arm count, and each arm's device count.
+    pub fn for_config(cfg: &FleetConfig) -> FleetGeometry {
+        let root = Rng::seed_from(cfg.seed);
+        let arms = cfg
+            .arms
+            .iter()
+            .enumerate()
+            .map(|(ai, arm)| {
+                // At least one block so tiny test arms still have extent.
+                let km2 = (arm.devices as f64 / DEVICES_PER_KM2).max(0.01);
+                let side_m = (km2 * 1e6).sqrt();
+                let mut rng = root.split("geometry", ai as u64);
+                let devices = uniform_scatter(arm.devices, side_m, side_m, &mut rng);
+                ArmGeometry { side_m, devices }
+            })
+            .collect();
+        FleetGeometry { arms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_deterministic_and_in_bounds() {
+        let cfg = FleetConfig::paper_experiment(42);
+        let a = FleetGeometry::for_config(&cfg);
+        let b = FleetGeometry::for_config(&cfg);
+        assert_eq!(a.arms.len(), cfg.arms.len());
+        for (ai, (ga, gb)) in a.arms.iter().zip(&b.arms).enumerate() {
+            assert_eq!(ga.devices.len(), cfg.arms[ai].devices);
+            assert_eq!(ga.side_m, gb.side_m);
+            for (pa, pb) in ga.devices.iter().zip(&gb.devices) {
+                assert_eq!(pa.x, pb.x); // simlint: allow(F001, exact-reproducibility pin)
+                assert_eq!(pa.y, pb.y); // simlint: allow(F001, exact-reproducibility pin)
+                assert!(pa.x >= 0.0 && pa.x <= ga.side_m);
+                assert!(pa.y >= 0.0 && pa.y <= ga.side_m);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_move_devices() {
+        let a = FleetGeometry::for_config(&FleetConfig::paper_experiment(1));
+        let b = FleetGeometry::for_config(&FleetConfig::paper_experiment(2));
+        let moved = a.arms[0]
+            .devices
+            .iter()
+            .zip(&b.arms[0].devices)
+            .filter(|(p, q)| p.distance(q) > 1.0)
+            .count();
+        assert!(moved > 0, "seed must drive the layout");
+    }
+
+    #[test]
+    fn grid_round_trip_selects_devices() {
+        let cfg = FleetConfig::paper_experiment(7);
+        let geo = FleetGeometry::for_config(&cfg);
+        let arm = &geo.arms[0];
+        let grid = arm.grid(50.0);
+        let center = arm.devices[0];
+        let hit = grid.within(center, 1.0);
+        assert!(hit.contains(&0), "a device is inside its own storm");
+    }
+}

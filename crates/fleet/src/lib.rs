@@ -35,6 +35,7 @@ pub mod cloud;
 pub mod commissioning;
 pub mod device;
 pub mod gateway;
+pub mod geometry;
 pub mod hierarchy;
 pub mod maintenance;
 pub mod obsolescence;

@@ -1604,6 +1604,36 @@ impl FleetSim {
         true
     }
 
+    /// Chaos: a geometric storm knocks `device` out — same transmit-
+    /// silence mechanics as [`inject_device_stuck`](Self::inject_device_stuck)
+    /// (max-merged stuck-until, so overlapping storms compose
+    /// monotonically), but ledgered as a storm knockout so diaries
+    /// distinguish weather from firmware. Returns whether the fault
+    /// applied.
+    pub fn inject_storm_knockout(
+        &mut self,
+        ai: usize,
+        now: SimTime,
+        device: usize,
+        duration: SimDuration,
+    ) -> bool {
+        let until = now.saturating_add(duration);
+        let applied = self.chaos_applied.clone();
+        let Some(arm) = self.local_arm(ai) else { return false };
+        if !arm.store.set_stuck_until(device, until) {
+            return false;
+        }
+        let days = duration.as_secs() / 86_400;
+        Self::chaos_log(
+            &applied,
+            arm,
+            now,
+            Tier::Device,
+            format!("device {device} storm knockout, {days} days"),
+        );
+        true
+    }
+
     /// Chaos: `device` turns byzantine — it keeps transmitting (and
     /// paying) but every reading is garbage until `now + duration`.
     /// Returns whether the fault applied.

@@ -10,7 +10,9 @@
 
 use simcore::rng::Rng;
 
+use crate::grid::SpatialGrid;
 use crate::lora::SpreadingFactor;
+use crate::topology::Point;
 use crate::units::Db;
 
 /// Same-SF capture threshold: a packet survives a same-SF collision if it
@@ -73,6 +75,52 @@ pub fn co_sf_capture_probability(sigma_db: f64, rng: &mut Rng, trials: usize) ->
         }
     }
     wins as f64 / trials as f64
+}
+
+/// For each device, the ascending indices of *other* devices within
+/// `radius_m` — the population whose same-SF transmissions can collide
+/// with it at a shared gateway. Grid-backed: O(n · neighbors) instead of
+/// the O(n²) all-pairs scan, which is what makes per-device interference
+/// degree computable for a 320k-pole city.
+///
+/// Purely geometric and deterministic; no RNG is consumed, so the result
+/// is a stable input to capture-probability estimation downstream.
+pub fn co_sf_neighborhoods(devices: &[Point], radius_m: f64) -> Vec<Vec<u32>> {
+    let grid = SpatialGrid::build(devices, radius_m.max(1.0));
+    let mut out = Vec::with_capacity(devices.len());
+    let mut buf: Vec<u32> = Vec::new();
+    for (i, d) in devices.iter().enumerate() {
+        grid.within_into(*d, radius_m, &mut buf);
+        out.push(buf.iter().copied().filter(|&j| j as usize != i).collect());
+    }
+    out
+}
+
+/// The exhaustive pairwise reference for [`co_sf_neighborhoods`] —
+/// differential-harness use only.
+#[cfg(feature = "reference-mode")]
+pub fn co_sf_neighborhoods_pairwise(devices: &[Point], radius_m: f64) -> Vec<Vec<u32>> {
+    devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            devices
+                .iter()
+                .enumerate()
+                .filter(|&(j, o)| j != i && d.distance(o) <= radius_m)
+                .map(|(j, _)| j as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean interference degree over a neighborhood set — the scalar that
+/// feeds collision-rate estimates.
+pub fn mean_degree(neighborhoods: &[Vec<u32>]) -> f64 {
+    if neighborhoods.is_empty() {
+        return 0.0;
+    }
+    neighborhoods.iter().map(Vec::len).sum::<usize>() as f64 / neighborhoods.len() as f64
 }
 
 /// The standard normal upper-tail probability Q(x), via `erfc`.
@@ -162,6 +210,35 @@ mod tests {
         assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
         assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
         assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn neighborhoods_exclude_self_and_are_ascending() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(120.0, 0.0),
+            Point::new(10_000.0, 0.0),
+        ];
+        let n = co_sf_neighborhoods(&pts, 100.0);
+        assert_eq!(n[0], vec![1]);
+        assert_eq!(n[1], vec![0, 2]);
+        assert_eq!(n[2], vec![1]);
+        assert!(n[3].is_empty());
+        assert!((mean_degree(&n) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_degree(&[]), 0.0);
+    }
+
+    #[cfg(feature = "reference-mode")]
+    #[test]
+    fn neighborhoods_match_pairwise() {
+        use crate::topology::uniform_scatter;
+        let mut rng = Rng::seed_from(61);
+        let pts = uniform_scatter(500, 3_000.0, 3_000.0, &mut rng);
+        assert_eq!(
+            co_sf_neighborhoods(&pts, 250.0),
+            co_sf_neighborhoods_pairwise(&pts, 250.0)
+        );
     }
 
     #[test]

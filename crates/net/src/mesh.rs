@@ -7,10 +7,21 @@
 //! placement-static shadowing as [`crate::coverage`] and measures what the
 //! relay economy costs: who carries whose traffic, and how much coverage
 //! each additional hop buys.
+//!
+//! Both link passes (device→gateway and device↔device) are grid-backed
+//! and keyed per unordered pair, mirroring [`crate::coverage::resolve`]:
+//! a pair's shadowing stream depends only on its indices, never on which
+//! other pairs exist or the order they are enumerated, so culling
+//! out-of-range pairs through the [`SpatialGrid`] is bit-identical to
+//! the exhaustive pairwise oracle [`resolve_mesh_pairwise`]. (The seed
+//! version drew device↔device shadowing sequentially from a per-`a`
+//! stream over `b` — inserting or removing one device perturbed every
+//! later pair's draw; per-pair keying fixes that CRN hazard outright.)
 
 use simcore::rng::Rng;
 
-use crate::coverage::RadioParams;
+use crate::coverage::{Fnv, RadioParams};
+use crate::grid::SpatialGrid;
 use crate::link::Link;
 use crate::topology::Point;
 
@@ -36,11 +47,51 @@ pub enum Parent {
     Device(usize),
 }
 
+/// Margin of device→gateway pair (di, gi) if usable; one keyed draw.
+fn eval_gw_pair(
+    d: &Point,
+    g: &Point,
+    di: usize,
+    gi: usize,
+    params: &RadioParams,
+    root: &Rng,
+) -> Option<f64> {
+    let mut pair_rng = root.split("mesh-gw-pair", di as u64).split("gw", gi as u64);
+    let shadow = params.pathloss.sample_shadowing(&mut pair_rng);
+    let loss = params.pathloss.loss_with_shadowing(d.distance(g), shadow);
+    let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
+    link.is_usable(params.usable_margin_db).then(|| link.margin().0)
+}
+
+/// Margin of device↔device pair `a < b` if usable; one keyed draw per
+/// unordered pair keeps the link symmetric by construction.
+fn eval_dev_pair(
+    devices: &[Point],
+    a: usize,
+    b: usize,
+    params: &RadioParams,
+    root: &Rng,
+) -> Option<f64> {
+    debug_assert!(a < b, "device pairs are keyed unordered, a < b");
+    let mut pair_rng = root.split("mesh-dev-pair", a as u64).split("dev", b as u64);
+    let shadow = params.pathloss.sample_shadowing(&mut pair_rng);
+    let loss = params
+        .pathloss
+        // simlint: allow(D004, local radio-position slice, not the fleet DeviceStore)
+        .loss_with_shadowing(devices[a].distance(&devices[b]), shadow);
+    let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
+    link.is_usable(params.usable_margin_db).then(|| link.margin().0)
+}
+
 /// Resolves mesh coverage with at most `max_hops` hops.
 ///
 /// Links (device↔gateway and device↔device) are sampled once with
 /// placement-static shadowing; parents are chosen breadth-first (fewest
 /// hops, then strongest link), so routes are shortest-path trees.
+///
+/// Candidate pairs come from [`SpatialGrid`] queries at the provable
+/// [`RadioParams::cull_radius_m`], so cost is O((n + m) · candidates)
+/// instead of O(n² + n·m).
 pub fn resolve_mesh(
     devices: &[Point],
     gateways: &[Point],
@@ -50,40 +101,82 @@ pub fn resolve_mesh(
 ) -> MeshCoverage {
     assert!(max_hops >= 1, "need at least one hop");
     let n = devices.len();
+    let cull = params.cull_radius_m();
+    let mut candidates: Vec<u32> = Vec::new();
+
     // Usable device->gateway links.
+    let gw_grid = SpatialGrid::build(gateways, cull);
     let mut gw_links: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     for (di, d) in devices.iter().enumerate() {
-        let mut prng = rng.split("mesh-gw", di as u64);
-        for (gi, g) in gateways.iter().enumerate() {
-            let shadow = params.pathloss.sample_shadowing(&mut prng);
-            let loss = params.pathloss.loss_with_shadowing(d.distance(g), shadow);
-            let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
-            if link.is_usable(params.usable_margin_db) {
-                gw_links[di].push((gi, link.margin().0));
+        gw_grid.within_into(*d, cull, &mut candidates);
+        for &gi in &candidates {
+            let gi = gi as usize;
+            if let Some(m) = eval_gw_pair(d, &gateways[gi], di, gi, params, rng) {
+                gw_links[di].push((gi, m));
             }
         }
     }
+
     // Usable device->device links (symmetric by construction: one draw per
     // unordered pair).
+    let dev_grid = SpatialGrid::build(devices, cull);
     let mut dev_links: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-    for a in 0..n {
-        let mut prng = rng.split("mesh-dev", a as u64);
-        for b in (a + 1)..n {
-            let shadow = params.pathloss.sample_shadowing(&mut prng);
-            let loss = params
-                .pathloss
-                // simlint: allow(D004, local radio-position slice, not the fleet DeviceStore)
-                .loss_with_shadowing(devices[a].distance(&devices[b]), shadow);
-            let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
-            if link.is_usable(params.usable_margin_db) {
-                let m = link.margin().0;
+    for (a, d) in devices.iter().enumerate() {
+        dev_grid.within_into(*d, cull, &mut candidates);
+        for &b in &candidates {
+            let b = b as usize;
+            if b <= a {
+                continue;
+            }
+            if let Some(m) = eval_dev_pair(devices, a, b, params, rng) {
                 dev_links[a].push((b, m));
                 dev_links[b].push((a, m));
             }
         }
     }
+    mesh_from_links(n, &gw_links, &dev_links, max_hops)
+}
 
-    // BFS from gateways.
+/// The exhaustive pairwise reference oracle for [`resolve_mesh`] — same
+/// per-pair streams, every pair evaluated. Differential-harness use only.
+#[cfg(feature = "reference-mode")]
+pub fn resolve_mesh_pairwise(
+    devices: &[Point],
+    gateways: &[Point],
+    params: &RadioParams,
+    max_hops: u8,
+    rng: &mut Rng,
+) -> MeshCoverage {
+    assert!(max_hops >= 1, "need at least one hop");
+    let n = devices.len();
+    let mut gw_links: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (di, d) in devices.iter().enumerate() {
+        for (gi, g) in gateways.iter().enumerate() {
+            if let Some(m) = eval_gw_pair(d, g, di, gi, params, rng) {
+                gw_links[di].push((gi, m));
+            }
+        }
+    }
+    let mut dev_links: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if let Some(m) = eval_dev_pair(devices, a, b, params, rng) {
+                dev_links[a].push((b, m));
+                dev_links[b].push((a, m));
+            }
+        }
+    }
+    mesh_from_links(n, &gw_links, &dev_links, max_hops)
+}
+
+/// BFS from the gateways over resolved links — shared by the grid path
+/// and the oracle so structure construction is identical code.
+fn mesh_from_links(
+    n: usize,
+    gw_links: &[Vec<(usize, f64)>],
+    dev_links: &[Vec<(usize, f64)>],
+    max_hops: u8,
+) -> MeshCoverage {
     let mut hops: Vec<Option<u8>> = vec![None; n];
     let mut parent: Vec<Option<Parent>> = vec![None; n];
     let mut frontier: Vec<usize> = Vec::new();
@@ -167,6 +260,33 @@ impl MeshCoverage {
             .map(|&i| 1.0 + self.relay_load[i] as f64)
             .sum::<f64>()
             / covered.len() as f64
+    }
+
+    /// FNV-1a 64-bit digest of the full mesh structure (hops, parents,
+    /// relay loads) for differential and bench cross-checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.hops.len() as u64);
+        for hop in &self.hops {
+            h.write_u64(hop.map_or(u64::MAX, u64::from));
+        }
+        for p in &self.parent {
+            match p {
+                None => h.write_u64(0),
+                Some(Parent::Gateway(g)) => {
+                    h.write_u64(1);
+                    h.write_u64(*g as u64);
+                }
+                Some(Parent::Device(d)) => {
+                    h.write_u64(2);
+                    h.write_u64(*d as u64);
+                }
+            }
+        }
+        for &l in &self.relay_load {
+            h.write_u64(u64::from(l));
+        }
+        h.finish()
     }
 }
 
@@ -277,6 +397,41 @@ mod tests {
         let b = resolve_mesh(&devices, &gateways, &params(), 4, &mut r2);
         assert_eq!(a.hops, b.hops);
         assert_eq!(a.relay_load, b.relay_load);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    /// The CRN fix this PR ships: removing a far, irrelevant device must
+    /// not change any other device's mesh outcome. Under the seed
+    /// version's sequential per-`a` streams this fails.
+    #[test]
+    fn removing_far_device_leaves_others_unchanged() {
+        let (mut devices, gateways) = chain(6, 60.0);
+        devices.push(Point::new(500_000.0, 500_000.0)); // hopeless outlier
+        let mut r1 = Rng::seed_from(11);
+        let with_outlier = resolve_mesh(&devices, &gateways, &params(), 8, &mut r1);
+        devices.pop();
+        let mut r2 = Rng::seed_from(11);
+        let without = resolve_mesh(&devices, &gateways, &params(), 8, &mut r2);
+        assert_eq!(&with_outlier.hops[..6], &without.hops[..]);
+        assert_eq!(&with_outlier.parent[..6], &without.parent[..]);
+        assert_eq!(with_outlier.hops[6], None);
+    }
+
+    #[cfg(feature = "reference-mode")]
+    #[test]
+    fn grid_matches_pairwise_oracle() {
+        use crate::topology::uniform_scatter;
+        let mut scatter_rng = Rng::seed_from(41);
+        let devices = uniform_scatter(150, 1_500.0, 1_500.0, &mut scatter_rng);
+        let gateways = uniform_scatter(4, 1_500.0, 1_500.0, &mut scatter_rng);
+        let mut r1 = Rng::seed_from(13);
+        let mut r2 = Rng::seed_from(13);
+        let grid = resolve_mesh(&devices, &gateways, &params(), 4, &mut r1);
+        let pairwise = resolve_mesh_pairwise(&devices, &gateways, &params(), 4, &mut r2);
+        assert_eq!(grid.hops, pairwise.hops);
+        assert_eq!(grid.parent, pairwise.parent);
+        assert_eq!(grid.relay_load, pairwise.relay_load);
+        assert_eq!(grid.digest(), pairwise.digest());
     }
 
     #[test]

@@ -12,6 +12,16 @@ use simcore::rng::Rng;
 
 use crate::units::Db;
 
+/// Shadowing draws are truncated to ±[`SHADOW_TRUNCATE_SIGMA`] standard
+/// deviations. Measured shadowing has bounded support (a street canyon
+/// cannot conjure arbitrarily deep fades), and a hard bound is what lets
+/// the spatial grid cull far pairs *provably*: a pair farther than the
+/// median range of `budget + truncation·σ` cannot be usable under any
+/// realizable draw, so skipping it cannot change any result. At ±4σ the
+/// truncation touches ~6 in 100,000 draws (clamping, not rejection, so
+/// one draw still consumes exactly one normal variate — CRN-stable).
+pub const SHADOW_TRUNCATE_SIGMA: f64 = 4.0;
+
 /// Free-space path loss at distance `d_m` meters and frequency `freq_mhz`.
 pub fn free_space(d_m: f64, freq_mhz: f64) -> Db {
     assert!(d_m > 0.0 && freq_mhz > 0.0, "distance and frequency must be positive");
@@ -64,9 +74,21 @@ impl LogDistance {
         Db(self.pl0_db + 10.0 * self.exponent * (d / self.d0_m).log10())
     }
 
-    /// Samples a per-link static shadowing offset (dB, zero-mean).
+    /// Samples a per-link static shadowing offset (dB, zero-mean),
+    /// truncated to ±[`SHADOW_TRUNCATE_SIGMA`]·σ (see the constant's
+    /// docs for why the bound exists). Always consumes exactly one
+    /// standard-normal draw from `rng`.
     pub fn sample_shadowing(&self, rng: &mut Rng) -> Db {
-        Db(simcore::dist::standard_normal(rng) * self.shadow_sigma_db)
+        let z = simcore::dist::standard_normal(rng)
+            .clamp(-SHADOW_TRUNCATE_SIGMA, SHADOW_TRUNCATE_SIGMA);
+        Db(z * self.shadow_sigma_db)
+    }
+
+    /// The largest shadowing magnitude [`sample_shadowing`](Self::sample_shadowing)
+    /// can return (dB). The cull-radius guard band in
+    /// [`crate::coverage::RadioParams::cull_radius_m`] is built on this.
+    pub fn max_shadow_db(&self) -> f64 {
+        SHADOW_TRUNCATE_SIGMA * self.shadow_sigma_db
     }
 
     /// Total loss for a link with a previously sampled shadowing offset.
@@ -129,6 +151,17 @@ mod tests {
         let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((sd - 6.0).abs() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn shadowing_is_truncated() {
+        let m = LogDistance::new(40.0, 1.0, 3.0, 7.0);
+        let mut rng = Rng::seed_from(97);
+        for _ in 0..200_000 {
+            let x = m.sample_shadowing(&mut rng).0;
+            assert!(x.abs() <= m.max_shadow_db() + 1e-12, "draw {x} exceeds bound");
+        }
+        assert!((m.max_shadow_db() - 28.0).abs() < 1e-12);
     }
 
     #[test]

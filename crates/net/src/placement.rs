@@ -10,7 +10,8 @@
 
 use simcore::rng::Rng;
 
-use crate::coverage::RadioParams;
+use crate::coverage::{Fnv, RadioParams};
+use crate::grid::SpatialGrid;
 use crate::link::Link;
 use crate::topology::Point;
 
@@ -25,8 +26,48 @@ pub struct Placement {
     pub uncovered: Vec<usize>,
 }
 
+impl Placement {
+    /// FNV-1a 64-bit digest of the plan (selection order, coverage bitmap)
+    /// for differential and bench cross-checks.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.chosen.len() as u64);
+        for &ci in &self.chosen {
+            h.write_u64(ci as u64);
+        }
+        h.write_u64(self.covered_fraction.to_bits());
+        h.write_u64(self.uncovered.len() as u64);
+        for &di in &self.uncovered {
+            h.write_u64(di as u64);
+        }
+        h.finish()
+    }
+}
+
+/// Whether candidate `ci` hears device `di`; one draw from the pair's own
+/// keyed stream — shared by the grid path and the pairwise oracle.
+fn hears_pair(
+    d: &Point,
+    c: &Point,
+    di: usize,
+    ci: usize,
+    params: &RadioParams,
+    root: &Rng,
+) -> bool {
+    let mut pair_rng = root.split("place-pair", di as u64).split("cand", ci as u64);
+    let shadow = params.pathloss.sample_shadowing(&mut pair_rng);
+    let loss = params.pathloss.loss_with_shadowing(d.distance(c), shadow);
+    let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
+    link.is_usable(params.usable_margin_db)
+}
+
 /// Greedily selects candidate sites until `target_coverage` of devices is
 /// reached or no candidate adds coverage.
+///
+/// Audibility is resolved through a [`SpatialGrid`] over the candidate
+/// sites at the provable [`RadioParams::cull_radius_m`], with per-pair
+/// keyed shadowing — bit-identical to [`greedy_placement_pairwise`], in
+/// O(devices · candidates-in-range) instead of O(devices · candidates).
 ///
 /// # Panics
 ///
@@ -42,25 +83,54 @@ pub fn greedy_placement(
         target_coverage > 0.0 && target_coverage <= 1.0,
         "target coverage must be in (0, 1]"
     );
-    let n = devices.len();
-    // Resolve usable links once: per device, the set of candidates that
-    // would hear it (placement-static shadowing, as in `coverage`).
+    let cull = params.cull_radius_m();
+    let grid = SpatialGrid::build(candidates, cull);
     let mut hears: Vec<Vec<usize>> = vec![Vec::new(); candidates.len()];
+    let mut in_range: Vec<u32> = Vec::new();
     for (di, d) in devices.iter().enumerate() {
-        let mut prng = rng.split("placement-device", di as u64);
-        for (ci, c) in candidates.iter().enumerate() {
-            let shadow = params.pathloss.sample_shadowing(&mut prng);
-            let loss = params.pathloss.loss_with_shadowing(d.distance(c), shadow);
-            let link = Link { tx: params.tx, loss, rx_model: params.rx_model };
-            if link.is_usable(params.usable_margin_db) {
+        grid.within_into(*d, cull, &mut in_range);
+        for &ci in &in_range {
+            let ci = ci as usize;
+            if hears_pair(d, &candidates[ci], di, ci, params, rng) {
                 hears[ci].push(di);
             }
         }
     }
+    greedy_cover(devices.len(), &hears, target_coverage)
+}
+
+/// The exhaustive pairwise reference oracle for [`greedy_placement`] —
+/// same per-pair streams, every pair evaluated. Differential use only.
+#[cfg(feature = "reference-mode")]
+pub fn greedy_placement_pairwise(
+    devices: &[Point],
+    candidates: &[Point],
+    params: &RadioParams,
+    target_coverage: f64,
+    rng: &mut Rng,
+) -> Placement {
+    assert!(
+        target_coverage > 0.0 && target_coverage <= 1.0,
+        "target coverage must be in (0, 1]"
+    );
+    let mut hears: Vec<Vec<usize>> = vec![Vec::new(); candidates.len()];
+    for (di, d) in devices.iter().enumerate() {
+        for (ci, c) in candidates.iter().enumerate() {
+            if hears_pair(d, c, di, ci, params, rng) {
+                hears[ci].push(di);
+            }
+        }
+    }
+    greedy_cover(devices.len(), &hears, target_coverage)
+}
+
+/// The greedy set-cover core over resolved audibility sets — shared by
+/// the grid path and the oracle.
+fn greedy_cover(n: usize, hears: &[Vec<usize>], target_coverage: f64) -> Placement {
     let mut covered = vec![false; n];
     let mut covered_count = 0usize;
     let mut chosen = Vec::new();
-    let mut used = vec![false; candidates.len()];
+    let mut used = vec![false; hears.len()];
     let needed = (target_coverage * n as f64).ceil() as usize;
     while covered_count < needed {
         // Pick the candidate covering the most new devices (ties: lowest
@@ -191,5 +261,18 @@ mod tests {
     fn rejects_zero_target() {
         let mut rng = Rng::seed_from(6);
         greedy_placement(&[], &[], &params(), 0.0, &mut rng);
+    }
+
+    #[cfg(feature = "reference-mode")]
+    #[test]
+    fn grid_matches_pairwise_oracle() {
+        let (devices, candidates) = city_scene();
+        let mut r1 = Rng::seed_from(17);
+        let mut r2 = Rng::seed_from(17);
+        let grid = greedy_placement(&devices, &candidates, &params(), 0.9, &mut r1);
+        let pairwise = greedy_placement_pairwise(&devices, &candidates, &params(), 0.9, &mut r2);
+        assert_eq!(grid.chosen, pairwise.chosen);
+        assert_eq!(grid.uncovered, pairwise.uncovered);
+        assert_eq!(grid.digest(), pairwise.digest());
     }
 }

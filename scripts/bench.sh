@@ -7,12 +7,21 @@
 # same methodology: best-of-N wall clock over 64 replicates), plus the
 # intra-run sharding sweep (serial vs --shards on one 10k/100k/1M-device
 # run; see fleet::shard). Sharded speedup tracks the cores the host
-# grants — the JSON records host_parallelism so a 1-core container's
-# ~1.0x is read as a hardware ceiling, not a regression.
+# grants — each sharded row records host_parallelism so a 1-core
+# container's ~1.0x is read as a hardware ceiling, not a regression
+# (the row says so explicitly when host_parallelism is 1).
+#
+# The topology sweep is the LA-scale point: a 320k-pole Manhattan city
+# with a 300 m gateway lattice, coverage resolved through the spatial
+# grid (net::coverage::resolve) and cross-checked bit-for-bit against
+# the O(n·m) pairwise oracle — the DESIGN.md §14 differential measured
+# at full scale. Expect the oracle leg to take ~2 minutes; that is the
+# point.
 #
 # The binary exits nonzero if the serial and parallel digest XORs
-# diverge, or if any serial/sharded digest pair does — a perf regression
-# harness must never paper over a correctness break.
+# diverge, if any serial/sharded digest pair does, or if the topology
+# grid/pairwise digests disagree — a perf regression harness must never
+# paper over a correctness break.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,18 +30,20 @@ PASSES="${PASSES:-5}"
 THREADS="${THREADS:-$(nproc)}"
 SHARDS="${SHARDS:-8}"
 SCALE_DEVICES="${SCALE_DEVICES:-10000,100000,1000000}"
+TOPOLOGY_DEVICES="${TOPOLOGY_DEVICES:-320000}"
 OUT="${OUT:-BENCH_sim_throughput.json}"
 
 echo "== build (release) =="
 cargo build --release -p bench --bin throughput
 
-echo "== throughput (${REPLICATES} replicates, ${THREADS} threads, best of ${PASSES}, shards ${SHARDS} @ ${SCALE_DEVICES} devices) =="
+echo "== throughput (${REPLICATES} replicates, ${THREADS} threads, best of ${PASSES}, shards ${SHARDS} @ ${SCALE_DEVICES} devices, topology @ ${TOPOLOGY_DEVICES} poles) =="
 ./target/release/throughput \
   --replicates "${REPLICATES}" \
   --threads "${THREADS}" \
   --passes "${PASSES}" \
   --shards "${SHARDS}" \
   --scale-devices "${SCALE_DEVICES}" \
+  --topology-devices "${TOPOLOGY_DEVICES}" \
   --base-seed 0 \
   --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
   --baseline-rev 7a8213d \

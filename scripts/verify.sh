@@ -45,6 +45,16 @@ echo "== sharded 100k sweep (aggregate path; exits 1 if the k=8 digest drifts fr
   --shards 8 --scale-devices 100000 \
   --out target/bench_sharded_100k.json > /dev/null
 
+echo "== spatial-grid differential smoke (20k-pole city; exits 1 unless grid == pairwise coverage digest) =="
+./target/release/throughput --replicates 1 --threads 1 --passes 1 \
+  --topology-devices 20000 \
+  --out target/bench_topology_smoke.json > /dev/null
+
+echo "== LA-scale grid smoke (320k poles, grid-only; exits 1 if resolve blows its wall-clock budget) =="
+./target/release/throughput --replicates 1 --threads 1 --passes 1 \
+  --topology-devices 320000 --topology-grid-only --topology-budget-ms 20000 \
+  --out target/bench_topology_la.json > /dev/null
+
 echo "== snapshot-resume smoke (checkpoint every 10y; exits 1 unless resumed digests are bit-identical) =="
 rm -rf target/verify-snapshots
 ./target/release/throughput --checkpoint-every 520 \

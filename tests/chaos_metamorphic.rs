@@ -11,10 +11,18 @@
 //!    and the simulation holds its random streams fixed (CRN).
 //! 3. **Zero intensity is a no-op** — a zero-intensity plan produces a
 //!    diary byte-identical to running without any plan at all.
+//!
+//! The same three relations also hold for *geometric* storm plans
+//! ([`chaos::geo::GeoStormBuilder`]), whose faults are per-device
+//! knockouts selected by a storm disc through the spatial grid — the
+//! fourth test runs the combined schedule (arm-scoped + geometric) and
+//! checks the same contracts.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use chaos::{FaultPlan, FaultPlanBuilder, run_with_plan};
+use chaos::geo::GeoStormBuilder;
+use chaos::{run_with_plan, Fault, FaultPlan, FaultPlanBuilder};
+use fleet::geometry::FleetGeometry;
 use fleet::sim::{FleetConfig, FleetSim};
 
 const SEED: u64 = 0xC4A0_5EED;
@@ -87,6 +95,49 @@ fn weekly_uptime_is_monotone_in_storm_intensity() {
             c.name
         );
     }
+}
+
+/// A combined schedule: the storm-heavy arm-scoped plan merged with a
+/// geometric storm plan at the same intensity.
+fn combined_plan(cfg: &FleetConfig, intensity: f64) -> FaultPlan {
+    let arm_scoped = FaultPlanBuilder::storm_heavy(SEED).build(cfg, intensity).unwrap();
+    let geo = FleetGeometry::for_config(cfg);
+    let geometric = GeoStormBuilder::city(SEED ^ 0x6e0)
+        .build(cfg, &geo, intensity)
+        .unwrap();
+    let mut all: Vec<Fault> = arm_scoped.faults().to_vec();
+    all.extend_from_slice(geometric.faults());
+    FaultPlan::from_faults(all)
+}
+
+#[test]
+fn geometric_storms_obey_the_same_metamorphic_contracts() {
+    let cfg = FleetConfig::paper_experiment(SEED);
+
+    // Never aborts + fully diarised at full intensity.
+    let full = combined_plan(&cfg, 1.0);
+    let n = full.len() as u64;
+    assert!(n > 100, "combined half-century schedule should be busy, got {n}");
+    let wild = run_with_plan(cfg.clone(), full);
+    for arm in &wild.arms {
+        assert_eq!(arm.weeks_total, 50 * 365 / 7, "{}", arm.name);
+    }
+    let injected: u64 = wild.arms.iter().map(|a| a.faults_injected).sum();
+    assert_eq!(injected, n);
+
+    // Monotone degradation: geometric knockouts zero paths too, so CRN
+    // plus nested plans keeps uptime non-increasing in intensity.
+    let calm = run_with_plan(cfg.clone(), combined_plan(&cfg, 0.0));
+    let mid = run_with_plan(cfg.clone(), combined_plan(&cfg, 0.5));
+    for ((c, m), w) in calm.arms.iter().zip(&mid.arms).zip(&wild.arms) {
+        assert!(m.weeks_up <= c.weeks_up, "{}", c.name);
+        assert!(w.weeks_up <= m.weeks_up, "{}", c.name);
+        assert!(w.readings_delivered <= c.readings_delivered, "{}", c.name);
+    }
+
+    // Zero intensity is a no-op.
+    let plain = FleetSim::run(cfg.clone());
+    assert_eq!(plain.digest(), calm.digest());
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Differential proof: grid-backed resolvers ≡ pairwise oracles, bit for
+//! bit.
+//!
+//! The spatial-grid rewrite (DESIGN.md §14) claims more than speed: with
+//! per-pair keyed shadowing streams and a provable cull radius
+//! ([`RadioParams::cull_radius_m`]), skipping out-of-range pairs must
+//! change *nothing* — not one draw, not one tie-break, not one byte of
+//! output. This harness pins that claim across 8 seeds × 2 densities ×
+//! 2 radio parameter sets for all four rewritten hot paths (coverage,
+//! mesh, placement, interference neighborhoods), comparing full
+//! structures and their digests against the `reference-mode` oracles.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use net::coverage::{resolve, resolve_pairwise, RadioParams};
+use net::interference::{co_sf_neighborhoods, co_sf_neighborhoods_pairwise};
+use net::link::ReceptionModel;
+use net::lora::SpreadingFactor;
+use net::mesh::{resolve_mesh, resolve_mesh_pairwise};
+use net::pathloss::LogDistance;
+use net::placement::{greedy_placement, greedy_placement_pairwise};
+use net::topology::{uniform_scatter, Point};
+use net::units::Dbm;
+use net::{ieee802154, SpatialGrid};
+use simcore::rng::Rng;
+
+const SEEDS: [u64; 8] = [101, 102, 103, 104, 105, 106, 107, 108];
+
+/// (label, devices per km² scaled into the fixed test extent).
+const DENSITIES: [(&str, usize); 2] = [("sparse", 150), ("dense", 600)];
+
+const EXTENT_M: f64 = 4_000.0;
+
+fn radio_sets() -> Vec<(&'static str, RadioParams)> {
+    vec![
+        (
+            "lora-915",
+            RadioParams {
+                tx: Dbm(14.0),
+                rx_model: ReceptionModel::at_sensitivity(
+                    SpreadingFactor::Sf10.sensitivity_125khz(),
+                ),
+                pathloss: LogDistance::urban_915(),
+                usable_margin_db: 3.0,
+            },
+        ),
+        (
+            "154-2450",
+            RadioParams {
+                tx: Dbm(12.0),
+                rx_model: ReceptionModel::at_sensitivity(ieee802154::SENSITIVITY),
+                pathloss: LogDistance::urban_2450(),
+                usable_margin_db: 3.0,
+            },
+        ),
+    ]
+}
+
+fn scene(seed: u64, devices: usize, gateways: usize) -> (Vec<Point>, Vec<Point>) {
+    let mut rng = Rng::seed_from(seed);
+    let d = uniform_scatter(devices, EXTENT_M, EXTENT_M, &mut rng);
+    let g = uniform_scatter(gateways, EXTENT_M, EXTENT_M, &mut rng);
+    (d, g)
+}
+
+#[test]
+fn coverage_grid_equals_pairwise_across_seeds_densities_radios() {
+    for &seed in &SEEDS {
+        for &(dlabel, density) in &DENSITIES {
+            let n = density * 4;
+            let (devices, gateways) = scene(seed, n, n / 40 + 4);
+            for (rlabel, params) in radio_sets() {
+                let ctx = format!("seed {seed} {dlabel} {rlabel}");
+                let grid = resolve(&devices, &gateways, &params, &mut Rng::seed_from(seed));
+                let oracle =
+                    resolve_pairwise(&devices, &gateways, &params, &mut Rng::seed_from(seed));
+                assert_eq!(grid.device_gateways, oracle.device_gateways, "{ctx}");
+                assert_eq!(grid.gateway_load, oracle.gateway_load, "{ctx}");
+                assert_eq!(grid.digest(), oracle.digest(), "{ctx}");
+                assert!(
+                    grid.covered_fraction() > 0.0,
+                    "{ctx}: vacuous scene — nothing covered"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mesh_grid_equals_pairwise_across_seeds_and_radios() {
+    // Smaller populations: the oracle's dev-links pass is O(n²).
+    for &seed in &SEEDS {
+        for &(dlabel, base) in &DENSITIES {
+            let n = base / 2 + 50;
+            let (devices, gateways) = scene(seed ^ 0xa5a5, n, 4);
+            for (rlabel, params) in radio_sets() {
+                let ctx = format!("seed {seed} {dlabel} {rlabel}");
+                let grid =
+                    resolve_mesh(&devices, &gateways, &params, 4, &mut Rng::seed_from(seed));
+                let oracle = resolve_mesh_pairwise(
+                    &devices,
+                    &gateways,
+                    &params,
+                    4,
+                    &mut Rng::seed_from(seed),
+                );
+                assert_eq!(grid.hops, oracle.hops, "{ctx}");
+                assert_eq!(grid.parent, oracle.parent, "{ctx}");
+                assert_eq!(grid.relay_load, oracle.relay_load, "{ctx}");
+                assert_eq!(grid.digest(), oracle.digest(), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn placement_grid_equals_pairwise_across_seeds() {
+    for &seed in &SEEDS {
+        let (devices, candidates) = scene(seed ^ 0x1111, 600, 60);
+        for (rlabel, params) in radio_sets() {
+            let ctx = format!("seed {seed} {rlabel}");
+            let grid = greedy_placement(
+                &devices,
+                &candidates,
+                &params,
+                0.9,
+                &mut Rng::seed_from(seed),
+            );
+            let oracle = greedy_placement_pairwise(
+                &devices,
+                &candidates,
+                &params,
+                0.9,
+                &mut Rng::seed_from(seed),
+            );
+            assert_eq!(grid.chosen, oracle.chosen, "{ctx}");
+            assert_eq!(grid.uncovered, oracle.uncovered, "{ctx}");
+            assert_eq!(grid.digest(), oracle.digest(), "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn interference_neighborhoods_equal_pairwise_across_seeds() {
+    for &seed in &SEEDS {
+        for &(dlabel, base) in &DENSITIES {
+            let (devices, _) = scene(seed ^ 0x2222, base * 2, 1);
+            for radius in [120.0, 450.0] {
+                assert_eq!(
+                    co_sf_neighborhoods(&devices, radius),
+                    co_sf_neighborhoods_pairwise(&devices, radius),
+                    "seed {seed} {dlabel} radius {radius}"
+                );
+            }
+        }
+    }
+}
+
+/// The harness is only meaningful if the grid path really culls: check
+/// that at 2.4 GHz street-asset parameters the cull radius is a small
+/// fraction of the test extent, so most pairs are genuinely skipped.
+/// (LoRa-915's whole point is range — its ~46 km cull radius exceeds the
+/// 4 km test extent, so that parameter set exercises the no-cull case of
+/// the differential instead.)
+#[test]
+fn culling_is_not_vacuous() {
+    let (_, params) = radio_sets().remove(1);
+    let cull = params.cull_radius_m();
+    assert!(
+        cull < EXTENT_M / 2.0,
+        "cull radius {cull} m must be well inside the {EXTENT_M} m extent"
+    );
+    let (_, gateways) = scene(42, 100, 30);
+    let grid = SpatialGrid::build(&gateways, cull);
+    let far_corner = Point::new(0.0, 0.0);
+    let candidates = grid.within(far_corner, cull).len();
+    assert!(
+        candidates < gateways.len(),
+        "a corner query should see fewer than all {} gateways, saw {candidates}",
+        gateways.len()
+    );
+}

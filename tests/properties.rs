@@ -525,4 +525,72 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&u), "uniform {} out of range", u);
         }
     }
+
+    /// Spatial grid ≡ brute force on random clouds: uniform scatter,
+    /// tight clusters, collinear runs, empty sets, and everything in one
+    /// cell — the grid's radius query must return exactly the brute-force
+    /// neighbor set for any cell size and query.
+    #[test]
+    fn grid_radius_query_equals_brute_force(
+        seed in any::<u64>(),
+        shape in 0usize..4,
+        n in 0usize..300,
+        cell in 10.0f64..2_000.0,
+        qx in -500.0f64..5_500.0,
+        qy in -500.0f64..5_500.0,
+        radius in 0.0f64..3_000.0,
+    ) {
+        use net::topology::{uniform_scatter, Point};
+        use net::SpatialGrid;
+        let mut rng = Rng::seed_from(seed);
+        let points: Vec<Point> = match shape {
+            // Uniform cloud.
+            0 => uniform_scatter(n, 5_000.0, 5_000.0, &mut rng),
+            // Tight clusters with wide gaps.
+            1 => (0..n)
+                .map(|i| {
+                    let (cx, cy) = [(0.0, 0.0), (4_000.0, 200.0), (3_800.0, 4_500.0)][i % 3];
+                    Point::new(cx + rng.next_f64() * 30.0, cy + rng.next_f64() * 30.0)
+                })
+                .collect(),
+            // Collinear run (degenerate bounding box).
+            2 => (0..n).map(|i| Point::new(i as f64 * 17.0, 250.0)).collect(),
+            // Everything inside one cell.
+            _ => (0..n)
+                .map(|_| Point::new(rng.next_f64() * 5.0, rng.next_f64() * 5.0))
+                .collect(),
+        };
+        let grid = SpatialGrid::build(&points, cell);
+        let center = Point::new(qx, qy);
+        let got = grid.within(center, radius);
+        let want: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(&center) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want, "shape {} n {} cell {} r {}", shape, n, cell, radius);
+    }
+
+    /// Determinism pin: equal inputs give byte-equal, ascending-index
+    /// query results — the ordering contract every grid-backed resolver's
+    /// digest stability rests on.
+    #[test]
+    fn grid_query_order_is_ascending_and_reproducible(
+        seed in any::<u64>(),
+        n in 1usize..300,
+        cell in 20.0f64..1_500.0,
+        radius in 0.0f64..2_500.0,
+    ) {
+        use net::topology::uniform_scatter;
+        use net::SpatialGrid;
+        let points = uniform_scatter(n, 3_000.0, 3_000.0, &mut Rng::seed_from(seed));
+        let center = points[n / 2];
+        let a = SpatialGrid::build(&points, cell).within(center, radius);
+        let b = SpatialGrid::build(&points, cell).within(center, radius);
+        prop_assert_eq!(&a, &b, "same inputs must reproduce the same candidate list");
+        for w in a.windows(2) {
+            prop_assert!(w[0] < w[1], "candidates out of ascending order: {:?}", a);
+        }
+    }
 }
