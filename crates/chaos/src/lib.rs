@@ -306,6 +306,7 @@ impl FaultPlanBuilder {
                 if rate <= 0.0 {
                     return;
                 }
+                // simlint: allow(R001, label is a closure param; every emit() call below passes a distinct string literal)
                 let mut rng = root.split(label, ai as u64);
                 let mut t_years = 0.0f64;
                 loop {

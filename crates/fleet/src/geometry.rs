@@ -81,8 +81,8 @@ mod tests {
             assert_eq!(ga.devices.len(), cfg.arms[ai].devices);
             assert_eq!(ga.side_m, gb.side_m);
             for (pa, pb) in ga.devices.iter().zip(&gb.devices) {
-                assert_eq!(pa.x, pb.x); // simlint: allow(F001, exact-reproducibility pin)
-                assert_eq!(pa.y, pb.y); // simlint: allow(F001, exact-reproducibility pin)
+                assert_eq!(pa.x, pb.x);
+                assert_eq!(pa.y, pb.y);
                 assert!(pa.x >= 0.0 && pa.x <= ga.side_m);
                 assert!(pa.y >= 0.0 && pa.y <= ga.side_m);
             }

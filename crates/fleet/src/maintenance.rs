@@ -109,11 +109,14 @@ pub fn batched_effort(
 }
 
 /// The batching advantage: reactive effort divided by batched effort for
-/// the same `n` (common random numbers via a split seed).
+/// the same `n`, under true common random numbers: both policies mint the
+/// *same* `svc-crn` substream, and both draw exactly `n` on-site service
+/// times in device order, so each device sees an identical service draw
+/// under either policy (see STREAMS.md).
 pub fn batching_speedup(times: &ServiceTimes, n: u64, batch_size: u64, seed: u64) -> f64 {
     let base = Rng::seed_from(seed);
-    let mut r1 = base.split("reactive", 0);
-    let mut r2 = base.split("batched", 0);
+    let mut r1 = base.split("svc-crn", 0);
+    let mut r2 = base.split("svc-crn", 0);
     let reactive = reactive_effort(times, n, &mut r1);
     let batched = batched_effort(times, n, batch_size, &mut r2);
     if batched.hours() <= 0.0 {

@@ -693,7 +693,7 @@ impl InverseCdf {
         let lo = hi - 1;
         let (f0, f1) = (self.cdf[lo], self.cdf[hi]);
         let span = f1 - f0;
-        // simlint: allow(F001, exact-zero guard on a CDF increment; flat segments interpolate to the left knot)
+        // Flat segments (span == 0) interpolate to the left knot.
         let frac = if span > 0.0 { (u - f0) / span } else { 0.0 };
         self.ts[lo] + frac * (self.ts[hi] - self.ts[lo])
     }

@@ -1,0 +1,170 @@
+//! The stable baseline format: "no new findings" gating for verify.sh.
+//!
+//! A baseline is a JSONL file, one object per accepted finding, keyed by
+//! `(file, rule, message)` — deliberately *without* line numbers, so
+//! unrelated edits shifting a file never invalidate the baseline, while
+//! any new finding (or a message change, which means the code changed
+//! shape) fails the gate. Workflow:
+//!
+//! ```text
+//! simlint --workspace --write-baseline target/simlint-baseline.json
+//! simlint --workspace --baseline target/simlint-baseline.json   # exit 1 on NEW findings only
+//! ```
+//!
+//! A missing baseline file is an empty baseline (everything is new),
+//! which keeps the gate fail-closed on fresh checkouts. The format is
+//! hand-rolled like the rest of the crate: the writer emits exactly the
+//! escapes [`crate`]'s JSON renderer uses, and the reader understands
+//! exactly those.
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A set of accepted findings.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Loads a baseline; a missing file is an empty baseline. I/O errors
+    /// other than not-found, and unparsable lines, are reported.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default())
+            }
+            Err(e) => return Err(format!("cannot read baseline {}: {e}", path.display())),
+        };
+        let mut entries = BTreeSet::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let entry = parse_line(line).ok_or_else(|| {
+                format!("malformed baseline line {} in {}", i + 1, path.display())
+            })?;
+            entries.insert(entry);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from findings (for `--write-baseline`).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        Baseline {
+            entries: findings
+                .iter()
+                .map(|f| (f.file.clone(), f.rule.to_string(), f.message.clone()))
+                .collect(),
+        }
+    }
+
+    /// Renders the baseline in its stable on-disk form (sorted JSONL).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (file, rule, message) in &self.entries {
+            out.push_str(&format!(
+                "{{\"file\":{},\"rule\":{},\"message\":{}}}\n",
+                crate::json_str(file),
+                crate::json_str(rule),
+                crate::json_str(message)
+            ));
+        }
+        out
+    }
+
+    /// True if the finding is covered by the baseline.
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.entries
+            .contains(&(f.file.clone(), f.rule.to_string(), f.message.clone()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Parses one `{"file":…,"rule":…,"message":…}` line.
+fn parse_line(line: &str) -> Option<(String, String, String)> {
+    let file = extract_str(line, "\"file\":")?;
+    let rule = extract_str(line, "\"rule\":")?;
+    let message = extract_str(line, "\"message\":")?;
+    Some((file, rule, message))
+}
+
+/// Extracts and unescapes the JSON string value following `key`.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)? + key.len();
+    let rest = line.get(at..)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, message: &str) -> Finding {
+        Finding { file: file.to_string(), line: 7, rule: "R001", message: message.to_string() }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings =
+            vec![finding("a.rs", "uses `x` \"quoted\"\nsecond line"), finding("b.rs", "plain")];
+        let b = Baseline::from_findings(&findings);
+        let text = b.render();
+        let mut reparsed = BTreeSet::new();
+        for line in text.lines() {
+            reparsed.insert(parse_line(line).expect("line parses"));
+        }
+        assert_eq!(reparsed, b.entries);
+    }
+
+    #[test]
+    fn covers_ignores_line_numbers() {
+        let b = Baseline::from_findings(&[finding("a.rs", "m")]);
+        let mut moved = finding("a.rs", "m");
+        moved.line = 999;
+        assert!(b.covers(&moved));
+        assert!(!b.covers(&finding("a.rs", "other")));
+        assert!(!b.covers(&finding("c.rs", "m")));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/simlint-baseline.json")).expect("ok");
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

@@ -44,8 +44,10 @@ pub enum TokKind {
 pub struct Token {
     /// Lexeme class.
     pub kind: TokKind,
-    /// The token text. Literal contents are *not* stored (rules never look
-    /// inside literals); `Str`/`Char` tokens carry an empty string.
+    /// The token text. `Str` tokens carry the literal's contents (without
+    /// the surrounding quotes/hashes, escapes left verbatim) so the stream
+    /// lineage rules (R001/R002) can read `Rng::split` labels. `Char` and
+    /// byte-string tokens carry an empty string — no rule reads them.
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -187,11 +189,13 @@ pub fn lex(src: &str) -> Lexed {
                 if j < n && chars[j] == '"' {
                     // Raw string: scan for `"` followed by `hashes` hashes.
                     let tok_line = line;
+                    let byte_form = c == 'b';
                     // Count newlines we skip inside the literal.
                     while i < j {
                         bump!();
                     }
                     bump!(); // opening quote
+                    let mut text = String::new();
                     'raw: while i < n {
                         if chars[i] == '"' {
                             let mut k = i + 1;
@@ -205,11 +209,12 @@ pub fn lex(src: &str) -> Lexed {
                                 break 'raw;
                             }
                         }
+                        text.push(chars[i]);
                         bump!();
                     }
                     out.tokens.push(Token {
                         kind: TokKind::Str,
-                        text: String::new(),
+                        text: if byte_form { String::new() } else { text },
                         line: tok_line,
                     });
                     last_token_line = tok_line;
@@ -237,7 +242,7 @@ pub fn lex(src: &str) -> Lexed {
                 let c2 = chars[i];
                 if c2 == '"' {
                     let tok_line = line;
-                    lex_string(&chars, &mut i, &mut line, n);
+                    let _ = lex_string(&chars, &mut i, &mut line, n);
                     out.tokens.push(Token {
                         kind: TokKind::Str,
                         text: String::new(),
@@ -274,8 +279,8 @@ pub fn lex(src: &str) -> Lexed {
         // String literal.
         if c == '"' {
             let tok_line = line;
-            lex_string(&chars, &mut i, &mut line, n);
-            out.tokens.push(Token { kind: TokKind::Str, text: String::new(), line: tok_line });
+            let text = lex_string(&chars, &mut i, &mut line, n);
+            out.tokens.push(Token { kind: TokKind::Str, text, line: tok_line });
             last_token_line = tok_line;
             continue;
         }
@@ -392,32 +397,43 @@ pub fn lex(src: &str) -> Lexed {
 }
 
 /// Consumes a `"…"` literal starting at the opening quote, handling
-/// escapes; leaves `*i` one past the closing quote.
-fn lex_string(chars: &[char], i: &mut usize, line: &mut u32, n: usize) {
+/// escapes; leaves `*i` one past the closing quote. Returns the contents
+/// between the quotes with escape sequences left verbatim (`\n` stays as
+/// backslash-n) — exact enough for split-label comparison, where escapes
+/// never appear in practice.
+fn lex_string(chars: &[char], i: &mut usize, line: &mut u32, n: usize) -> String {
+    let mut text = String::new();
     *i += 1; // opening quote
     while *i < n {
         match chars[*i] {
             '\\' => {
-                // Skip the escape introducer and the escaped char.
+                // Keep the escape introducer and the escaped char verbatim.
+                text.push(chars[*i]);
                 *i += 1;
                 if *i < n {
                     if chars[*i] == '\n' {
                         *line += 1;
                     }
+                    text.push(chars[*i]);
                     *i += 1;
                 }
             }
             '"' => {
                 *i += 1;
-                return;
+                return text;
             }
             '\n' => {
                 *line += 1;
+                text.push('\n');
                 *i += 1;
             }
-            _ => *i += 1,
+            _ => {
+                text.push(chars[*i]);
+                *i += 1;
+            }
         }
     }
+    text
 }
 
 /// Consumes a `'…'` literal starting at the opening quote, handling
@@ -528,5 +544,20 @@ mod tests {
     fn byte_strings_are_opaque() {
         let ids = idents("let a = b\"unwrap()\"; let c = br#\"panic!\"#; let d = b'x';");
         assert!(!ids.iter().any(|t| t == "unwrap" || t == "panic"));
+    }
+
+    #[test]
+    fn string_literals_carry_contents() {
+        let lexed = lex("rng.split(\"cov-pair\", di); let r = r#\"raw \"label\"\"#;");
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(strs, vec!["cov-pair", "raw \"label\""]);
+        // Contents never leak trigger identifiers into the Ident stream.
+        let lexed2 = lex("let s = \"HashMap::new() .unwrap()\";");
+        assert!(!lexed2.tokens.iter().any(|t| t.is_ident("HashMap")));
     }
 }

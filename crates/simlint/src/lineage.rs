@@ -1,0 +1,812 @@
+//! R001: RNG stream-key stability, plus the stream-site extraction that
+//! feeds the cross-file R002 collision check.
+//!
+//! The workspace's CRN discipline (DESIGN.md §15) is that every random
+//! draw comes from a substream minted by `Rng::split(label, id)` where
+//! `label` is a string literal and `id` is a *stable entity id* — an arm
+//! index from config, a device id, a week number. PR 8 found the one
+//! hazard class this grammar admits by hand: keys derived from *visit
+//! order* (a loop counter over a locally-built container, a mutable
+//! accumulator bumped per iteration). Such keys are bit-identical today
+//! and silently different the day a cull, a sort, or a refactor reorders
+//! the loop. R001 flags exactly that shape:
+//!
+//! * the label argument must be a single string literal (stream identity
+//!   must be auditable, and R002 needs to read it);
+//! * the id argument must not mention a mutable integer accumulator
+//!   (`let mut k = 0; … split(…, k); k += 1`);
+//! * the id argument must not mention an `.enumerate()` counter whose
+//!   enumerated container is a fn-local (params, `self`, and anything
+//!   non-local are considered order-pinned by the caller).
+//!
+//! The analysis is intraprocedural over the [`crate::parse`] tree view,
+//! resolving `let` bindings of streams so chained derivations render as
+//! lineage chains: `Rng::seed_from(seed)` roots render as `label/label2`,
+//! unknown roots (params, fields) as `?/label`. Those chains are the
+//! currency of R002 (the workspace pass in the crate root and `STREAMS.md`).
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::{self, FnItem, Parsed, Tree};
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `Rng::split` call site with a literal label, as seen by R002.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `split` call.
+    pub line: u32,
+    /// The split's label literal.
+    pub label: String,
+    /// Rendered lineage chain (`arm/device`, `?/mount`).
+    pub chain: String,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Root {
+    /// Derived from `Rng::seed_from(…)` in this function.
+    Seed,
+    /// Unknown provenance: a parameter, a field, an unresolved call.
+    Opaque,
+}
+
+#[derive(Clone, Debug)]
+struct Chain {
+    root: Root,
+    labels: Vec<String>,
+}
+
+impl Chain {
+    fn opaque() -> Self {
+        Chain { root: Root::Opaque, labels: Vec::new() }
+    }
+
+    fn seed() -> Self {
+        Chain { root: Root::Seed, labels: Vec::new() }
+    }
+
+    fn child(&self, label: &str) -> Self {
+        let mut labels = self.labels.clone();
+        labels.push(label.to_string());
+        Chain { root: self.root, labels }
+    }
+
+    fn render(&self) -> String {
+        let mut s = String::new();
+        if self.root == Root::Opaque {
+            s.push('?');
+        }
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 || self.root == Root::Opaque {
+                s.push('/');
+            }
+            s.push_str(l);
+        }
+        s
+    }
+}
+
+/// Identifier atoms never classified (operators and binding noise).
+const ATOM_SKIP: [&str; 9] =
+    ["as", "mut", "ref", "move", "if", "else", "match", "true", "false"];
+
+/// Analyzes every function in `parsed`, returning R001 findings and the
+/// stream sites (literal-labelled splits) for the R002 workspace pass.
+pub fn analyze(file: &str, toks: &[Token], parsed: &Parsed) -> (Vec<Finding>, Vec<StreamSite>) {
+    let mut findings = Vec::new();
+    let mut sites = Vec::new();
+    for f in &parsed.fns {
+        let mut scan = FnScan::new(file, toks, f);
+        scan.prescan(&f.body);
+        scan.walk(&f.body);
+        findings.append(&mut scan.findings);
+        sites.append(&mut scan.sites);
+    }
+    (findings, sites)
+}
+
+struct FnScan<'a> {
+    file: &'a str,
+    toks: &'a [Token],
+    params: BTreeSet<String>,
+    /// Names bound by `let` in this function (containers built locally).
+    locals: BTreeSet<String>,
+    /// `let mut x = <int literal>` bindings.
+    mut_int_inits: BTreeSet<String>,
+    /// Names on the left of `+=`-style compound assignment.
+    compound_assigned: BTreeSet<String>,
+    /// `.enumerate()` counters → (head identifier of the enumerated
+    /// expression, token index of the binding pattern leaf). The token
+    /// index lets the walk tell *this* counter apart from an unrelated
+    /// same-named binding (`|di| …` over a range vs a later
+    /// `for (di, _) in xs.iter().enumerate()`).
+    counters: BTreeMap<String, (String, usize)>,
+    /// Enclosing closure/for-loop binders on the current walk path, as
+    /// (name, binding-leaf token index). Innermost last.
+    scopes: Vec<(String, usize)>,
+    /// Stream variables → their lineage chain.
+    chains: BTreeMap<String, Chain>,
+    /// Resolved chain per split-args group, keyed by the group's opening
+    /// token index (lets `a.split(…).split(…)` extend the left chain).
+    cache: BTreeMap<usize, Chain>,
+    findings: Vec<Finding>,
+    sites: Vec<StreamSite>,
+}
+
+impl<'a> FnScan<'a> {
+    fn new(file: &'a str, toks: &'a [Token], f: &FnItem) -> Self {
+        FnScan {
+            file,
+            toks,
+            params: f.params.iter().cloned().collect(),
+            locals: BTreeSet::new(),
+            mut_int_inits: BTreeSet::new(),
+            compound_assigned: BTreeSet::new(),
+            counters: BTreeMap::new(),
+            scopes: Vec::new(),
+            chains: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            findings: Vec::new(),
+            sites: Vec::new(),
+        }
+    }
+
+    fn tok(&self, seq: &[Tree], i: usize) -> Option<&'a Token> {
+        parse::leaf(self.toks, seq.get(i))
+    }
+
+    /// Pass A: collect locals, accumulators and enumerate counters at
+    /// every nesting depth (order-insensitive facts).
+    fn prescan(&mut self, seq: &[Tree]) {
+        for segment in parse::split_statements(self.toks, seq) {
+            self.prescan_segment(segment);
+        }
+        for t in seq {
+            if let Tree::Group { children, .. } = t {
+                self.prescan(children);
+            }
+        }
+    }
+
+    fn prescan_segment(&mut self, seg: &[Tree]) {
+        let mut i = 0usize;
+        while i < seg.len() {
+            let Some(t) = self.tok(seg, i) else {
+                i += 1;
+                continue;
+            };
+            // `let [mut] NAME … = INIT`
+            if t.is_ident("let") {
+                let is_mut = self.tok(seg, i + 1).map(|t| t.is_ident("mut")).unwrap_or(false);
+                let name_ix = if is_mut { i + 2 } else { i + 1 };
+                if let Some(name) =
+                    self.tok(seg, name_ix).filter(|t| t.kind == TokKind::Ident)
+                {
+                    self.locals.insert(name.text.clone());
+                    // Find the `=` and check for a bare integer initializer.
+                    let eq = (name_ix..seg.len())
+                        .find(|&j| self.tok(seg, j).map(|t| t.is_punct("=")).unwrap_or(false));
+                    if let Some(eq) = eq {
+                        let init = &seg[eq + 1..];
+                        let init_is_int = init.len() == 1
+                            && parse::leaf(self.toks, init.first())
+                                .map(|t| t.kind == TokKind::Int)
+                                .unwrap_or(false);
+                        if is_mut && init_is_int {
+                            let name = name.text.clone();
+                            self.mut_int_inits.insert(name);
+                        }
+                    }
+                }
+            }
+            // `NAME += …` / `NAME = NAME …` (self-referencing reassignment).
+            if t.kind == TokKind::Ident {
+                if let Some(op) = self.tok(seg, i + 1) {
+                    let compound = op.kind == TokKind::Punct
+                        && matches!(op.text.as_str(), "+=" | "-=" | "*=" | "/=" | "%=" | "^=");
+                    let self_assign = op.is_punct("=")
+                        && self.tok(seg, i + 2).map(|n| n.is_ident(&t.text)).unwrap_or(false);
+                    if compound || self_assign {
+                        self.compound_assigned.insert(t.text.clone());
+                    }
+                }
+            }
+            // `for (I, …) in EXPR.enumerate()… {` — positional counter I
+            // over EXPR; the head identifier of EXPR decides stability.
+            if t.is_ident("for") {
+                self.scan_for_loop(seg, i);
+            }
+            // `….enumerate().map(|(I, …)| …)` — the closure form.
+            if t.is_ident("enumerate") {
+                self.scan_enumerate_closure(seg, i);
+            }
+            i += 1;
+        }
+    }
+
+    fn scan_for_loop(&mut self, seg: &[Tree], for_ix: usize) {
+        // Pattern must be a tuple `(I, …)` for a counter to bind.
+        let Some(Tree::Group { delim: '(', children, .. }) = seg.get(for_ix + 1) else {
+            return;
+        };
+        let Some(Tree::Leaf(counter_ix)) = children.first() else {
+            return;
+        };
+        let counter_ix = *counter_ix;
+        let counter = match &self.toks[counter_ix] {
+            t if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        if !self.tok(seg, for_ix + 2).map(|t| t.is_ident("in")).unwrap_or(false) {
+            return;
+        }
+        // EXPR runs from after `in` to the loop body `{…}`.
+        let mut saw_enumerate = false;
+        let mut head: Option<String> = None;
+        for t in &seg[for_ix + 3..] {
+            match t {
+                Tree::Group { delim: '{', .. } => break,
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.is_ident("enumerate") {
+                        saw_enumerate = true;
+                    }
+                    if head.is_none()
+                        && tok.kind == TokKind::Ident
+                        && !ATOM_SKIP.contains(&tok.text.as_str())
+                    {
+                        head = Some(tok.text.clone());
+                    }
+                }
+                Tree::Group { .. } => {}
+            }
+        }
+        if saw_enumerate {
+            if let Some(head) = head {
+                self.counters.insert(counter, (head, counter_ix));
+            }
+        }
+    }
+
+    fn scan_enumerate_closure(&mut self, seg: &[Tree], en_ix: usize) {
+        // `enumerate ( ) . map ( |(I, …)| … )`
+        if !matches!(seg.get(en_ix + 1), Some(Tree::Group { delim: '(', .. })) {
+            return;
+        }
+        if !parse::is_leaf_punct(self.toks, seg.get(en_ix + 2), ".") {
+            return;
+        }
+        let is_adapter = self
+            .tok(seg, en_ix + 3)
+            .map(|t| matches!(t.text.as_str(), "map" | "filter_map" | "flat_map" | "for_each"))
+            .unwrap_or(false);
+        if !is_adapter {
+            return;
+        }
+        let Some(Tree::Group { delim: '(', children, .. }) = seg.get(en_ix + 4) else {
+            return;
+        };
+        // Closure: `|` then a tuple-pattern group.
+        if !parse::is_leaf_punct(self.toks, children.first(), "|") {
+            return;
+        }
+        let Some(Tree::Group { delim: '(', children: pat, .. }) = children.get(1) else {
+            return;
+        };
+        let Some(Tree::Leaf(counter_ix)) = pat.first() else {
+            return;
+        };
+        let counter_ix = *counter_ix;
+        let counter = match &self.toks[counter_ix] {
+            t if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        // Walk left over the postfix chain to its start; the head is the
+        // chain's first identifier.
+        let mut start = en_ix;
+        while start > 0 {
+            let prev = &seg[start - 1];
+            let chainy = match prev {
+                Tree::Group { delim: '(' | '[', .. } => true,
+                Tree::Leaf(ix) => {
+                    let t = &self.toks[*ix];
+                    t.kind == TokKind::Ident || t.is_punct(".") || t.is_punct("::")
+                }
+                Tree::Group { .. } => false,
+            };
+            if !chainy {
+                break;
+            }
+            start -= 1;
+        }
+        let head = seg[start..en_ix].iter().find_map(|t| {
+            parse::leaf(self.toks, Some(t))
+                .filter(|tok| tok.kind == TokKind::Ident)
+                .map(|tok| tok.text.clone())
+        });
+        if let Some(head) = head {
+            self.counters.insert(counter, (head, counter_ix));
+        }
+    }
+
+    /// Pass B: resolve split chains and emit findings/sites, outer levels
+    /// before inner so bindings are visible inside nested blocks. While
+    /// recursing, closure params and for-loop patterns are pushed onto
+    /// [`Self::scopes`] so a split id can be matched against the binding
+    /// that is actually in scope, not a same-named one elsewhere in the fn.
+    fn walk(&mut self, seq: &[Tree]) {
+        for segment in parse::split_statements(self.toks, seq) {
+            self.walk_segment(segment);
+        }
+        // For-loop pattern binders waiting for their body `{…}` group.
+        let mut pending: Vec<(String, usize)> = Vec::new();
+        for (i, t) in seq.iter().enumerate() {
+            match t {
+                Tree::Leaf(ix) => {
+                    if self.toks[*ix].is_ident("for") {
+                        pending = self.for_pattern_binders(seq, i + 1);
+                    }
+                }
+                Tree::Group { delim: '{', children, .. } if !pending.is_empty() => {
+                    let n = pending.len();
+                    self.scopes.append(&mut pending);
+                    self.walk(children);
+                    self.scopes.truncate(self.scopes.len() - n);
+                }
+                Tree::Group { children, .. } => {
+                    let binders = self.closure_binders(children);
+                    let n = binders.len();
+                    self.scopes.extend(binders);
+                    self.walk(children);
+                    self.scopes.truncate(self.scopes.len() - n);
+                }
+            }
+        }
+    }
+
+    /// Collects binder idents of a `for PAT in …` pattern: every ident
+    /// leaf (including inside tuple groups) from `start` up to the `in`
+    /// keyword, minus binding noise.
+    fn for_pattern_binders(&self, seq: &[Tree], start: usize) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for t in &seq[start.min(seq.len())..] {
+            match t {
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.is_ident("in") {
+                        break;
+                    }
+                    if tok.kind == TokKind::Ident && !ATOM_SKIP.contains(&tok.text.as_str()) {
+                        out.push((tok.text.clone(), *ix));
+                    }
+                }
+                Tree::Group { children, .. } => self.collect_binder_leaves(children, &mut out),
+            }
+        }
+        out
+    }
+
+    /// If a group's children open with a closure header (`|params| …`,
+    /// possibly after `move`), returns the params as binders.
+    fn closure_binders(&self, children: &[Tree]) -> Vec<(String, usize)> {
+        let mut at = 0usize;
+        if parse::leaf(self.toks, children.first()).map(|t| t.is_ident("move")).unwrap_or(false) {
+            at = 1;
+        }
+        if !parse::is_leaf_punct(self.toks, children.get(at), "|") {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for t in &children[at + 1..] {
+            match t {
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.is_punct("|") {
+                        break;
+                    }
+                    if tok.kind == TokKind::Ident && !ATOM_SKIP.contains(&tok.text.as_str()) {
+                        out.push((tok.text.clone(), *ix));
+                    }
+                }
+                Tree::Group { children, .. } => self.collect_binder_leaves(children, &mut out),
+            }
+        }
+        out
+    }
+
+    fn collect_binder_leaves(&self, trees: &[Tree], out: &mut Vec<(String, usize)>) {
+        for t in trees {
+            match t {
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.kind == TokKind::Ident && !ATOM_SKIP.contains(&tok.text.as_str()) {
+                        out.push((tok.text.clone(), *ix));
+                    }
+                }
+                Tree::Group { children, .. } => self.collect_binder_leaves(children, out),
+            }
+        }
+    }
+
+    fn walk_segment(&mut self, seg: &[Tree]) {
+        // `let` target, if this segment binds one.
+        let mut let_target: Option<String> = None;
+        let mut last_chain: Option<Chain> = None;
+        let mut seeded_init = false;
+        for (i, t) in seg.iter().enumerate() {
+            if parse::is_leaf_ident(self.toks, t, "let") {
+                let is_mut =
+                    self.tok(seg, i + 1).map(|t| t.is_ident("mut")).unwrap_or(false);
+                let name_ix = if is_mut { i + 2 } else { i + 1 };
+                let_target = self
+                    .tok(seg, name_ix)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+            }
+            if parse::is_leaf_ident(self.toks, t, "seed_from") {
+                seeded_init = true;
+            }
+        }
+
+        // Split sites at this level: `. split ( label , id )`.
+        let mut k = 0usize;
+        while k + 2 < seg.len() {
+            let is_site = parse::is_leaf_punct(self.toks, seg.get(k), ".")
+                && self.tok(seg, k + 1).map(|t| t.is_ident("split")).unwrap_or(false);
+            if !is_site {
+                k += 1;
+                continue;
+            }
+            let Some(Tree::Group { delim: '(', open, children, .. }) = seg.get(k + 2) else {
+                k += 1;
+                continue;
+            };
+            let args = parse::split_on_comma(self.toks, children);
+            if args.len() != 2 {
+                // `str::split`, `slice::split` and friends take one
+                // argument; only two-argument splits are stream mints.
+                k += 1;
+                continue;
+            }
+            let line = self.tok(seg, k + 1).map(|t| t.line).unwrap_or(0);
+            let receiver = self.resolve_receiver(seg, k);
+            let chain = self.check_site(line, receiver, args[0], args[1]);
+            if let Some(chain) = &chain {
+                self.cache.insert(*open, chain.clone());
+                last_chain = Some(chain.clone());
+            } else {
+                last_chain = None;
+            }
+            k += 3;
+        }
+
+        // Bind the let target to the stream it derives, if any.
+        if let Some(name) = let_target {
+            if let Some(chain) = last_chain {
+                self.chains.insert(name, chain);
+            } else if seeded_init {
+                self.chains.insert(name, Chain::seed());
+            } else if seg.len() >= 2 {
+                // `let alias = existing_stream;`
+                if let Some(src) = parse::leaf(self.toks, seg.last())
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .and_then(|t| self.chains.get(&t.text).cloned())
+                {
+                    self.chains.insert(name, src);
+                }
+            }
+        }
+    }
+
+    fn resolve_receiver(&self, seg: &[Tree], dot: usize) -> Chain {
+        if dot == 0 {
+            return Chain::opaque();
+        }
+        let r = dot - 1;
+        // Chained `.split(…).split(…)`: the receiver ends at the previous
+        // split's resolved args group.
+        if let Some(Tree::Group { delim: '(', open, .. }) = seg.get(r) {
+            if let Some(c) = self.cache.get(open) {
+                return c.clone();
+            }
+        }
+        // Bare identifier receiver: a bound stream variable, or opaque.
+        if let Some(tok) = self.tok(seg, r).filter(|t| t.kind == TokKind::Ident) {
+            let prev_is_path = r >= 1
+                && self
+                    .tok(seg, r - 1)
+                    .map(|p| p.is_punct(".") || p.is_punct("::"))
+                    .unwrap_or(false);
+            if !prev_is_path {
+                return self.chains.get(&tok.text).cloned().unwrap_or_else(Chain::opaque);
+            }
+        }
+        // Complex postfix receiver: `Rng::seed_from(…)` roots a seed
+        // chain; fields and unresolved calls are opaque.
+        let mut p = r;
+        let mut saw_seed_from = false;
+        loop {
+            let chainy = match &seg[p] {
+                Tree::Group { delim: '(' | '[', .. } => true,
+                Tree::Leaf(ix) => {
+                    let t = &self.toks[*ix];
+                    if t.is_ident("seed_from") {
+                        saw_seed_from = true;
+                    }
+                    t.kind == TokKind::Ident || t.is_punct(".") || t.is_punct("::")
+                }
+                Tree::Group { .. } => false,
+            };
+            if !chainy || p == 0 {
+                break;
+            }
+            p -= 1;
+        }
+        if saw_seed_from {
+            Chain::seed()
+        } else {
+            Chain::opaque()
+        }
+    }
+
+    /// R001 checks for one split site; returns the minted chain when the
+    /// label is a literal.
+    fn check_site(
+        &mut self,
+        line: u32,
+        receiver: Chain,
+        label_arg: &[Tree],
+        id_arg: &[Tree],
+    ) -> Option<Chain> {
+        let label = match (label_arg.len(), parse::leaf(self.toks, label_arg.first())) {
+            (1, Some(t)) if t.kind == TokKind::Str => t.text.clone(),
+            _ => {
+                self.findings.push(Finding {
+                    file: self.file.to_string(),
+                    line,
+                    rule: "R001",
+                    message: "split label must be a single string literal: stream identity \
+                              must be auditable and registrable in STREAMS.md"
+                        .to_string(),
+                });
+                return None;
+            }
+        };
+        let mut atoms = Vec::new();
+        self.collect_atoms(id_arg, &mut atoms);
+        for a in atoms {
+            // The innermost enclosing closure/for binder of this name, if
+            // any; a binder that is not the counter's own binding site
+            // shadows the (flow-insensitive) per-fn counter/accumulator
+            // facts — `|di| …` over a range is not the `for (di, _) in
+            // xs.enumerate()` three statements later.
+            let binder = self.scopes.iter().rev().find(|(n, _)| n == &a).map(|&(_, ix)| ix);
+            if binder.is_none()
+                && self.mut_int_inits.contains(&a)
+                && self.compound_assigned.contains(&a)
+            {
+                self.findings.push(Finding {
+                    file: self.file.to_string(),
+                    line,
+                    rule: "R001",
+                    message: format!(
+                        "split id for stream '{label}' uses mutable accumulator `{a}`: \
+                         visit-order keys silently re-seed when a cull or reorder skips \
+                         an iteration (the PR 8 mesh bug class); key by stable entity id"
+                    ),
+                });
+            } else if let Some((head, reg_ix)) = self.counters.get(&a) {
+                if binder.map(|ix| ix == *reg_ix).unwrap_or(true)
+                    && self.locals.contains(head)
+                    && !self.params.contains(head)
+                {
+                    self.findings.push(Finding {
+                        file: self.file.to_string(),
+                        line,
+                        rule: "R001",
+                        message: format!(
+                            "split id for stream '{label}' uses enumerate counter `{a}` over \
+                             locally-built `{head}` whose order is not pinned by any caller; \
+                             key by the element's stable id instead (the PR 8 mesh bug class)"
+                        ),
+                    });
+                }
+            }
+        }
+        let chain = receiver.child(&label);
+        self.sites.push(StreamSite {
+            file: self.file.to_string(),
+            line,
+            label,
+            chain: chain.render(),
+        });
+        Some(chain)
+    }
+
+    /// Collects "head" identifier atoms from an id-argument expression:
+    /// idents that are not path/method/field segments, `as`-cast targets,
+    /// or operator keywords.
+    fn collect_atoms(&self, trees: &[Tree], out: &mut Vec<String>) {
+        for (i, t) in trees.iter().enumerate() {
+            match t {
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.kind != TokKind::Ident
+                        || ATOM_SKIP.contains(&tok.text.as_str())
+                    {
+                        continue;
+                    }
+                    let prev = i.checked_sub(1).and_then(|j| self.tok(trees, j));
+                    if prev
+                        .map(|p| p.is_punct(".") || p.is_punct("::") || p.is_ident("as"))
+                        .unwrap_or(false)
+                    {
+                        continue;
+                    }
+                    if self
+                        .tok(trees, i + 1)
+                        .map(|n| n.is_punct("::"))
+                        .unwrap_or(false)
+                    {
+                        continue;
+                    }
+                    out.push(tok.text.clone());
+                }
+                Tree::Group { children, .. } => self.collect_atoms(children, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn run(src: &str) -> (Vec<Finding>, Vec<StreamSite>) {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        analyze("t.rs", &lexed.tokens, &parsed)
+    }
+
+    #[test]
+    fn stable_keys_are_clean_and_chains_render() {
+        let src = r#"
+fn eval(root: &Rng, di: usize, gi: usize) {
+    let pair = root.split("cov-pair", di as u64).split("gw", gi as u64);
+}
+fn plan(cfg: &Config) {
+    let root = Rng::seed_from(cfg.seed);
+    for m in 0..cfg.mounts {
+        let r = root.split("mount", m as u64);
+    }
+}
+"#;
+        let (findings, sites) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        let chains: Vec<_> = sites.iter().map(|s| s.chain.as_str()).collect();
+        assert_eq!(chains, vec!["?/cov-pair", "?/cov-pair/gw", "mount"]);
+    }
+
+    #[test]
+    fn mutable_accumulator_key_is_flagged() {
+        let src = r#"
+fn resolve(root: &Rng, devices: &[Dev]) {
+    let mut link_idx = 0u64;
+    for d in devices {
+        let s = root.split("mesh-dev", link_idx);
+        link_idx += 1;
+    }
+}
+"#;
+        let (findings, _) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "R001");
+        assert!(findings[0].message.contains("link_idx"));
+    }
+
+    #[test]
+    fn enumerate_over_local_container_is_flagged_but_param_is_not() {
+        let src = r#"
+fn bad(root: &Rng, grid: &Grid) {
+    let mut candidates = Vec::new();
+    grid.query_into(&mut candidates);
+    for (pos, b) in candidates.iter().enumerate() {
+        let s = root.split("dev-link", pos as u64);
+    }
+}
+fn good(root: &Rng, probs: &[f64]) {
+    for (c, p) in probs.iter().enumerate() {
+        let s = root.split("cohort", c as u64);
+    }
+}
+"#;
+        let (findings, _) = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("candidates"));
+    }
+
+    #[test]
+    fn enumerate_closure_form_resolves_head() {
+        let src = r#"
+fn geo(cfg: &Config, root: &Rng) {
+    let arms = cfg.arms.iter().enumerate().map(|(ai, arm)| {
+        root.split("geometry", ai as u64)
+    }).collect();
+    let picked = build_list();
+    let out = picked.iter().enumerate().map(|(i, x)| root.split("pick", i as u64)).collect();
+}
+fn build_list() -> Vec<u32> { Vec::new() }
+"#;
+        let (findings, _) = run(src);
+        // `cfg` is a param (stable); `picked` is a local (flagged).
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("picked"));
+    }
+
+    #[test]
+    fn closure_param_shadows_same_named_counter_elsewhere() {
+        // `di` in the range-map closure is a stable key even though an
+        // unrelated `for (di, _) in fails.iter().enumerate()` later in
+        // the same fn registers `di` as a counter over a local.
+        let src = r#"
+fn plan(arm_rng: &Rng, n: usize) {
+    let devs = (0..n).map(|di| arm_rng.split("device", di as u64)).collect();
+    let mut fails = Vec::new();
+    pick_failures(&mut fails);
+    for (di, at) in fails.iter().enumerate() {
+        record(at, di);
+    }
+}
+"#;
+        let (findings, sites) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites.len(), 1);
+        // …but using the enumerate counter in its *own* loop still flags.
+        let bad = r#"
+fn plan(arm_rng: &Rng) {
+    let mut fails = Vec::new();
+    pick_failures(&mut fails);
+    for (di, at) in fails.iter().enumerate() {
+        let r = arm_rng.split("fail", di as u64);
+    }
+}
+"#;
+        let (findings, _) = run(bad);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("fails"));
+    }
+
+    #[test]
+    fn computed_label_is_flagged() {
+        let src = "fn f(r: &Rng, name: &str) { let s = r.split(name, 0); }";
+        let (findings, sites) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("string literal"));
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn one_argument_split_is_not_a_stream_mint() {
+        let src = "fn f(s: &str) { for part in s.split('-') { } let v = s.split(\",\"); }";
+        let (findings, sites) = run(src);
+        assert!(findings.is_empty());
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn seed_rooted_chains_render_without_question_mark() {
+        let src = r#"
+fn f(seed: u64) {
+    let base = Rng::seed_from(seed);
+    let a = base.split("reactive", 0);
+    let b = Rng::seed_from(seed).split("inline", 1);
+}
+"#;
+        let (_, sites) = run(src);
+        let chains: Vec<_> = sites.iter().map(|s| s.chain.as_str()).collect();
+        assert_eq!(chains, vec!["reactive", "inline"]);
+    }
+}

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! simlint --workspace [--json] [--root DIR]   # lint the whole workspace
+//! simlint --workspace --baseline B.json       # exit 1 only on NEW findings
+//! simlint --workspace --write-baseline B.json # accept current findings
+//! simlint --workspace --streams               # print the stream inventory
 //! simlint FILE.rs …  [--json]                 # lint specific files
 //! ```
 //!
@@ -16,24 +19,44 @@ use std::process::ExitCode;
 struct Args {
     workspace: bool,
     json: bool,
+    streams: bool,
     root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { workspace: false, json: false, root: None, paths: Vec::new() };
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        streams: false,
+        root: None,
+        baseline: None,
+        write_baseline: None,
+        paths: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
             "--json" => args.json = true,
+            "--streams" => args.streams = true,
             "--root" => {
                 let v = it.next().ok_or("--root requires a directory argument")?;
                 args.root = Some(PathBuf::from(v));
             }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a file argument")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let v = it.next().ok_or("--write-baseline requires a file argument")?;
+                args.write_baseline = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: simlint (--workspace [--root DIR] | FILE.rs ...) [--json]"
+                return Err("usage: simlint (--workspace [--root DIR] | FILE.rs ...) \
+                            [--json] [--streams] [--baseline FILE] [--write-baseline FILE]"
                     .to_string())
             }
             flag if flag.starts_with('-') => {
@@ -68,6 +91,7 @@ fn run(args: &Args) -> Result<simlint::RunReport, String> {
             .map_err(|e| format!("cannot lint {}: {e}", path.display()))?;
         report.findings.extend(file.findings);
         report.allowed += file.allowed;
+        report.sites.extend(file.sites);
         report.files_scanned += 1;
     }
     Ok(report)
@@ -81,22 +105,41 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&args) {
-        Ok(report) => {
-            if args.json {
-                println!("{}", report.render_json());
-            } else {
-                print!("{}", report.render_human());
-            }
-            if report.findings.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let mut report = match run(&args) {
+        Ok(r) => r,
         Err(msg) => {
             eprintln!("simlint: {msg}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if let Some(path) = &args.write_baseline {
+        let baseline = simlint::baseline::Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(path, baseline.render()) {
+            eprintln!("simlint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.baseline {
+        match simlint::baseline::Baseline::load(path) {
+            Ok(b) => report.apply_baseline(&b),
+            Err(msg) => {
+                eprintln!("simlint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.streams {
+        print!("{}", report.render_streams());
+        return ExitCode::SUCCESS;
+    }
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

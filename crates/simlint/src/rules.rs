@@ -27,6 +27,21 @@
 //!   the aggregate weekly sampler from the population it summarizes. Go
 //!   through the store's accessors (`row`/`set_row`/`mark_failed`/…).
 //!
+//! The flow-aware v2 rules (DESIGN.md §15) live in their own modules and
+//! are run from [`check_file`] / the workspace pass:
+//!
+//! * **R001** ([`crate::lineage`]) — `Rng::split` keys must be a string
+//!   literal plus stable-id arguments; visit-order keys (enumerate
+//!   counters over locally-built containers, mutable accumulators) are
+//!   the PR 8 bug class.
+//! * **R002** (workspace pass + [`crate::registry`]) — two call sites
+//!   minting the same stream lineage chain are an error unless the chain
+//!   is registered in `STREAMS.md`; stale registry entries are errors too.
+//! * **R003** ([`crate::taint`]) — values derived from wall clocks, env
+//!   vars, thread/pointer identity may not flow into digest sinks.
+//! * **R004** (here) — a pragma that waives nothing is itself a finding,
+//!   so the allow-ledger can only shrink as code heals.
+//!
 //! Rules operate on the token stream from [`crate::lexer`]; test code
 //! (`#[cfg(test)]` items, `#[test]` functions, files under `tests/`) is
 //! exempt from every rule, and individual lines can be waived with an
@@ -41,9 +56,12 @@
 //! is itself a finding — the ledger stays greppable and honest.
 
 use crate::lexer::{lex, LineComment, TokKind, Token};
+use crate::lineage::{self, StreamSite};
+use crate::taint;
 
 /// Rule identifiers, in report order.
-pub const RULE_IDS: [&str; 7] = ["D001", "D002", "D003", "D004", "P001", "F001", "SL000"];
+pub const RULE_IDS: [&str; 11] =
+    ["D001", "D002", "D003", "D004", "P001", "F001", "R001", "R002", "R003", "R004", "SL000"];
 
 /// Crates whose state feeds run digests, golden traces, or rendered
 /// exhibits. `HashMap` iteration anywhere in these is a D001 finding.
@@ -111,12 +129,17 @@ pub struct FileReport {
     pub findings: Vec<Finding>,
     /// Number of would-be findings waived by a valid pragma.
     pub allowed: usize,
+    /// Non-test stream mint sites, for the workspace R002 pass.
+    pub sites: Vec<StreamSite>,
 }
 
 /// A parsed `// simlint: allow(RULE, reason)` pragma.
 #[derive(Clone, Debug)]
 struct Pragma {
     rule: String,
+    reason: String,
+    /// The line the pragma comment starts on (R004 anchors here).
+    at: u32,
     /// The line(s) this pragma waives.
     lines: Vec<u32>,
 }
@@ -263,16 +286,57 @@ pub fn check_file(file: &str, crate_name: &str, src: &str, is_test_file: bool) -
         }
     }
 
+    // Flow-aware v2 rules share one parse of the token stream.
+    let parsed = crate::parse::parse(toks);
+    let (mut lineage_findings, sites) = lineage::analyze(file, toks, &parsed);
+    raw.append(&mut lineage_findings);
+    if DIGEST_FEEDING_CRATES.contains(&crate_name) {
+        raw.append(&mut taint::analyze(file, toks, &parsed));
+    }
+
+    let mut used = vec![false; pragmas.len()];
     for f in raw {
         if in_test(f.line) {
             continue;
         }
-        if waived(f.rule, f.line) {
+        if let Some(i) =
+            pragmas.iter().position(|p| p.rule == f.rule && p.lines.contains(&f.line))
+        {
+            used[i] = true;
             report.allowed += 1;
             continue;
         }
         report.findings.push(f);
     }
+
+    // R004: a pragma that waived nothing is stale — the ledger only stays
+    // honest if every entry still earns its keep. Test code is exempt as
+    // everywhere else; `allow(R004, …)` meta-pragmas can waive an entry
+    // that is intentionally kept (e.g. around conditionally-compiled code)
+    // and are never themselves reported stale.
+    if !is_test_file {
+        for (p, was_used) in pragmas.iter().zip(&used) {
+            if *was_used || p.rule == "R004" || in_test(p.at) {
+                continue;
+            }
+            if waived("R004", p.at) {
+                report.allowed += 1;
+                continue;
+            }
+            report.findings.push(Finding {
+                file: file.to_string(),
+                line: p.at,
+                rule: "R004",
+                message: format!(
+                    "stale pragma: `allow({}, {})` waives nothing; delete it or fix the \
+                     rule id/placement",
+                    p.rule, p.reason
+                ),
+            });
+        }
+    }
+
+    report.sites = sites.into_iter().filter(|s| !in_test(s.line)).collect();
     report.findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     report
 }
@@ -367,7 +431,7 @@ fn collect_pragmas(
         let body = body.trim();
         let parsed = parse_allow(body);
         match parsed {
-            Ok((rule, _reason)) => {
+            Ok((rule, reason)) => {
                 let lines = if c.standalone {
                     // A standalone pragma waives the next code line; chains
                     // of standalone pragmas all reach the same target line.
@@ -378,7 +442,7 @@ fn collect_pragmas(
                 } else {
                     vec![c.line]
                 };
-                out.push(Pragma { rule, lines });
+                out.push(Pragma { rule, reason, at: c.line, lines });
             }
             Err(why) => findings.push(Finding {
                 file: file.to_string(),

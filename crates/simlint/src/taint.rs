@@ -1,0 +1,351 @@
+//! R003: intraprocedural digest-purity taint.
+//!
+//! The run digest is the workspace's correctness contract: a digest must
+//! be a pure function of (config, seed). D002/D003 already ban wall-clock
+//! and ambient-RNG *tokens* from digest-feeding crates, but allowlisted
+//! sites (profiling, `bench`) still hold impure values legitimately — the
+//! invariant that keeps digests honest is that those values never *flow
+//! into a digest sink*. R003 checks that flow, per function:
+//!
+//! * **sources** — `Instant`/`SystemTime` construction, `env::var`-family
+//!   reads, `thread::current`/`ThreadId`, pointer identity (`.as_ptr()`,
+//!   `addr_of!`), `type_name`, and `RandomState`/`DefaultHasher` (hash
+//!   identity);
+//! * **propagation** — `let` bindings and plain reassignments whose
+//!   right-hand side mentions a source or an already-tainted variable
+//!   (two fixpoint passes cover chains bound before their source reads);
+//! * **sinks** — the digest-feeding byte sinks (`write_u64`, `write_str`,
+//!   `fold_diary`, …), histogram `observe`/`observe_n`, diary `log`
+//!   (receiver mentioning `diary`), and span-log `open`/`close` (receiver
+//!   mentioning `spans`).
+//!
+//! A tainted value reaching a sink argument is a finding. The analysis is
+//! deliberately shallow — no interprocedural flow, no field sensitivity —
+//! because the workspace convention is that impure values stay inside the
+//! profiling structs that own them; any flow visible within one function
+//! body is already a contract violation.
+
+use crate::lexer::{TokKind, Token};
+use crate::parse::{self, Parsed, Tree};
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// Identifiers whose construction taints a value.
+const SOURCE_TYPES: [&str; 5] =
+    ["Instant", "SystemTime", "ThreadId", "RandomState", "DefaultHasher"];
+
+/// `env::<fn>` reads that taint a value.
+const ENV_READS: [&str; 5] = ["var", "var_os", "vars", "args", "args_os"];
+
+/// Method names that are digest sinks wherever they appear.
+const SINK_METHODS: [&str; 11] = [
+    "observe",
+    "observe_n",
+    "write_u8",
+    "write_u64",
+    "write_i128",
+    "write_f64",
+    "write_str",
+    "write_bytes",
+    "fold_diary",
+    "fold_spans",
+    "fold_snapshot",
+];
+
+/// Analyzes every function in `parsed`, returning R003 findings.
+pub fn analyze(file: &str, toks: &[Token], parsed: &Parsed) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &parsed.fns {
+        let mut scan = TaintScan { file, toks, tainted: BTreeSet::new(), findings: Vec::new() };
+        // Two passes reach values bound through one intermediate variable
+        // regardless of statement order quirks.
+        scan.propagate(&f.body);
+        scan.propagate(&f.body);
+        scan.check_sinks(&f.body);
+        findings.append(&mut scan.findings);
+    }
+    findings
+}
+
+struct TaintScan<'a> {
+    file: &'a str,
+    toks: &'a [Token],
+    tainted: BTreeSet<String>,
+    findings: Vec<Finding>,
+}
+
+impl TaintScan<'_> {
+    fn tok(&self, seq: &[Tree], i: usize) -> Option<&Token> {
+        parse::leaf(self.toks, seq.get(i))
+    }
+
+    /// True if the expression trees mention a taint source directly.
+    fn has_source(&self, trees: &[Tree]) -> bool {
+        for (i, t) in trees.iter().enumerate() {
+            match t {
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.kind != TokKind::Ident {
+                        continue;
+                    }
+                    let s = tok.text.as_str();
+                    if SOURCE_TYPES.contains(&s) {
+                        return true;
+                    }
+                    if s == "addr_of" || s == "addr_of_mut" || s == "type_name" {
+                        return true;
+                    }
+                    if s == "as_ptr"
+                        && self.tok(trees, i.wrapping_sub(1)).map(|p| p.is_punct(".")).unwrap_or(false)
+                    {
+                        return true;
+                    }
+                    // `env::var(…)` / `thread::current()`.
+                    let next_is_path = self
+                        .tok(trees, i + 1)
+                        .map(|n| n.is_punct("::"))
+                        .unwrap_or(false);
+                    if next_is_path {
+                        if let Some(f) = self.tok(trees, i + 2) {
+                            if (s == "env" && ENV_READS.contains(&f.text.as_str()))
+                                || (s == "thread" && f.is_ident("current"))
+                            {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                Tree::Group { children, .. } => {
+                    if self.has_source(children) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// True if the expression mentions a tainted variable as a value atom
+    /// (not a method/field name or path segment).
+    fn has_tainted_atom(&self, trees: &[Tree]) -> bool {
+        for (i, t) in trees.iter().enumerate() {
+            match t {
+                Tree::Leaf(ix) => {
+                    let tok = &self.toks[*ix];
+                    if tok.kind != TokKind::Ident || !self.tainted.contains(&tok.text) {
+                        continue;
+                    }
+                    let prev_is_path = i
+                        .checked_sub(1)
+                        .and_then(|j| self.tok(trees, j))
+                        .map(|p| p.is_punct(".") || p.is_punct("::"))
+                        .unwrap_or(false);
+                    if !prev_is_path {
+                        return true;
+                    }
+                }
+                Tree::Group { children, .. } => {
+                    if self.has_tainted_atom(children) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn expr_tainted(&self, trees: &[Tree]) -> bool {
+        self.has_source(trees) || self.has_tainted_atom(trees)
+    }
+
+    /// One propagation pass: taint `let`/assignment targets whose
+    /// right-hand side is tainted, at every nesting depth.
+    fn propagate(&mut self, seq: &[Tree]) {
+        for seg in parse::split_statements(self.toks, seq) {
+            let mut i = 0usize;
+            while i < seg.len() {
+                let Some(t) = self.tok(seg, i) else {
+                    i += 1;
+                    continue;
+                };
+                if t.is_ident("let") {
+                    let is_mut = self.tok(seg, i + 1).map(|t| t.is_ident("mut")).unwrap_or(false);
+                    let name_ix = if is_mut { i + 2 } else { i + 1 };
+                    let name = self
+                        .tok(seg, name_ix)
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone());
+                    let eq = (name_ix..seg.len()).find(|&j| {
+                        self.tok(seg, j).map(|t| t.is_punct("=")).unwrap_or(false)
+                    });
+                    if let (Some(name), Some(eq)) = (name, eq) {
+                        if self.expr_tainted(&seg[eq + 1..]) {
+                            self.tainted.insert(name);
+                        }
+                    }
+                } else if t.kind == TokKind::Ident
+                    && self.tok(seg, i + 1).map(|n| n.is_punct("=")).unwrap_or(false)
+                    && i + 2 < seg.len()
+                    && self.expr_tainted(&seg[i + 2..])
+                {
+                    // `x = tainted_expr;`
+                    self.tainted.insert(t.text.clone());
+                }
+                i += 1;
+            }
+        }
+        for t in seq {
+            if let Tree::Group { children, .. } = t {
+                self.propagate(children);
+            }
+        }
+    }
+
+    /// Sink pass: flag tainted arguments to digest sinks.
+    fn check_sinks(&mut self, seq: &[Tree]) {
+        let mut k = 0usize;
+        while k + 2 < seq.len() {
+            let is_call = parse::is_leaf_punct(self.toks, seq.get(k), ".")
+                && matches!(seq.get(k + 2), Some(Tree::Group { delim: '(', .. }));
+            if !is_call {
+                k += 1;
+                continue;
+            }
+            let Some(method) = self.tok(seq, k + 1).filter(|t| t.kind == TokKind::Ident) else {
+                k += 1;
+                continue;
+            };
+            let name = method.text.clone();
+            let line = method.line;
+            let is_sink = SINK_METHODS.contains(&name.as_str())
+                || (name == "log" && self.receiver_mentions(seq, k, "diary"))
+                || ((name == "open" || name == "close")
+                    && self.receiver_mentions(seq, k, "spans"));
+            if is_sink {
+                if let Some(Tree::Group { children, .. }) = seq.get(k + 2) {
+                    if self.expr_tainted(children) {
+                        self.findings.push(Finding {
+                            file: self.file.to_string(),
+                            line,
+                            rule: "R003",
+                            message: format!(
+                                "impure value (wall-clock/env/thread/pointer-identity \
+                                 derived) flows into digest sink `.{name}(…)`: digests \
+                                 must be pure functions of (config, seed)"
+                            ),
+                        });
+                    }
+                }
+            }
+            k += 1;
+        }
+        for t in seq {
+            if let Tree::Group { children, .. } = t {
+                self.check_sinks(children);
+            }
+        }
+    }
+
+    /// True if the postfix receiver chain left of the `.` at `dot`
+    /// contains an identifier mentioning `what` (`arm.diary`, `self.spans`).
+    fn receiver_mentions(&self, seq: &[Tree], dot: usize, what: &str) -> bool {
+        let mut p = dot;
+        while p > 0 {
+            p -= 1;
+            match &seq[p] {
+                Tree::Group { delim: '(' | '[', .. } => {}
+                Tree::Leaf(ix) => {
+                    let t = &self.toks[*ix];
+                    if t.kind == TokKind::Ident {
+                        if t.text.contains(what) {
+                            return true;
+                        }
+                    } else if !(t.is_punct(".") || t.is_punct("::")) {
+                        return false;
+                    }
+                }
+                Tree::Group { .. } => return false,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let parsed = parse(&lexed.tokens);
+        analyze("t.rs", &lexed.tokens, &parsed)
+    }
+
+    #[test]
+    fn wall_clock_to_histogram_is_flagged() {
+        let src = r#"
+fn f(hist: &Histogram) {
+    let t0 = Instant::now();
+    let secs = t0.elapsed().as_secs_f64();
+    hist.observe(secs);
+}
+"#;
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "R003");
+        assert!(f[0].message.contains("observe"));
+    }
+
+    #[test]
+    fn env_var_to_diary_is_flagged() {
+        let src = r#"
+fn f(arm: &mut Arm, now: SimTime) {
+    let who = std::env::var("USER").unwrap_or_default();
+    arm.diary.log(now, Severity::Info, Tier::System, who);
+}
+"#;
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn sim_time_values_are_clean() {
+        let src = r#"
+fn f(arm: &mut Arm, now: SimTime, dur: f64) {
+    arm.diary.log(now, Severity::Info, Tier::System, format!("x"));
+    arm.weekly.observe(dur);
+    let t0 = Instant::now();
+    let wall = t0.elapsed().as_nanos();
+    profile.handler_nanos = wall;
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn non_sink_methods_accept_impure_values() {
+        let src = r#"
+fn f(out: &mut String) {
+    let t0 = Instant::now();
+    let e = t0.elapsed().as_secs_f64();
+    out.push_str(&format!("{e}"));
+    json.field("elapsed", e);
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn log_on_non_diary_receiver_is_not_a_sink() {
+        let src = r#"
+fn f(x: f64) {
+    let t0 = Instant::now();
+    let e = t0.elapsed().as_secs_f64();
+    let y = e.log(2.0);
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! R001 negative fixture — stable stream keys that must stay silent:
+//! range loops, enumerate over caller-pinned params, chained splits, and
+//! a closure param that merely shares a name with an enumerate counter.
+
+pub fn stable_keys(root: &Rng, cfg: &Config, devices: &[Dev]) {
+    for m in 0..cfg.mounts {
+        seed(root.split("mount", m as u64));
+    }
+    // `devices` is a parameter: its order is pinned by the caller.
+    for (di, d) in devices.iter().enumerate() {
+        seed(root.split("device", di as u64));
+    }
+    let pair = root.split("cov-pair", cfg.di as u64).split("gw", cfg.gi as u64);
+    seed(pair);
+}
+
+pub fn closure_param_is_not_the_counter(arm_rng: &Rng, n: usize) {
+    // `di` here is a range-map closure param (stable), even though an
+    // unrelated enumerate loop below binds the same name over a local.
+    let devs = (0..n).map(|di| arm_rng.split("ranged", di as u64)).collect();
+    let mut fails = Vec::new();
+    pick_failures(&mut fails);
+    for (di, at) in fails.iter().enumerate() {
+        record(at, di);
+    }
+    keep(devs);
+}

@@ -1,0 +1,26 @@
+//! R001 positive fixture — the PR 8 mesh dev-link bug class: stream
+//! keys derived from visit order instead of stable entity ids.
+
+pub fn mesh_dev_links(root: &Rng, grid: &Grid) {
+    let mut candidates = Vec::new();
+    grid.query_into(&mut candidates);
+    for (pos, cand) in candidates.iter().enumerate() {
+        let mut rng = root.split("dev-link", pos as u64);
+        link(cand, rng.next_f64());
+    }
+}
+
+pub fn mesh_dev_links_accumulator(root: &Rng, devices: &[u64]) {
+    let mut link_idx = 0u64;
+    for d in devices {
+        let mut rng = root.split("mesh-dev", link_idx);
+        link(d, rng.next_f64());
+        link_idx += 1;
+    }
+}
+
+pub fn computed_label(root: &Rng, suffix: &str) {
+    let label = format!("mesh-{suffix}");
+    let mut rng = root.split(&label, 0);
+    rng.next_f64();
+}

@@ -1,0 +1,14 @@
+//! R003 negative fixture — sim-time values into sinks are fine, and
+//! impure reads that never reach a sink are fine.
+
+pub fn clean_sinks(arm: &mut Arm, now: SimTime, dur_weeks: f64) {
+    arm.diary.log(now, Severity::Info, Tier::System, note());
+    arm.weekly.observe(dur_weeks);
+}
+
+pub fn contained_impurity(out: &mut String) {
+    // The env read stays inside rendering; it never reaches a digest.
+    let who = std::env::var("SIM_OPERATOR");
+    let banner = describe(who);
+    out.push_str(&banner);
+}

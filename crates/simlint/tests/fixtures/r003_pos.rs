@@ -1,0 +1,18 @@
+//! R003 positive fixture — impure values flowing into digest sinks.
+
+pub fn leak_env(digest: &mut RunDigest) {
+    let who = std::env::var("SIM_OPERATOR");
+    let tag = encode(who);
+    digest.write_str(&tag);
+}
+
+pub fn leak_thread(arm: &mut Arm, now: SimTime) {
+    let tid = std::thread::current().id();
+    let label = name_of(tid);
+    arm.diary.log(now, Severity::Info, Tier::System, label);
+}
+
+pub fn leak_pointer_identity(hist: &mut Histogram, xs: &[f64]) {
+    let key = xs.as_ptr() as usize;
+    hist.observe(key as f64);
+}

@@ -1,0 +1,6 @@
+//! R004 positive fixture — a well-formed pragma that waives nothing.
+
+// simlint: allow(P001, the unwrap below was refactored away two PRs ago)
+pub fn tidy(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
