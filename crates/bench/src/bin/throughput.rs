@@ -570,6 +570,13 @@ fn main() {
     // run serial vs sharded (digest-gated), plus the per-device reference
     // oracle (one pass — it is the slow path by design), which must agree
     // with the aggregate run digest-for-digest.
+    // Speedup is only an expectation when the host grants the cores to
+    // realize it. Computed once here so every per-row annotation below —
+    // scale rows AND topology rows, in every flag combination — reports
+    // the same value the top-level field does (downstream schema checks
+    // diff row key-sets across modes).
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     let mut scale_rows: Vec<String> = Vec::new();
     for &devices in &args.scale_devices {
         let cfg = scaled_config(args.base_seed, devices);
@@ -596,13 +603,11 @@ fn main() {
             );
             std::process::exit(1);
         }
-        // Speedup is only an expectation when the host grants the cores
-        // to realize it: next to each sharded_speedup, record the
-        // parallelism actually available and, on a 1-core host, waive
-        // the expectation explicitly so a ~1.0x reads as a hardware
-        // ceiling rather than a regression.
-        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let speedup_note = if host == 1 {
+        // Next to each sharded_speedup, record the parallelism actually
+        // available and, on a 1-core host, waive the expectation
+        // explicitly so a ~1.0x reads as a hardware ceiling rather than
+        // a regression.
+        let speedup_note = if host_parallelism == 1 {
             ",\"sharded_speedup_expected\":false,\
              \"sharded_speedup_note\":\"host grants 1 core; sharded cannot beat serial here\""
                 .to_string()
@@ -612,7 +617,7 @@ fn main() {
         scale_rows.push(format!(
             "{{\"devices\":{},\"arms\":{},\"horizon_years\":{},\"shards\":{},\
              \"serial\":{},\"sharded\":{},\"reference\":{},\"sharded_speedup\":{:.3},\
-             \"host_parallelism\":{host}{speedup_note},\
+             \"host_parallelism\":{host_parallelism}{speedup_note},\
              \"aggregate_speedup_vs_reference\":{:.3}}}",
             devices,
             SCALE_ARMS,
@@ -663,13 +668,16 @@ fn main() {
 
         let mut row = format!(
             "{{\"devices\":{poles},\"gateways\":{},\"extent_m\":{extent_w:.0},\
-             \"cull_radius_m\":{:.1},\"grid\":{}",
+             \"cull_radius_m\":{:.1},\"host_parallelism\":{host_parallelism},\"grid\":{}",
             gateways.len(),
             params.cull_radius_m(),
             topo_json(&grid)
         );
         if args.topology_grid_only {
-            row.push_str(",\"pairwise\":null");
+            // Same key-set as the full mode: consumers diff row schemas
+            // across runs, so skipping the oracle nulls its fields
+            // rather than dropping them.
+            row.push_str(",\"pairwise\":null,\"grid_speedup\":null");
         } else {
             // One pass: the oracle is the slow path by design.
             let pairwise =
@@ -702,10 +710,7 @@ fn main() {
     ));
     // Thread-scaling numbers are only meaningful relative to the cores the
     // host actually grants; a 1-core container cannot beat serial.
-    json.push_str(&format!(
-        "\"host_parallelism\":{},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    ));
+    json.push_str(&format!("\"host_parallelism\":{host_parallelism},"));
     if let Some(b) = &args.baseline {
         json.push_str(&format!(
             "\"baseline\":{{\"git_rev\":\"{}\",\"serial\":{{\"wall_ms\":{:.3},\"events_per_sec\":{:.0}}},\

@@ -1,0 +1,172 @@
+//! JSON shape regression for the `throughput` bench binary.
+//!
+//! Downstream consumers diff per-row key-sets across runs and machines,
+//! so every row of `sharded_scale` and `topology_scale` must expose the
+//! same schema regardless of host shape or flag combination — in
+//! particular, `--topology-grid-only` must *null* the pairwise-oracle
+//! fields rather than drop them, and the per-row `host_parallelism`
+//! annotation must be present and equal to the top-level field in every
+//! mode.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::process::Command;
+
+fn run_throughput(extra: &[&str]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_throughput"));
+    cmd.args([
+        "--replicates",
+        "2",
+        "--threads",
+        "1",
+        "--passes",
+        "1",
+        "--shards",
+        "2",
+        "--scale-devices",
+        "64",
+        "--topology-devices",
+        "150",
+    ]);
+    cmd.args(extra);
+    let out = cmd.output().expect("throughput binary runs");
+    assert!(
+        out.status.success(),
+        "throughput exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+/// Extracts the objects of a top-level `"name":[{...},{...}]` array by
+/// brace depth (rows nest objects, so a naive split would tear them).
+fn array_rows(json: &str, name: &str) -> Vec<String> {
+    let marker = format!("\"{name}\":[");
+    let start = json.find(&marker).unwrap_or_else(|| panic!("report lacks {name}: {json}"))
+        + marker.len();
+    let mut rows = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut row_start = None;
+    for (i, c) in json[start..].char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            _ if in_string => {}
+            '{' => {
+                if depth == 0 {
+                    row_start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    let s = row_start.take().expect("balanced braces");
+                    rows.push(json[start + s..=start + i].to_string());
+                }
+            }
+            ']' if depth == 0 => return rows,
+            _ => {}
+        }
+    }
+    panic!("unterminated array {name}");
+}
+
+/// Top-level keys of one row object, in source order.
+fn row_keys(row: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut string_start = 0usize;
+    let bytes = row.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => {
+                if in_string {
+                    // A string at depth 1 followed by ':' is a row key.
+                    if depth == 1 && bytes.get(i + 1) == Some(&b':') {
+                        keys.push(row[string_start + 1..i].to_string());
+                    }
+                    in_string = false;
+                } else {
+                    in_string = true;
+                    string_start = i;
+                }
+            }
+            _ if in_string => {}
+            b'{' => depth += 1,
+            b'}' => depth -= 1,
+            _ => {}
+        }
+    }
+    keys
+}
+
+fn scalar_field(json: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":");
+    let start = json.find(&marker).unwrap_or_else(|| panic!("missing {key}")) + marker.len();
+    json[start..]
+        .split([',', '}', ']'])
+        .next()
+        .unwrap_or_else(|| panic!("unterminated {key}"))
+        .to_string()
+}
+
+#[test]
+fn topology_rows_keep_one_schema_across_grid_only_and_full_modes() {
+    let full = run_throughput(&[]);
+    let grid_only = run_throughput(&["--topology-grid-only"]);
+
+    let full_rows = array_rows(&full, "topology_scale");
+    let grid_rows = array_rows(&grid_only, "topology_scale");
+    assert_eq!(full_rows.len(), 1);
+    assert_eq!(grid_rows.len(), 1);
+
+    let full_keys = row_keys(&full_rows[0]);
+    let grid_keys = row_keys(&grid_rows[0]);
+    assert_eq!(
+        full_keys, grid_keys,
+        "--topology-grid-only changed the row schema:\nfull: {full_rows:?}\ngrid: {grid_rows:?}"
+    );
+    for key in ["host_parallelism", "pairwise", "grid_speedup"] {
+        assert!(grid_keys.iter().any(|k| k == key), "topology row lost {key:?}: {grid_rows:?}");
+    }
+
+    // Grid-only mode nulls the oracle fields instead of measuring them.
+    assert_eq!(scalar_field(&grid_rows[0], "pairwise"), "null");
+    assert_eq!(scalar_field(&grid_rows[0], "grid_speedup"), "null");
+    // Full mode fills both.
+    assert_ne!(scalar_field(&full_rows[0], "grid_speedup"), "null");
+
+    // Both modes agree with the top-level annotation, row by row.
+    for (report, row) in [(&full, &full_rows[0]), (&grid_only, &grid_rows[0])] {
+        assert_eq!(
+            scalar_field(row, "host_parallelism"),
+            scalar_field(report, "host_parallelism"),
+            "per-row host_parallelism must mirror the top-level field"
+        );
+    }
+}
+
+#[test]
+fn scale_rows_carry_host_parallelism_and_speedup_expectation() {
+    let report = run_throughput(&["--topology-grid-only"]);
+    let rows = array_rows(&report, "sharded_scale");
+    assert_eq!(rows.len(), 1);
+    let keys = row_keys(&rows[0]);
+    for key in ["host_parallelism", "sharded_speedup", "sharded_speedup_expected"] {
+        assert!(keys.iter().any(|k| k == key), "scale row lost {key:?}: {rows:?}");
+    }
+    assert_eq!(
+        scalar_field(&rows[0], "host_parallelism"),
+        scalar_field(&report, "host_parallelism")
+    );
+    // On a 1-core host the expectation is explicitly waived, and granted
+    // otherwise — either way the field must be a boolean, never absent.
+    let expected = scalar_field(&rows[0], "sharded_speedup_expected");
+    assert!(
+        expected == "true" || expected == "false",
+        "sharded_speedup_expected must be boolean, got {expected:?}"
+    );
+}

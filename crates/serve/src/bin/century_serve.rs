@@ -1,0 +1,138 @@
+//! `century-serve` — the simulation-as-a-service daemon and its client.
+//!
+//! Daemon mode (default):
+//!
+//! ```text
+//! century-serve --cache-dir /var/cache/century \
+//!     [--addr 127.0.0.1:0] [--workers 2] [--queue-depth 8]
+//! ```
+//!
+//! Prints one `{"type":"ready","addr":"..."}` line to stdout once the
+//! socket is accepting (scripts wait on that line, then read the bound
+//! port from it), and blocks until a client sends `op:"shutdown"`. All
+//! shutdowns are graceful: in-flight runs finish and their cache stores
+//! complete.
+//!
+//! Client mode:
+//!
+//! ```text
+//! century-serve --addr 127.0.0.1:4300 --request '{"op":"run","seed":7}'
+//! ```
+//!
+//! Sends one request frame and prints every response frame verbatim,
+//! one JSON line each. Exit status is 0 for a `result` terminal frame,
+//! 2 for an in-band `error` frame, 1 for transport failure — so shell
+//! gates can distinguish "the daemon refused" from "the daemon is gone".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serve::client::{classify, Client, Response};
+use serve::frame::DEFAULT_MAX_FRAME;
+use serve::json::push_escaped;
+use serve::{Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    cache_dir: Option<PathBuf>,
+    workers: usize,
+    queue_depth: usize,
+    request: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage:\n  century-serve --cache-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]\n  century-serve --addr HOST:PORT --request JSON"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: None,
+        workers: 2,
+        queue_depth: 8,
+        request: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?;
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be a non-negative integer".to_string())?;
+            }
+            "--request" => args.request = Some(value("--request")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let Some(cache_dir) = args.cache_dir.clone() else {
+        return Err(format!("daemon mode requires --cache-dir\n{}", usage()));
+    };
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let cfg = ServerConfig {
+        addr: args.addr.clone(),
+        cache_dir,
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        max_frame: DEFAULT_MAX_FRAME,
+    };
+    let mut server = Server::start(cfg).map_err(|e| e.to_string())?;
+    let mut ready = String::from("{\"type\":\"ready\",\"addr\":");
+    push_escaped(&mut ready, &server.addr().to_string());
+    ready.push('}');
+    println!("{ready}");
+    server.wait();
+    Ok(())
+}
+
+fn request(args: &Args, payload: &str) -> Result<ExitCode, String> {
+    let mut client = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    client.send(payload).map_err(|e| e.to_string())?;
+    loop {
+        let raw = client.read_raw().map_err(|e| e.to_string())?;
+        println!("{raw}");
+        match classify(&raw).map_err(|e| e.to_string())? {
+            Response::Stream(_) => continue,
+            Response::Result(_) => return Ok(ExitCode::SUCCESS),
+            Response::Error { .. } => return Ok(ExitCode::from(2)),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match &args.request {
+        Some(payload) => request(&args, &payload.clone()),
+        None => serve(&args).map(|()| ExitCode::SUCCESS),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("century-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! `century-serve`: the deterministic simulation-as-a-service daemon.
+//!
+//! The paper's century-scale deployments pay off when operators can
+//! cheaply ask "what happens to this city under scenario X" on demand
+//! (ROADMAP item 2). Scenarios are pure functions of (config, seed) and
+//! every run already emits a 64-bit digest, so this crate turns the
+//! simulator into a long-running service where identical requests under
+//! heavy traffic cost one cache lookup:
+//!
+//! * [`frame`] — length-prefixed JSONL request/response frames over TCP
+//!   (std-only; the repo's serde-free JSONL dialect).
+//! * [`json`] — the flat-object protocol parser, total over hostile input.
+//! * [`scenario`] — the pure request → ([`FleetConfig`](fleet::sim::FleetConfig),
+//!   chaos plan) mapping and the digest-addressed cache key built on
+//!   [`fleet::snapshot::config_fingerprint`].
+//! * [`cache`] — the on-disk result cache: sealed, checksummed,
+//!   atomically written entries; torn files refused fail-closed.
+//! * [`pool`] — bounded workers, request coalescing, admission control,
+//!   deadlines, graceful drain.
+//! * [`server`] — the TCP daemon: accept loop, per-connection protocol,
+//!   telemetry, shutdown.
+//! * [`client`] — a small blocking client used by the binary's
+//!   `--request` mode, the test batteries and the verify smoke.
+//!
+//! Determinism is the protocol's core promise, proven end-to-end by
+//! `tests/serve_differential.rs`: a served run, a cache hit, and a
+//! direct library call yield bit-identical digests, and `op:"replay"`
+//! re-executes a cached scenario to re-prove its digest on demand.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod pool;
+pub mod scenario;
+pub mod server;
+
+pub use pool::{CacheMode, Served};
+pub use scenario::{RunSpec, CHAOS_PLAN_SALT};
+pub use server::{Server, ServerConfig};
+
+/// Typed request-level failures. Every variant maps onto a wire error
+/// code (`{"type":"error","code":…}`) — a client can always tell *why*
+/// it was refused, and the daemon never answers a defect with a panic
+/// or a hang.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The frame was not a valid protocol frame.
+    BadFrame(frame::FrameError),
+    /// The frame decoded but the request is malformed (bad JSON, unknown
+    /// op, out-of-range field).
+    BadRequest(String),
+    /// Admission control refused the request: the bounded queue is full.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed before a result was available. The
+    /// underlying run (if one was scheduled) still completes and lands
+    /// in the cache.
+    DeadlineExpired,
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown,
+    /// `op:"replay"` found no cache entry to prove.
+    NotCached,
+    /// An execution-side failure (shard planning, worker loss).
+    Internal(String),
+}
+
+impl ServeError {
+    /// The stable wire code for this error (the `"code"` field of an
+    /// error frame).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadFrame(frame::FrameError::Oversized { .. }) => "oversized",
+            ServeError::BadFrame(_) => "bad_frame",
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExpired => "deadline",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::NotCached => "not_cached",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::BadFrame(e) => write!(f, "bad frame: {e}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: queue of {queue_depth} is full")
+            }
+            ServeError::DeadlineExpired => write!(f, "deadline expired before a result"),
+            ServeError::ShuttingDown => write!(f, "daemon is shutting down"),
+            ServeError::NotCached => write!(f, "no cache entry for this scenario"),
+            ServeError::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::BadFrame(e) => Some(e),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The TCP daemon: accept loop, per-connection protocol, shutdown.
+//!
+//! Topology: one accept thread owns the listener; each connection gets a
+//! thread that decodes frames, dispatches ops, and writes response
+//! frames. Long work (scenario runs) goes through the shared
+//! [`Scheduler`], so concurrency is bounded by the worker pool no matter
+//! how many connections are open; sweeps and stats run inline on the
+//! connection thread.
+//!
+//! There are no signals and no async runtime: shutdown is a flag
+//! ([`Server::shutdown`] or the `op:"shutdown"` frame) that every
+//! blocking loop polls via short read timeouts ([`ReadFrame::Idle`]).
+//! The sequencing is strictly graceful — stop accepting, join
+//! connections (each finishes its in-flight request), then drop the
+//! scheduler, whose drain finishes every queued job and completes its
+//! cache stores before the workers join.
+//!
+//! Protocol (all frames are flat JSON objects, see [`crate::json`]):
+//!
+//! | op         | effect |
+//! |------------|--------|
+//! | `ping`     | liveness check |
+//! | `run`      | execute/serve a scenario (`cache`, `stream`, `deadline_ms` knobs) |
+//! | `replay`   | re-execute a cached scenario and re-prove its digest |
+//! | `sweep`    | replicated parallel summary over seeds ([`bench::parallel`]) |
+//! | `stats`    | snapshot of the `serve.*` telemetry registry |
+//! | `shutdown` | begin graceful drain |
+//!
+//! Responses are `{"type":"result",...}` on success, `{"type":"error",
+//! "code":...,"message":...}` on refusal (codes from
+//! [`ServeError::code`]), with `{"type":"body",...}` /
+//! `{"type":"sweep_arm",...}` frames streamed ahead of the terminal
+//! frame. Every defect — malformed frame, hostile length, bad request,
+//! overload, deadline — is answered with a typed error frame or a closed
+//! connection, never a panic and never a hang.
+
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use telemetry::registry::{Counter, MetricValue, Registry};
+
+use crate::cache::{Lookup, ResultCache};
+use crate::frame::{self, FrameError, ReadFrame, DEFAULT_MAX_FRAME};
+use crate::json::{self, push_escaped, Object};
+use crate::pool::{CacheMode, PoolMetrics, Scheduler, Served};
+use crate::scenario::{run_spec_from, RunSpec};
+use crate::ServeError;
+
+/// How long blocking reads wait before re-polling the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests rely on it).
+    pub addr: String,
+    /// Result-cache directory (created if needed).
+    pub cache_dir: PathBuf,
+    /// Worker threads executing scenario runs.
+    pub workers: usize,
+    /// Bounded queue depth behind the workers (admission control).
+    pub queue_depth: usize,
+    /// Per-connection frame cap in bytes.
+    pub max_frame: usize,
+}
+
+impl ServerConfig {
+    /// Loopback defaults around a cache directory: ephemeral port, two
+    /// workers, a queue of eight, the 1 MiB frame cap.
+    pub fn local(cache_dir: PathBuf) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir,
+            workers: 2,
+            queue_depth: 8,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Connection-level telemetry (the pool has its own, [`PoolMetrics`]).
+#[derive(Clone)]
+struct ServerMetrics {
+    connections: Counter,
+    requests: Counter,
+    protocol_errors: Counter,
+    sweeps: Counter,
+}
+
+impl ServerMetrics {
+    fn register(reg: &Registry) -> Result<ServerMetrics, telemetry::TelemetryError> {
+        Ok(ServerMetrics {
+            connections: reg.counter("serve.connections")?,
+            requests: reg.counter("serve.requests")?,
+            protocol_errors: reg.counter("serve.protocol.errors")?,
+            sweeps: reg.counter("serve.sweeps")?,
+        })
+    }
+}
+
+/// Everything a connection thread needs, shared by `Arc`.
+struct Ctx {
+    scheduler: Arc<Scheduler>,
+    cache: ResultCache,
+    registry: Arc<Registry>,
+    metrics: ServerMetrics,
+    shutdown: Arc<AtomicBool>,
+    max_frame: usize,
+}
+
+/// A running daemon. Dropping it shuts it down gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and accept thread, and returns once
+    /// the daemon is accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] if the bind, cache open, metric
+    /// registration or thread spawn fails — a daemon that cannot fully
+    /// start refuses to half-start.
+    pub fn start(cfg: ServerConfig) -> Result<Server, ServeError> {
+        let internal = |what: &str, e: &dyn core::fmt::Display| {
+            ServeError::Internal(format!("{what}: {e}"))
+        };
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| internal("bind failed", &e))?;
+        let addr = listener.local_addr().map_err(|e| internal("local_addr failed", &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| internal("set_nonblocking failed", &e))?;
+
+        let registry = Arc::new(Registry::new());
+        let pool_metrics =
+            PoolMetrics::register(&registry).map_err(|e| internal("metrics", &e))?;
+        let metrics =
+            ServerMetrics::register(&registry).map_err(|e| internal("metrics", &e))?;
+        let cache = ResultCache::open(&cfg.cache_dir)
+            .map_err(|e| internal("cache open failed", &e))?;
+        let scheduler =
+            Scheduler::start(cache.clone(), cfg.workers, cfg.queue_depth, pool_metrics)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            scheduler: Arc::new(scheduler),
+            cache,
+            registry: Arc::clone(&registry),
+            metrics,
+            shutdown: Arc::clone(&shutdown),
+            max_frame: cfg.max_frame.max(64),
+        });
+
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &ctx))
+            .map_err(|e| internal("cannot spawn accept thread", &e))?;
+
+        Ok(Server { addr, shutdown, accept: Some(accept), registry })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's telemetry registry (shared with the pool).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Whether a shutdown has been requested (by [`Self::shutdown`] or a
+    /// client's `op:"shutdown"` frame).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful shutdown and blocks until in-flight work has
+    /// drained and every thread has joined. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the daemon has shut down (a client's `op:"shutdown"`
+    /// or a concurrent [`Self::shutdown`]).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctx.metrics.connections.inc();
+                let ctx_conn = Arc::clone(ctx);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || connection_loop(stream, &ctx_conn));
+                match spawned {
+                    Ok(handle) => connections.push(handle),
+                    // Thread exhaustion: the stream drops (connection
+                    // refused-by-close); the daemon itself stays up.
+                    Err(_) => ctx.metrics.protocol_errors.inc(),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            // Transient accept failures (EMFILE, aborted handshake):
+            // back off and keep serving.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    // Last owner standing: dropping the scheduler drains it — queued
+    // jobs finish, cache stores complete, workers join.
+}
+
+fn connection_loop(stream: TcpStream, ctx: &Arc<Ctx>) {
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            // Best-effort notice; the peer may already be gone.
+            let _ = send_error(&mut stream, &ServeError::ShuttingDown);
+            return;
+        }
+        match frame::read_frame(&mut stream, ctx.max_frame) {
+            Ok(ReadFrame::Idle) => continue,
+            Ok(ReadFrame::Closed) => return,
+            Ok(ReadFrame::Frame(payload)) => {
+                ctx.metrics.requests.inc();
+                if handle_request(&mut stream, &payload, ctx).is_err() {
+                    // The peer vanished mid-response; nothing to tell it.
+                    return;
+                }
+            }
+            Err(e) => {
+                // A framing defect desynchronizes the stream: report the
+                // typed error, then close rather than guess at a resync.
+                ctx.metrics.protocol_errors.inc();
+                let _ = send_error(&mut stream, &ServeError::BadFrame(e));
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request frame. `Err` means the *transport* failed
+/// (peer gone) and the connection should close; request-level failures
+/// are answered in-band as error frames and return `Ok`.
+fn handle_request(
+    stream: &mut TcpStream,
+    payload: &str,
+    ctx: &Arc<Ctx>,
+) -> Result<(), FrameError> {
+    let obj = match json::parse_object(payload) {
+        Ok(obj) => obj,
+        Err(e) => {
+            ctx.metrics.protocol_errors.inc();
+            return send_error(stream, &ServeError::BadRequest(format!("invalid JSON: {e}")));
+        }
+    };
+    let outcome = match obj.str_field("op") {
+        Some("ping") => {
+            return write_result(stream, "ping", &[]);
+        }
+        Some("run") => op_run(stream, &obj, ctx),
+        Some("replay") => op_replay(stream, &obj, ctx),
+        Some("sweep") => op_sweep(stream, &obj, ctx),
+        Some("stats") => {
+            return op_stats(stream, ctx);
+        }
+        Some("shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            return write_result(stream, "shutdown", &[]);
+        }
+        Some(other) => Err(RequestFailure::Refused(ServeError::BadRequest(format!(
+            "unknown op {other:?}"
+        )))),
+        None => Err(RequestFailure::Refused(ServeError::BadRequest(
+            "missing required field 'op'".to_string(),
+        ))),
+    };
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(RequestFailure::Refused(e)) => send_error(stream, &e),
+        Err(RequestFailure::Transport(e)) => Err(e),
+    }
+}
+
+/// Splits "the request was refused" (answer in-band, keep the
+/// connection) from "the transport failed" (close the connection).
+enum RequestFailure {
+    Refused(ServeError),
+    Transport(FrameError),
+}
+
+impl From<ServeError> for RequestFailure {
+    fn from(e: ServeError) -> RequestFailure {
+        RequestFailure::Refused(e)
+    }
+}
+
+impl From<FrameError> for RequestFailure {
+    fn from(e: FrameError) -> RequestFailure {
+        RequestFailure::Transport(e)
+    }
+}
+
+/// Parses the request-level (non-digest) knobs shared by run/replay.
+fn cache_mode(obj: &Object) -> Result<CacheMode, ServeError> {
+    match obj.str_field("cache") {
+        None | Some("use") => Ok(CacheMode::Use),
+        Some("bypass") => Ok(CacheMode::Bypass),
+        Some("refresh") => Ok(CacheMode::Refresh),
+        Some(other) => Err(ServeError::BadRequest(format!(
+            "unknown cache mode {other:?} (expected \"use\", \"bypass\" or \"refresh\")"
+        ))),
+    }
+}
+
+fn deadline_from(obj: &Object) -> Result<Option<Instant>, ServeError> {
+    match obj.get("deadline_ms") {
+        None => Ok(None),
+        Some(json::Value::UInt(ms)) => {
+            Ok(Some(Instant::now() + Duration::from_millis((*ms).min(86_400_000))))
+        }
+        Some(_) => Err(ServeError::BadRequest(
+            "field 'deadline_ms' must be a non-negative integer".to_string(),
+        )),
+    }
+}
+
+fn op_run(stream: &mut TcpStream, obj: &Object, ctx: &Arc<Ctx>) -> Result<(), RequestFailure> {
+    let spec = run_spec_from(obj)?;
+    let mode = cache_mode(obj)?;
+    let deadline = deadline_from(obj)?;
+    let stream_body = obj.bool_field("stream") == Some(true);
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown.into());
+    }
+    let (artifact, served) = ctx.scheduler.run(&spec, mode, deadline)?;
+    let mut body_lines = 0u64;
+    if stream_body {
+        for line in artifact.body.lines() {
+            body_lines += 1;
+            let mut frame_text = String::with_capacity(line.len() + 32);
+            frame_text.push_str("{\"type\":\"body\",\"line\":");
+            push_escaped(&mut frame_text, line);
+            frame_text.push('}');
+            frame::write_frame(stream, &frame_text)?;
+        }
+    } else {
+        body_lines = artifact.body.lines().count() as u64;
+    }
+    write_result(
+        stream,
+        "run",
+        &[
+            ("served", Field::Str(served.as_str())),
+            ("digest", Field::U64(artifact.digest)),
+            ("digest_hex", Field::Hex(artifact.digest)),
+            ("key_hex", Field::Hex(spec.request_key())),
+            ("events", Field::U64(artifact.events)),
+            ("body_lines", Field::U64(body_lines)),
+        ],
+    )?;
+    Ok(())
+}
+
+fn op_replay(stream: &mut TcpStream, obj: &Object, ctx: &Arc<Ctx>) -> Result<(), RequestFailure> {
+    let spec: RunSpec = run_spec_from(obj)?;
+    let deadline = deadline_from(obj)?;
+    let key = spec.request_key();
+    let cached = match ctx.cache.lookup(key) {
+        Lookup::Hit(hit) => hit,
+        Lookup::Miss => return Err(ServeError::NotCached.into()),
+        // A damaged entry proves nothing; it cannot anchor a replay.
+        Lookup::Damaged { .. } => return Err(ServeError::NotCached.into()),
+    };
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown.into());
+    }
+    // Bypass: a determinism proof must never be answered by the cache
+    // entry it is trying to prove.
+    let (fresh, served) = ctx.scheduler.run(&spec, CacheMode::Bypass, deadline)?;
+    debug_assert_eq!(served, Served::Bypassed);
+    let verified = fresh.digest == cached.digest && fresh.body == cached.body;
+    write_result(
+        stream,
+        "replay",
+        &[
+            ("verified", Field::Bool(verified)),
+            ("cached_digest", Field::U64(cached.digest)),
+            ("recomputed_digest", Field::U64(fresh.digest)),
+            ("key_hex", Field::Hex(key)),
+            ("events", Field::U64(fresh.events)),
+        ],
+    )?;
+    Ok(())
+}
+
+fn op_sweep(stream: &mut TcpStream, obj: &Object, ctx: &Arc<Ctx>) -> Result<(), RequestFailure> {
+    let bad = |msg: &str| ServeError::BadRequest(msg.to_string());
+    let seed = match obj.get("seed") {
+        None => 0,
+        Some(json::Value::UInt(v)) => *v,
+        Some(_) => return Err(bad("field 'seed' must be a non-negative integer").into()),
+    };
+    let years = match obj.get("years") {
+        None => 50,
+        Some(json::Value::UInt(v)) if (1..=crate::scenario::MAX_YEARS).contains(v) => *v,
+        Some(_) => {
+            return Err(bad("field 'years' must be an integer in 1..=10000").into());
+        }
+    };
+    let replicates = match obj.get("replicates") {
+        None => 4usize,
+        Some(json::Value::UInt(v)) if (1..=64).contains(v) => *v as usize,
+        Some(_) => return Err(bad("field 'replicates' must be an integer in 1..=64").into()),
+    };
+    let threads = match obj.get("threads") {
+        None => 1usize,
+        Some(json::Value::UInt(v)) if (1..=16).contains(v) => *v as usize,
+        Some(_) => return Err(bad("field 'threads' must be an integer in 1..=16").into()),
+    };
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown.into());
+    }
+
+    let make = |s: u64| {
+        let mut cfg = fleet::sim::FleetConfig::paper_experiment(s);
+        cfg.horizon = simcore::time::SimDuration::from_years(years);
+        cfg
+    };
+    let mut arms = bench::parallel::run_replicated_parallel_summaries(
+        &make, seed, replicates, threads,
+    )
+    .map_err(|e| ServeError::Internal(format!("sweep failed: {e}")))?;
+    ctx.metrics.sweeps.inc();
+
+    let arm_count = arms.len() as u64;
+    for arm in &mut arms {
+        let mut text = String::from("{\"type\":\"sweep_arm\",\"arm\":");
+        push_escaped(&mut text, arm.name);
+        push_field(&mut text, "uptime_mean", &Field::F64(arm.uptime.mean()));
+        push_field(
+            &mut text,
+            "uptime_p50",
+            &Field::F64(arm.uptime.quantile(0.5).unwrap_or(0.0)),
+        );
+        push_field(&mut text, "spend_mean", &Field::F64(arm.spend_dollars.mean()));
+        push_field(&mut text, "labor_mean", &Field::F64(arm.labor_hours.mean()));
+        text.push('}');
+        frame::write_frame(stream, &text)?;
+    }
+    write_result(
+        stream,
+        "sweep",
+        &[
+            ("arms", Field::U64(arm_count)),
+            ("replicates", Field::U64(replicates as u64)),
+            ("seed", Field::U64(seed)),
+        ],
+    )?;
+    Ok(())
+}
+
+fn op_stats(stream: &mut TcpStream, ctx: &Arc<Ctx>) -> Result<(), FrameError> {
+    let snapshot = ctx.registry.snapshot();
+    let mut text = String::from("{\"type\":\"result\",\"op\":\"stats\"");
+    for (name, value) in snapshot.entries() {
+        match value {
+            MetricValue::Counter(v) => push_field(&mut text, name, &Field::U64(*v)),
+            MetricValue::Gauge(v) => push_field(&mut text, name, &Field::F64(*v)),
+            // Histograms would need nesting; the serve registry holds
+            // none, and the flat protocol skips any that appear.
+            MetricValue::Histogram { .. } => {}
+        }
+    }
+    text.push('}');
+    frame::write_frame(stream, &text)
+}
+
+/// Scalar response-field values (the protocol is flat by design).
+enum Field {
+    Str(&'static str),
+    U64(u64),
+    Hex(u64),
+    F64(f64),
+    Bool(bool),
+}
+
+fn push_field(out: &mut String, key: &str, value: &Field) {
+    out.push(',');
+    push_escaped(out, key);
+    out.push(':');
+    match value {
+        Field::Str(s) => push_escaped(out, s),
+        Field::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Field::Hex(v) => {
+            let _ = write!(out, "\"{v:016x}\"");
+        }
+        // Whole floats render without a decimal point ("1"); receivers
+        // widen integers back to f64, so the roundtrip is lossless.
+        Field::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        Field::F64(_) => out.push_str("null"),
+        Field::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn write_result(
+    stream: &mut TcpStream,
+    op: &str,
+    fields: &[(&str, Field)],
+) -> Result<(), FrameError> {
+    let mut text = String::from("{\"type\":\"result\",\"op\":");
+    push_escaped(&mut text, op);
+    for (key, value) in fields {
+        push_field(&mut text, key, value);
+    }
+    text.push('}');
+    frame::write_frame(stream, &text)
+}
+
+fn send_error(stream: &mut TcpStream, e: &ServeError) -> Result<(), FrameError> {
+    let mut text = String::from("{\"type\":\"error\",\"code\":");
+    push_escaped(&mut text, e.code());
+    text.push_str(",\"message\":");
+    push_escaped(&mut text, &e.to_string());
+    text.push('}');
+    frame::write_frame(stream, &text)
+}

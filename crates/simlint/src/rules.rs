@@ -70,7 +70,7 @@ pub const RULE_IDS: [&str; 11] =
 /// workspace package hosts the integration examples that print golden
 /// output. Only `simlint` itself is out of scope (it never touches
 /// simulation state).
-const DIGEST_FEEDING_CRATES: [&str; 12] = [
+const DIGEST_FEEDING_CRATES: [&str; 13] = [
     "simcore",
     "core",
     "fleet",
@@ -82,12 +82,16 @@ const DIGEST_FEEDING_CRATES: [&str; 12] = [
     "chaos",
     "telemetry",
     "bench",
+    "serve",
     "workspace",
 ];
 
 /// Crates allowed to read the wall clock: `bench` measures real elapsed
-/// time by design. Everything else needs a pragma (see `EngineProfile`).
-const WALL_CLOCK_CRATES: [&str; 1] = ["bench"];
+/// time by design, and `serve` implements request deadlines and
+/// admission timing — wall-clock concerns of the daemon, never of the
+/// simulation it runs (run results stay pure functions of the request).
+/// Everything else needs a pragma (see `EngineProfile`).
+const WALL_CLOCK_CRATES: [&str; 2] = ["bench", "serve"];
 
 /// Ambient-RNG identifiers banned by D003.
 const ENTROPY_IDENTS: [&str; 8] = [
@@ -540,6 +544,19 @@ mod tests {
         let src = "let t0 = Instant::now();\n";
         assert!(check_file("b.rs", "bench", src, false).findings.is_empty());
         assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn serve_crate_may_read_wall_clock_but_still_feeds_digests() {
+        // Deadlines and admission timing are daemon concerns, so D002 is
+        // waived for `serve` — but its results land in the digest cache,
+        // so the determinism rules (D001 here) still apply in full.
+        let clock = "let deadline = Instant::now() + timeout;\n";
+        assert!(check_file("s.rs", "serve", clock, false).findings.is_empty());
+        let map = "use std::collections::HashMap;\n";
+        let f = check_file("s.rs", "serve", map, false).findings;
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D001");
     }
 
     #[test]

@@ -5,7 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
-cargo build --release
+# --workspace: the root crate alone won't link member binaries
+# (throughput, century-serve) that later smoke steps execute.
+cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q --workspace
@@ -74,5 +76,45 @@ if ./target/release/throughput --resume "$torn" > /dev/null 2>&1; then
   exit 1
 fi
 rm -rf target/verify-snapshots
+
+echo "== serve smoke (daemon up; miss -> hit with equal digests; replay re-proof; graceful shutdown) =="
+rm -rf target/verify-serve-cache
+./target/release/century-serve --cache-dir target/verify-serve-cache \
+  > target/verify-serve-ready.json &
+serve_pid=$!
+# The daemon prints {"type":"ready","addr":"127.0.0.1:PORT"} once the
+# socket is accepting; wait for that line (bounded), then read the port.
+for _ in $(seq 1 100); do
+  grep -q '"type":"ready"' target/verify-serve-ready.json 2>/dev/null && break
+  sleep 0.1
+done
+serve_addr=$(sed -n 's/.*"addr":"\([^"]*\)".*/\1/p' target/verify-serve-ready.json)
+if [ -z "$serve_addr" ]; then
+  echo "verify: FAIL — century-serve never became ready" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+serve_req='{"op":"run","seed":9,"years":5}'
+cold=$(./target/release/century-serve --addr "$serve_addr" --request "$serve_req")
+warm=$(./target/release/century-serve --addr "$serve_addr" --request "$serve_req")
+echo "$cold" | grep -q '"served":"miss"' \
+  || { echo "verify: FAIL — first serve request was not a miss: $cold" >&2; exit 1; }
+echo "$warm" | grep -q '"served":"hit"' \
+  || { echo "verify: FAIL — second serve request was not a cache hit: $warm" >&2; exit 1; }
+cold_digest=$(echo "$cold" | sed -n 's/.*"digest":\([0-9]*\).*/\1/p')
+warm_digest=$(echo "$warm" | sed -n 's/.*"digest":\([0-9]*\).*/\1/p')
+if [ -z "$cold_digest" ] || [ "$cold_digest" != "$warm_digest" ]; then
+  echo "verify: FAIL — cache hit digest drifted ($cold_digest vs $warm_digest)" >&2
+  exit 1
+fi
+./target/release/century-serve --addr "$serve_addr" \
+  --request '{"op":"replay","seed":9,"years":5}' \
+  | grep -q '"verified":true' \
+  || { echo "verify: FAIL — replay did not re-prove the cached digest" >&2; exit 1; }
+./target/release/century-serve --addr "$serve_addr" \
+  --request '{"op":"shutdown"}' > /dev/null
+wait "$serve_pid" \
+  || { echo "verify: FAIL — daemon did not exit cleanly after shutdown" >&2; exit 1; }
+rm -rf target/verify-serve-cache target/verify-serve-ready.json
 
 echo "verify: OK"
